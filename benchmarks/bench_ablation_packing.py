@@ -1,0 +1,95 @@
+"""Ablation A1/A3: row-packing design choices.
+
+Section III-B discusses (and rejects) two compromises — dropping the
+basis update, and sparse-first ordering with fewer runs — and Section VI
+proposes Algorithm X for the decomposition step.  These benchmarks
+measure all four variants on the gap family where the differences show.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchgen.suite import gap_suite
+from repro.experiments.common import case_seed
+from repro.solvers.registry import make_heuristic
+
+VARIANTS = (
+    "packing:10",
+    "packing_noupdate:10",
+    "packing_sorted:10",
+    "packing_x:10",
+    "greedy:10",
+    "trivial",
+)
+
+
+def _cases(scale, root_seed):
+    count = 20 if scale == "paper" else 6
+    return gap_suite((10, 10), 3, count, seed=root_seed)
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_packing_variant_on_gap(benchmark, scale, root_seed, variant):
+    cases = _cases(scale, root_seed)
+    heuristic = make_heuristic(variant)
+
+    def run():
+        total_depth = 0
+        for case in cases:
+            seed = case_seed(root_seed, case.case_id, variant)
+            total_depth += heuristic(case.matrix, seed).depth
+        return total_depth
+
+    total_depth = benchmark(run)
+    benchmark.extra_info["variant"] = variant
+    benchmark.extra_info["mean_depth"] = total_depth / len(cases)
+
+
+def test_basis_update_quality_gap(benchmark, scale, root_seed):
+    """The paper keeps the basis update because removing it lands in
+    worse local minima; verify the aggregate ordering."""
+    cases = _cases(scale, root_seed)
+    with_update = make_heuristic("packing:10")
+    without_update = make_heuristic("packing_noupdate:10")
+
+    def run():
+        depth_with = sum(
+            with_update(
+                c.matrix, case_seed(root_seed, c.case_id, "w")
+            ).depth
+            for c in cases
+        )
+        depth_without = sum(
+            without_update(
+                c.matrix, case_seed(root_seed, c.case_id, "wo")
+            ).depth
+            for c in cases
+        )
+        return depth_with, depth_without
+
+    depth_with, depth_without = benchmark(run)
+    benchmark.extra_info["total_depth_with_update"] = depth_with
+    benchmark.extra_info["total_depth_without_update"] = depth_without
+    assert depth_with <= depth_without + len(cases)  # shuffle noise slack
+
+
+def test_trials_saturation(benchmark, scale, root_seed):
+    """Observation 3: quality improves with trials and saturates."""
+    cases = _cases(scale, root_seed)
+
+    def run():
+        totals = {}
+        for trials in (1, 10, 50):
+            heuristic = make_heuristic(f"packing:{trials}")
+            totals[trials] = sum(
+                heuristic(
+                    c.matrix, case_seed(root_seed, c.case_id, str(trials))
+                ).depth
+                for c in cases
+            )
+        return totals
+
+    totals = benchmark(run)
+    benchmark.extra_info["depth_by_trials"] = totals
+    assert totals[50] <= totals[10] <= totals[1]

@@ -1,0 +1,87 @@
+"""Hardware-constraint ablation: depth inflation under AOD tone limits.
+
+The paper's depth optimum assumes a rectangle = one AOD configuration of
+unlimited tones.  Real deflectors cap simultaneous tones and require
+spacing between active lines; legalization splits rectangles and
+inflates depth.  This benchmark sweeps the tone cap and reports the
+inflation over the binary-rank optimum — the price of control-hardware
+limits on top of the paper's optimal schedules.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.atoms.constraints import AodConstraints
+from repro.atoms.legalize import legalize_schedule
+from repro.atoms.schedule import AddressingSchedule
+from repro.benchgen.random_matrices import random_nonempty_matrix
+from repro.solvers.row_packing import row_packing
+from repro.utils.rng import spawn_seeds
+
+TONE_CAPS = (1, 2, 4, 8)
+
+
+def _schedules(root_seed, count, shape=(12, 12), occupancy=0.35):
+    schedules = []
+    for seed in spawn_seeds(root_seed, count, salt="aod-constraints"):
+        matrix = random_nonempty_matrix(*shape, occupancy, seed=seed)
+        partition = row_packing(matrix, trials=5, seed=seed)
+        schedules.append(
+            AddressingSchedule.from_partition(partition, theta=0.5)
+        )
+    return schedules
+
+
+@pytest.mark.parametrize("cap", TONE_CAPS)
+def test_legalization_inflation_vs_cap(benchmark, scale, root_seed, cap):
+    count = 12 if scale == "paper" else 5
+    schedules = _schedules(root_seed, count)
+    constraints = AodConstraints(max_row_tones=cap, max_col_tones=cap)
+
+    def run():
+        ideal = 0
+        legal = 0
+        for schedule in schedules:
+            result = legalize_schedule(schedule, constraints)
+            ideal += result.original_depth
+            legal += result.depth
+        return ideal, legal
+
+    ideal, legal = benchmark(run)
+    benchmark.extra_info["tone_cap"] = cap
+    benchmark.extra_info["ideal_depth"] = ideal
+    benchmark.extra_info["legal_depth"] = legal
+    benchmark.extra_info["inflation"] = round(legal / max(1, ideal), 3)
+
+
+def test_spacing_guard_cost(benchmark, scale, root_seed):
+    count = 8 if scale == "paper" else 4
+    schedules = _schedules(root_seed, count)
+    constraints = AodConstraints(min_row_spacing=2, min_col_spacing=2)
+
+    def run():
+        return sum(
+            legalize_schedule(schedule, constraints).depth
+            for schedule in schedules
+        )
+
+    legal = benchmark(run)
+    ideal = sum(schedule.depth for schedule in schedules)
+    benchmark.extra_info["ideal_depth"] = ideal
+    benchmark.extra_info["legal_depth"] = legal
+
+
+def test_inflation_monotone_in_cap(scale, root_seed):
+    """Quality check (not timed): looser caps never cost more depth."""
+    schedules = _schedules(root_seed, 3)
+    previous = None
+    for cap in TONE_CAPS:
+        constraints = AodConstraints(max_row_tones=cap, max_col_tones=cap)
+        total = sum(
+            legalize_schedule(schedule, constraints).depth
+            for schedule in schedules
+        )
+        if previous is not None:
+            assert total <= previous
+        previous = total

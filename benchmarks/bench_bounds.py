@@ -1,0 +1,73 @@
+"""Lower-bound instruments: Eq. 3 rank vs fooling sets vs the LP bound.
+
+SAP terminates when the bound meets the oracle; tighter lower bounds
+mean fewer (or no) UNSAT proofs.  This benchmark measures both the cost
+and the tightness of the three bounds on the families where they
+differ: random (rank is near-tight), gap (rank is slack by
+construction), and crown matrices (rank n vs logarithmic cover bounds).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchgen.gap import gap_matrix
+from repro.benchgen.random_matrices import random_nonempty_matrix
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.bounds import fooling_lower_bound, rank_lower_bound
+from repro.cover.lp import lp_lower_bound
+from repro.solvers.branch_bound import binary_rank_branch_bound
+from repro.utils.rng import spawn_seeds
+
+BOUNDS = {
+    "rank": rank_lower_bound,
+    "fooling": lambda m: fooling_lower_bound(m, seed=0),
+    "lp": lp_lower_bound,
+}
+
+
+def _family(name, root_seed, count):
+    seeds = spawn_seeds(root_seed, count, salt=f"bounds-{name}")
+    if name == "random":
+        return [
+            random_nonempty_matrix(7, 7, 0.5, seed=s) for s in seeds
+        ]
+    if name == "gap":
+        return [gap_matrix(7, 7, 2, seed=s) for s in seeds]
+    if name == "crown":
+        return [
+            BinaryMatrix.from_rows(
+                [[1 if i != j else 0 for j in range(n)] for i in range(n)]
+            )
+            for n in range(3, 3 + count)
+        ]
+    raise ValueError(name)
+
+
+@pytest.mark.parametrize("family", ["random", "gap", "crown"])
+@pytest.mark.parametrize("bound_name", sorted(BOUNDS))
+def test_bound_cost(benchmark, root_seed, scale, family, bound_name):
+    count = 8 if scale == "paper" else 4
+    matrices = _family(family, root_seed, count)
+    bound = BOUNDS[bound_name]
+
+    def run():
+        return sum(bound(matrix) for matrix in matrices)
+
+    total = benchmark(run)
+    benchmark.extra_info["family"] = family
+    benchmark.extra_info["bound"] = bound_name
+    benchmark.extra_info["total_bound"] = total
+
+
+def test_bound_tightness(scale, root_seed):
+    """Quality check (not timed): bound <= r_B always; record the gaps."""
+    count = 3 if scale != "paper" else 6
+    for family in ("random", "gap"):
+        for matrix in _family(family, root_seed, count):
+            truth = binary_rank_branch_bound(matrix).binary_rank
+            for name, bound in BOUNDS.items():
+                value = bound(matrix)
+                assert value <= truth, (
+                    f"{name} bound {value} exceeds r_B={truth} on {family}"
+                )

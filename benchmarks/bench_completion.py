@@ -1,0 +1,82 @@
+"""Ablation A4: don't-care vacancies reduce rectangle count (Section VI).
+
+Random targets on sparse arrays, solved with and without exploiting the
+vacancies as don't-cares.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.completion.exact import masked_minimum_addressing
+from repro.completion.heuristic import masked_row_packing
+from repro.completion.masked import MaskedMatrix
+from repro.core.binary_matrix import BinaryMatrix
+from repro.solvers.row_packing import PackingOptions
+from repro.solvers.sap import SapOptions, sap_solve
+from repro.utils.rng import ensure_rng
+
+
+def _masked_instance(num_rows, num_cols, ones_p, dc_p, seed):
+    rng = ensure_rng(seed)
+    ones_masks, dc_masks = [], []
+    for _ in range(num_rows):
+        ones = 0
+        dc = 0
+        for j in range(num_cols):
+            draw = rng.random()
+            if draw < ones_p:
+                ones |= 1 << j
+            elif draw < ones_p + dc_p:
+                dc |= 1 << j
+        ones_masks.append(ones)
+        dc_masks.append(dc)
+    return MaskedMatrix(
+        BinaryMatrix(ones_masks, num_cols), BinaryMatrix(dc_masks, num_cols)
+    )
+
+
+@pytest.mark.parametrize("dc_p", [0.0, 0.2, 0.4])
+def test_exact_depth_vs_dont_care_density(benchmark, root_seed, dc_p):
+    masked = _masked_instance(6, 6, 0.3, dc_p, root_seed)
+
+    def solve():
+        return masked_minimum_addressing(
+            masked, trials=16, seed=0, time_budget=30
+        )
+
+    outcome = benchmark(solve)
+    plain = sap_solve(
+        masked.ones_matrix,
+        options=SapOptions(trials=16, seed=0, time_budget=30),
+    )
+    benchmark.extra_info["dc_density"] = dc_p
+    benchmark.extra_info["masked_depth"] = outcome.depth
+    benchmark.extra_info["plain_depth"] = plain.depth
+    if outcome.proved_optimal and plain.proved_optimal:
+        assert outcome.depth <= plain.depth
+
+
+def test_masked_heuristic_speed(benchmark, scale, root_seed):
+    size = 40 if scale == "paper" else 20
+    masked = _masked_instance(size, size, 0.2, 0.2, root_seed)
+
+    def pack():
+        return masked_row_packing(
+            masked, options=PackingOptions(trials=5, seed=0)
+        )
+
+    partition = benchmark(pack)
+    benchmark.extra_info["depth"] = partition.depth
+
+
+def test_vacancy_savings_on_plus_lattice(benchmark, root_seed):
+    """The compiled example from the tests: a plus on vacant corners
+    collapses to depth 1."""
+    masked = MaskedMatrix.from_strings(["*1*", "111", "*1*"])
+
+    def solve():
+        return masked_minimum_addressing(masked, trials=8, seed=0)
+
+    outcome = benchmark(solve)
+    assert outcome.proved_optimal and outcome.depth == 1

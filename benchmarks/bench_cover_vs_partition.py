@@ -1,0 +1,54 @@
+"""Boolean rank (cover) vs binary rank (partition) benchmarks.
+
+The paper's background (Section II) distinguishes partitions from
+covers; these benchmarks quantify the gap on the crown matrices
+``J_n - I_n`` (cover number grows like the Sperner bound ~ log n while
+the partition number is n) and confirm cover <= partition on the
+evaluation families.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchgen.gap import gap_matrix
+from repro.core.binary_matrix import BinaryMatrix
+from repro.cover import minimum_cover
+from repro.solvers.sap import SapOptions, sap_solve
+
+
+@pytest.mark.parametrize("n", [4, 5, 6])
+def test_crown_cover_vs_partition(benchmark, n):
+    matrix = BinaryMatrix.identity(n).complement()
+
+    def solve_cover():
+        return minimum_cover(matrix, trials=8, seed=0, time_budget=60)
+
+    cover = benchmark(solve_cover)
+    partition = sap_solve(
+        matrix, options=SapOptions(trials=8, seed=0, time_budget=60)
+    )
+    assert cover.proved_optimal and partition.proved_optimal
+    benchmark.extra_info["cover_depth"] = cover.depth
+    benchmark.extra_info["partition_depth"] = partition.depth
+    assert cover.depth <= partition.depth
+    assert partition.depth == n  # partitions cannot recombine the rows
+    if n >= 5:
+        assert cover.depth < partition.depth  # the separation appears
+
+
+@pytest.mark.parametrize("pairs", [2, 3])
+def test_gap_family_cover(benchmark, root_seed, pairs):
+    matrix = gap_matrix(10, 10, pairs, seed=root_seed)
+
+    def solve_cover():
+        return minimum_cover(matrix, trials=8, seed=0, time_budget=30)
+
+    cover = benchmark(solve_cover)
+    partition = sap_solve(
+        matrix, options=SapOptions(trials=8, seed=0, time_budget=30)
+    )
+    benchmark.extra_info["cover_depth"] = cover.depth
+    benchmark.extra_info["partition_depth"] = partition.depth
+    if cover.proved_optimal and partition.proved_optimal:
+        assert cover.depth <= partition.depth

@@ -1,0 +1,98 @@
+"""Benchmarks regenerating Figure 5a / Eq. 5 (E6): two-level addressing.
+
+Compares two-level (factor, solve, tensor) against direct flat solving
+on surface-code style patterns, checking the paper's claims: the product
+is an upper bound, and it is provably optimal for transversal (all-ones)
+patch masks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchgen.random_matrices import random_nonempty_matrix
+from repro.core.binary_matrix import BinaryMatrix
+from repro.ftqc.surface_code import (
+    SurfaceCodeGrid,
+    boundary_row_patch_mask,
+    transversal_patch_mask,
+)
+from repro.ftqc.two_level import two_level_solve
+from repro.solvers.sap import SapOptions, sap_solve
+
+PATCHES = {
+    "transversal": transversal_patch_mask,
+    "boundary-row": boundary_row_patch_mask,
+}
+
+
+@pytest.mark.parametrize("patch_kind", sorted(PATCHES))
+def test_two_level_solve(benchmark, scale, root_seed, patch_kind):
+    distance = 3
+    grid = SurfaceCodeGrid(3, 3, distance)
+    logical = random_nonempty_matrix(3, 3, 0.5, seed=root_seed)
+    physical = grid.physical_pattern(
+        logical, PATCHES[patch_kind](distance)
+    )
+
+    def solve():
+        return two_level_solve(
+            physical, (distance, distance), seed=root_seed, time_budget=30
+        )
+
+    result = benchmark(solve)
+    result.partition.validate(physical)
+    benchmark.extra_info["patch"] = patch_kind
+    benchmark.extra_info["two_level_depth"] = result.depth
+    benchmark.extra_info["proved_optimal"] = result.proved_optimal
+    if patch_kind == "transversal":
+        # phi(M) = r_B(M) = 1: two-level is optimal (paper Section V).
+        assert result.proved_optimal
+
+
+@pytest.mark.parametrize("patch_kind", sorted(PATCHES))
+def test_direct_flat_solve(benchmark, scale, root_seed, patch_kind):
+    """The comparison series: direct SAP on the expanded pattern."""
+    distance = 3
+    grid = SurfaceCodeGrid(3, 3, distance)
+    logical = random_nonempty_matrix(3, 3, 0.5, seed=root_seed)
+    physical = grid.physical_pattern(
+        logical, PATCHES[patch_kind](distance)
+    )
+    two_level_depth = two_level_solve(
+        physical, (distance, distance), seed=root_seed, time_budget=30
+    ).depth
+
+    def solve():
+        return sap_solve(
+            physical,
+            options=SapOptions(trials=20, seed=root_seed, time_budget=30),
+        )
+
+    result = benchmark(solve)
+    benchmark.extra_info["patch"] = patch_kind
+    benchmark.extra_info["direct_depth"] = result.depth
+    benchmark.extra_info["two_level_depth"] = two_level_depth
+    # Upper-bound claim: the tensor-product solution never beats direct.
+    assert result.depth <= two_level_depth
+
+
+def test_eq5_bracket_random_tensors(benchmark, root_seed):
+    """Eq. 5 on random small factors: lower <= direct <= upper."""
+    from repro.ftqc.tensor import tensor_rank_bounds
+
+    outer = random_nonempty_matrix(3, 3, 0.5, seed=root_seed + 1)
+    inner = random_nonempty_matrix(2, 2, 0.7, seed=root_seed + 2)
+
+    def compute():
+        return tensor_rank_bounds(outer, inner, seed=0, time_budget=30)
+
+    bounds = benchmark(compute)
+    direct = sap_solve(
+        outer.tensor(inner),
+        options=SapOptions(trials=20, seed=0, time_budget=30),
+    )
+    benchmark.extra_info["eq5_lower"] = bounds.lower
+    benchmark.extra_info["eq5_upper"] = bounds.upper
+    benchmark.extra_info["direct_depth"] = direct.depth
+    assert bounds.lower <= direct.depth <= bounds.upper

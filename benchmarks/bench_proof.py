@@ -1,0 +1,72 @@
+"""Proof logging and verification cost (Observation 5 hardening).
+
+The expensive SAP step is proving UNSAT — the optimality certificate.
+These benchmarks measure (a) the solve-time overhead of recording a
+DRUP-style proof while refuting ``r_B(M) <= b``, and (b) the cost of
+independently re-checking that refutation with the RUP verifier,
+relative to the solve itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchgen.gap import gap_matrix
+from repro.core.reductions import reduce_matrix
+from repro.sat.proof import ProofLog, check_refutation
+from repro.sat.solver import SolveStatus
+from repro.smt.encoder import DirectEncoder
+from repro.solvers.branch_bound import binary_rank_branch_bound
+
+
+def _unsat_instance(root_seed):
+    """A gap matrix and a bound one below its true binary rank."""
+    matrix = reduce_matrix(gap_matrix(8, 8, 2, seed=root_seed)).matrix
+    rank = binary_rank_branch_bound(matrix).binary_rank
+    return matrix, rank - 1
+
+
+@pytest.mark.parametrize("proof", [False, True], ids=["plain", "logged"])
+def test_unsat_solve_overhead(benchmark, root_seed, proof):
+    matrix, bound = _unsat_instance(root_seed)
+
+    def run():
+        log = ProofLog() if proof else None
+        encoder = DirectEncoder(matrix, bound, proof=log)
+        status = encoder.solve()
+        assert status is SolveStatus.UNSAT
+        return log
+
+    log = benchmark(run)
+    benchmark.extra_info["proof_logging"] = proof
+    if log is not None:
+        benchmark.extra_info["learned_clauses"] = log.num_learned
+
+
+def test_refutation_check(benchmark, root_seed):
+    matrix, bound = _unsat_instance(root_seed)
+    log = ProofLog()
+    encoder = DirectEncoder(matrix, bound, proof=log)
+    assert encoder.solve() is SolveStatus.UNSAT
+
+    benchmark(lambda: check_refutation(log))
+    benchmark.extra_info["axioms"] = log.num_axioms
+    benchmark.extra_info["learned"] = log.num_learned
+
+
+def test_full_descent_with_audit(benchmark, root_seed):
+    """SAP-style descent with proof audit at the end: the paper's
+    workflow plus an independent optimality check."""
+    matrix, bound = _unsat_instance(root_seed)
+
+    def run():
+        log = ProofLog()
+        encoder = DirectEncoder(matrix, bound + 1, proof=log)
+        assert encoder.solve() is SolveStatus.SAT
+        encoder.narrow_to(bound)
+        assert encoder.solve() is SolveStatus.UNSAT
+        check_refutation(log)
+        return log.num_learned
+
+    learned = benchmark(run)
+    benchmark.extra_info["learned_clauses"] = learned

@@ -1,0 +1,72 @@
+"""Ablation: SAP descent strategies (linear / binary / assumption).
+
+The paper's Algorithm 1 walks the bound down one step at a time with
+incremental narrowing clauses.  Bisection asks fewer questions when the
+heuristic is far from optimal but forfeits solver reuse; the
+assumption-mode bisection (indicator literals, one live solver) keeps
+both.  All three must return identical ranks — the benchmark compares
+the time and the number of oracle queries on the gap family, where the
+heuristic-to-optimal distance is largest.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchgen.suite import gap_suite
+from repro.experiments.common import case_seed
+from repro.solvers.sap import SapOptions, sap_solve
+
+DESCENTS = ("linear", "binary", "assumption")
+
+
+def _cases(scale, root_seed):
+    count = 10 if scale == "paper" else 4
+    return gap_suite((8, 8), 2, count, seed=root_seed)
+
+
+@pytest.mark.parametrize("descent", DESCENTS)
+def test_sap_descent_mode(benchmark, scale, root_seed, descent):
+    cases = _cases(scale, root_seed)
+
+    def run():
+        total_depth = 0
+        total_queries = 0
+        for case in cases:
+            result = sap_solve(
+                case.matrix,
+                options=SapOptions(
+                    trials=10,
+                    seed=case_seed(root_seed, case.case_id, descent),
+                    descent=descent,
+                    time_budget=20.0,
+                ),
+            )
+            assert result.proved_optimal
+            total_depth += result.depth
+            total_queries += len(result.queries)
+        return total_depth, total_queries
+
+    total_depth, total_queries = benchmark(run)
+    benchmark.extra_info["descent"] = descent
+    benchmark.extra_info["total_depth"] = total_depth
+    benchmark.extra_info["oracle_queries"] = total_queries
+
+
+def test_descents_agree(scale, root_seed):
+    """Cross-check (not timed): all descents certify the same rank."""
+    for case in _cases(scale, root_seed):
+        depths = set()
+        for descent in DESCENTS:
+            result = sap_solve(
+                case.matrix,
+                options=SapOptions(
+                    trials=10,
+                    seed=case_seed(root_seed, case.case_id, "agree"),
+                    descent=descent,
+                    time_budget=20.0,
+                ),
+            )
+            assert result.proved_optimal
+            depths.add(result.depth)
+        assert len(depths) == 1

@@ -1,0 +1,93 @@
+"""Substrate benchmarks: the CDCL SAT solver itself.
+
+Not a paper artefact, but the oracle's speed bounds everything in
+Figure 4; these keep the solver's performance visible (pigeonhole UNSAT
+proofs and large random SAT instances).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sat.formula import CnfFormula
+from repro.sat.solver import CdclSolver, SolveStatus
+
+
+def pigeonhole(holes: int) -> CnfFormula:
+    formula = CnfFormula()
+    var = [
+        [formula.new_var() for _ in range(holes)]
+        for _ in range(holes + 1)
+    ]
+    for pigeon in var:
+        formula.add_clause(pigeon)
+    for h in range(holes):
+        for p1 in range(holes + 1):
+            for p2 in range(p1 + 1, holes + 1):
+                formula.add_clause([-var[p1][h], -var[p2][h]])
+    return formula
+
+
+def random_3sat(num_vars: int, num_clauses: int, seed: int) -> CnfFormula:
+    rng = random.Random(seed)
+    formula = CnfFormula()
+    formula.new_vars(num_vars)
+    for _ in range(num_clauses):
+        clause_vars = rng.sample(range(1, num_vars + 1), 3)
+        formula.add_clause(
+            [v * rng.choice([1, -1]) for v in clause_vars]
+        )
+    return formula
+
+
+@pytest.mark.parametrize("holes", [5, 6])
+def test_pigeonhole_unsat(benchmark, holes):
+    formula = pigeonhole(holes)
+
+    def prove():
+        solver = CdclSolver.from_formula(formula)
+        return solver.solve()
+
+    status = benchmark(prove)
+    assert status is SolveStatus.UNSAT
+
+
+@pytest.mark.parametrize("ratio", [3.0, 4.2])
+def test_random_3sat(benchmark, root_seed, ratio):
+    num_vars = 60
+    formula = random_3sat(num_vars, int(num_vars * ratio), root_seed)
+
+    def solve():
+        solver = CdclSolver.from_formula(formula)
+        return solver.solve(), solver.stats.conflicts
+
+    status, conflicts = benchmark(solve)
+    assert status in (SolveStatus.SAT, SolveStatus.UNSAT)
+    benchmark.extra_info["clause_ratio"] = ratio
+    benchmark.extra_info["conflicts"] = conflicts
+
+
+def test_incremental_narrowing_pattern(benchmark):
+    """The SAP access pattern: one encoding, repeated narrowing solves."""
+    from repro.core.paper_matrices import figure_1b
+    from repro.smt.encoder import DirectEncoder
+
+    matrix = figure_1b()
+
+    def descend():
+        encoder = DirectEncoder(matrix, 6)
+        statuses = [encoder.solve()]
+        encoder.narrow_to(5)
+        statuses.append(encoder.solve())
+        encoder.narrow_to(4)
+        statuses.append(encoder.solve())
+        return statuses
+
+    statuses = benchmark(descend)
+    assert statuses == [
+        SolveStatus.SAT,
+        SolveStatus.SAT,
+        SolveStatus.UNSAT,
+    ]

@@ -1,0 +1,63 @@
+"""Scalability benchmarks: the paper's "scales to the current limits of
+atom array technology" claim (100x100 arrays, Section IV/VI).
+
+Row packing and the exact rank bound must stay fast at 100x100 (and
+keep pace at 200x200 as a stretch), and on sparse large instances the
+heuristic should certify optimality by matching the rank bound — the
+same certification used for Table I's 100x100 row.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchgen.random_matrices import random_matrix
+from repro.core.bounds import rank_lower_bound
+from repro.solvers.row_packing import PackingOptions, row_packing
+from repro.solvers.trivial import trivial_partition
+
+
+@pytest.mark.parametrize("occupancy", [0.01, 0.05, 0.2])
+def test_row_packing_100x100(benchmark, scale, root_seed, occupancy):
+    matrix = random_matrix(100, 100, occupancy, seed=root_seed)
+    trials = 50 if scale == "paper" else 10
+
+    def pack():
+        return row_packing(
+            matrix, options=PackingOptions(trials=trials, seed=0)
+        )
+
+    partition = benchmark(pack)
+    partition.validate(matrix)
+    rank = rank_lower_bound(matrix)
+    benchmark.extra_info["occupancy"] = occupancy
+    benchmark.extra_info["depth"] = partition.depth
+    benchmark.extra_info["rank_bound"] = rank
+    benchmark.extra_info["certified_optimal"] = partition.depth == rank
+
+
+def test_row_packing_200x200_stretch(benchmark, root_seed):
+    matrix = random_matrix(200, 200, 0.02, seed=root_seed)
+
+    def pack():
+        return row_packing(
+            matrix, options=PackingOptions(trials=3, seed=0)
+        )
+
+    partition = benchmark(pack)
+    partition.validate(matrix)
+    benchmark.extra_info["depth"] = partition.depth
+
+
+@pytest.mark.parametrize("size", [100, 200])
+def test_exact_rank_scaling(benchmark, root_seed, size):
+    matrix = random_matrix(size, size, 0.1, seed=root_seed)
+    rank = benchmark(rank_lower_bound, matrix)
+    assert 0 < rank <= size
+    benchmark.extra_info["rank"] = rank
+
+
+def test_trivial_heuristic_100x100(benchmark, root_seed):
+    matrix = random_matrix(100, 100, 0.05, seed=root_seed)
+    partition = benchmark(trivial_partition, matrix)
+    partition.validate(matrix)

@@ -1,0 +1,45 @@
+"""Future-work probe: binary rank under tensor products (Section VI).
+
+Times the multiplicativity probes of
+:mod:`repro.experiments.tensor_rank`: exact factor ranks, the Eq. 3 /
+Eq. 5 bracket on the Kronecker product, and — when the bracket is open
+— one oracle query below the tensor-partition upper bound.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.tensor_rank import TensorRankConfig, run_tensor_rank
+
+
+@pytest.mark.parametrize("pool", ["random", "open"])
+def test_tensor_multiplicativity_probes(benchmark, scale, root_seed, pool):
+    if pool == "random":
+        config = TensorRankConfig(
+            pairs=6 if scale == "paper" else 3,
+            open_pairs=0,
+            shape=3,
+            seed=root_seed,
+            include_equation2=True,
+            include_known_open=False,
+            probe_budget=10.0,
+        )
+    else:
+        config = TensorRankConfig(
+            pairs=0,
+            open_pairs=2 if scale == "paper" else 1,
+            seed=root_seed,
+            include_equation2=False,
+            include_known_open=True,
+            probe_budget=5.0,
+        )
+
+    result = benchmark(lambda: run_tensor_rank(config))
+    counts = result.counts()
+    benchmark.extra_info["pool"] = pool
+    benchmark.extra_info.update(counts)
+    # No probe may be silently dropped into a wrong verdict.
+    assert sum(counts.values()) == len(result.probes)
+    for probe in result.probes:
+        assert probe.lower_bound <= probe.product_bound

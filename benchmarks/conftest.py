@@ -1,0 +1,22 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates (a slice of) one table or figure of the
+paper; run with ``pytest benchmarks/ --benchmark-only``.  Scale defaults
+to quick; set ``REPRO_FULL=1`` for paper-scale parameters.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import resolve_scale
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return resolve_scale()
+
+
+@pytest.fixture(scope="session")
+def root_seed() -> int:
+    return 2024

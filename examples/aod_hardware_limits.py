@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""AOD hardware limits: what depth-optimality costs under real control.
+
+The paper's optimum assumes one AOD configuration can drive any row and
+column subset at once.  Real deflectors cap the number of simultaneous
+RF tones and need spacing between active lines.  This example computes
+a depth-optimal schedule for a random 12x12 pattern, then legalizes it
+under progressively harsher constraint sets, showing the depth
+inflation and re-verifying each legal schedule on the simulated array.
+
+Run:  python examples/aod_hardware_limits.py
+"""
+
+from repro.atoms import (
+    AddressingSchedule,
+    AddressingSimulator,
+    AodConstraints,
+    QubitArray,
+    legalize_schedule,
+)
+from repro.benchgen.random_matrices import random_nonempty_matrix
+from repro.core.render import render_matrix
+from repro.solvers.row_packing import row_packing
+
+CONSTRAINT_SETS = [
+    ("unconstrained", AodConstraints()),
+    ("8 tones/axis", AodConstraints(max_row_tones=8, max_col_tones=8)),
+    ("4 tones/axis", AodConstraints(max_row_tones=4, max_col_tones=4)),
+    ("2 tones/axis", AodConstraints(max_row_tones=2, max_col_tones=2)),
+    (
+        "4 tones/axis + spacing 2",
+        AodConstraints(
+            max_row_tones=4,
+            max_col_tones=4,
+            min_row_spacing=2,
+            min_col_spacing=2,
+        ),
+    ),
+    ("10-tone RF budget", AodConstraints(max_total_tones=10)),
+]
+
+
+def main() -> None:
+    pattern = random_nonempty_matrix(12, 12, occupancy=0.35, seed=7)
+    print("Target pattern (random 12x12 at 35% occupancy):")
+    print(render_matrix(pattern))
+    print()
+
+    partition = row_packing(pattern, trials=50, seed=7)
+    ideal = AddressingSchedule.from_partition(partition, theta=0.5)
+    print(f"Ideal schedule depth (row packing): {ideal.depth}")
+    print()
+
+    array = QubitArray.full(*pattern.shape)
+    simulator = AddressingSimulator(array)
+
+    header = f"{'constraints':28} {'depth':>5} {'inflation':>9} {'verified':>8}"
+    print(header)
+    print("-" * len(header))
+    for label, constraints in CONSTRAINT_SETS:
+        result = legalize_schedule(ideal, constraints)
+        report = simulator.verify(result.schedule, pattern)
+        print(
+            f"{label:28} {result.depth:>5} "
+            f"{result.inflation:>8.2f}x {'yes' if report.ok else 'NO':>8}"
+        )
+        assert report.ok, report.summary()
+
+    print()
+    print(
+        "Tighter tone caps trade depth for hardware simplicity; the\n"
+        "schedule stays correct (every target atom addressed exactly\n"
+        "once) at every point of the sweep."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Two-level addressing for fault-tolerant QC (Figure 5a of the paper).
+
+A 3x3 grid of distance-3 surface-code patches stores nine logical
+qubits.  A logical layer applies an operation U to a subset of patches;
+physically this is the tensor product of the logical mask and the
+per-patch data-qubit mask.  The example:
+
+1. expands the logical mask to the 9x9 physical pattern,
+2. solves it *two-level* (factor, solve each level, tensor the
+   partitions),
+3. solves it *flat* with SAP for comparison, and
+4. reports the Eq. 5 bracket certifying (or not) two-level optimality.
+
+Run:  python examples/ftqc_two_level.py
+"""
+
+from repro import BinaryMatrix, sap_solve, two_level_solve
+from repro.core.render import render_matrix, render_partition, render_side_by_side
+from repro.ftqc.surface_code import (
+    SurfaceCodeGrid,
+    boundary_row_patch_mask,
+    transversal_patch_mask,
+)
+from repro.solvers.sap import SapOptions
+
+DISTANCE = 3
+
+
+def solve_and_report(grid, logical_mask, patch_mask, label):
+    physical = grid.physical_pattern(logical_mask, patch_mask)
+    two_level = two_level_solve(
+        physical, (DISTANCE, DISTANCE), seed=0, time_budget=30
+    )
+    direct = sap_solve(
+        physical, options=SapOptions(trials=24, seed=0, time_budget=30)
+    )
+    bounds = two_level.bounds
+    print(f"--- {label} ---")
+    print(
+        f"two-level: {two_level.outer_partition.depth} logical x "
+        f"{two_level.inner_partition.depth} physical = "
+        f"{two_level.depth} AOD steps"
+        f" ({'certified optimal' if two_level.proved_optimal else 'upper bound'})"
+    )
+    print(
+        f"direct:    {direct.depth} AOD steps "
+        f"({'optimal' if direct.proved_optimal else 'best found'})"
+    )
+    if bounds is not None:
+        print(
+            f"Eq. 5:     {bounds.lower} <= r_B <= {bounds.upper} "
+            f"(phi_logical={bounds.outer_fooling}, "
+            f"phi_patch={bounds.inner_fooling})"
+        )
+    print()
+    return two_level
+
+
+def main() -> None:
+    grid = SurfaceCodeGrid(3, 3, DISTANCE)
+    logical_mask = BinaryMatrix.from_strings(["101", "010", "110"])
+    print("Logical mask (patches receiving U):")
+    print(render_matrix(logical_mask))
+    print()
+
+    transversal = solve_and_report(
+        grid,
+        logical_mask,
+        transversal_patch_mask(DISTANCE),
+        "transversal gate (all data qubits per patch)",
+    )
+    solve_and_report(
+        grid,
+        logical_mask,
+        boundary_row_patch_mask(DISTANCE),
+        "boundary preparation (one row per patch)",
+    )
+
+    print("Physical partition of the transversal case:")
+    physical = grid.physical_pattern(
+        logical_mask, transversal_patch_mask(DISTANCE)
+    )
+    print(
+        render_side_by_side(
+            render_matrix(physical),
+            render_partition(transversal.partition, physical),
+        )
+    )
+    print(
+        "\nEach marker is one AOD configuration; the block structure of "
+        "the\ntensor-product solution is visible as repeated patch-sized "
+        "tiles."
+    )
+
+
+if __name__ == "__main__":
+    main()

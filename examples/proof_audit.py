@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Auditing optimality: machine-checkable UNSAT certificates.
+
+SAP's claim "this partition is depth-optimal" rests on an UNSAT answer
+one step below the found depth (paper Observation 5: proving UNSAT is
+the dominant cost).  This example solves the paper's two worked
+matrices with proof logging enabled, then re-checks the refutations
+with the independent RUP verifier — the optimality certificate no
+longer depends on trusting the CDCL search.
+
+Run:  python examples/proof_audit.py
+"""
+
+from repro.core.paper_matrices import equation_2, figure_1b
+from repro.core.render import render_matrix
+from repro.sat.proof import check_refutation, proof_stats
+from repro.sat.solver import SolveStatus
+from repro.smt.oracle import RankDecisionOracle
+from repro.solvers.row_packing import row_packing
+
+
+def audit(name, matrix) -> None:
+    print(f"=== {name} ===")
+    print(render_matrix(matrix))
+    upper = row_packing(matrix, trials=32, seed=0).depth
+    print(f"row packing upper bound: {upper}")
+
+    oracle = RankDecisionOracle(matrix, proof=True)
+    bound = upper - 1
+    while True:
+        status, partition = oracle.check_at_most(bound)
+        if status is SolveStatus.SAT:
+            print(f"  r_B <= {bound}  (SAT, partition of depth "
+                  f"{partition.depth})")
+            bound = partition.depth - 1
+            continue
+        print(f"  r_B  > {bound}  (UNSAT)")
+        break
+    rank = bound + 1
+    print(f"binary rank: {rank}")
+
+    stats = proof_stats(oracle.proof_log)
+    check_refutation(oracle.proof_log)
+    print(
+        f"refutation verified: {stats['axioms']} axioms, "
+        f"{stats['learned']} learned clauses re-derived by unit "
+        "propagation"
+    )
+    print()
+
+
+def main() -> None:
+    audit("Figure 1b (6x6, r_B = 5)", figure_1b())
+    audit("Equation 2 (3x3, fooling number 2 < r_B = 3)", equation_2())
+    print(
+        "Both optimality certificates hold under independent RUP\n"
+        "checking; a bug in the solver's search could not forge them."
+    )
+
+
+if __name__ == "__main__":
+    main()

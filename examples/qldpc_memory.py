@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""qLDPC memory blocks in a 1D row (Figure 5b / Section V conjecture).
+
+Quantum LDPC memory stores many logical qubits per block; logical
+single-qubit operations hit different offsets in different blocks.  The
+paper conjectures row-by-row addressing (one AOD shot per distinct block
+pattern) is usually already depth-optimal, because wide patterns are
+almost always full rank.
+
+This example builds a random 8-block x 16-site layout, compares the
+row-by-row depth with the SAP optimum, and reproduces the supporting
+full-rank statistics for 10xN random matrices.
+
+Run:  python examples/qldpc_memory.py
+"""
+
+from repro.core.render import render_matrix
+from repro.ftqc.qldpc import (
+    BlockLayout,
+    full_rank_fraction,
+    row_addressing_depth,
+)
+from repro.solvers.sap import SapOptions, sap_solve
+
+NUM_BLOCKS = 8
+BLOCK_SIZE = 16
+QUBITS_PER_BLOCK = 5
+
+
+def main() -> None:
+    layout = BlockLayout(NUM_BLOCKS, BLOCK_SIZE)
+    print(
+        f"{NUM_BLOCKS} memory blocks of {BLOCK_SIZE} sites; a logical "
+        f"operation touches {QUBITS_PER_BLOCK} qubits per block.\n"
+    )
+
+    optimal_count = 0
+    for trial in range(5):
+        pattern = layout.random_pattern(QUBITS_PER_BLOCK, seed=trial)
+        row_depth = row_addressing_depth(pattern)
+        result = sap_solve(
+            pattern,
+            options=SapOptions(trials=32, seed=trial, time_budget=20),
+        )
+        verdict = (
+            "row addressing OPTIMAL"
+            if result.proved_optimal and result.depth == row_depth
+            else f"r_B = {result.depth}"
+            if result.proved_optimal
+            else "undecided in budget"
+        )
+        if result.proved_optimal and result.depth == row_depth:
+            optimal_count += 1
+        print(
+            f"trial {trial}: row-by-row depth {row_depth:2d}, "
+            f"SAP depth {result.depth:2d} -> {verdict}"
+        )
+        if trial == 0:
+            print("\n  pattern (rows are blocks):")
+            indented = "\n".join(
+                "  " + line for line in render_matrix(pattern).splitlines()
+            )
+            print(indented + "\n")
+
+    print(
+        f"\nrow addressing was optimal in {optimal_count}/5 trials "
+        f"(Section V conjecture)."
+    )
+
+    print("\nWhy: full-real-rank probability at 20% occupancy —")
+    for cols in (10, 20, 30):
+        fraction = full_rank_fraction(10, cols, 0.2, 60, seed=1)
+        print(f"  10x{cols:>2}: {fraction:5.0%}")
+    print(
+        "\nWide patterns are nearly always full rank, so the row count "
+        "matches\nthe Eq. 3 lower bound and row-by-row addressing cannot "
+        "be beaten."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's figures as SVG files under ``results/``.
+
+Produces:
+
+* ``results/figure1b.svg`` — the motivating 6x6 pattern partitioned
+  into 5 rectangles with the size-5 fooling set ringed (optimality
+  certificate);
+* ``results/figure3.svg``  — the row-packing order-sensitivity example;
+* ``results/figure4.svg``  — runtime split of the hardest cases with
+  the real-rank overlay;
+* ``results/table1_saturation.svg`` — Table I's packing columns as
+  saturation curves.
+
+Run:  python examples/render_figures.py  [output_dir]
+"""
+
+import sys
+from pathlib import Path
+
+from repro.core.paper_matrices import figure_1b, figure_3
+from repro.experiments.figure4 import Figure4Config, run_figure4
+from repro.experiments.table1 import Table1Config, run_table1
+from repro.solvers.sap import SapOptions, sap_solve
+from repro.viz.figures import (
+    figure4_svg,
+    partition_figure,
+    table1_saturation_svg,
+)
+
+
+def main() -> None:
+    out = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("results")
+    out.mkdir(parents=True, exist_ok=True)
+
+    # Figure 1b: optimal partition + fooling-set certificate.
+    pattern = figure_1b()
+    result = sap_solve(pattern, options=SapOptions(trials=32, seed=2024))
+    canvas = partition_figure(
+        pattern,
+        result.partition,
+        title=f"Figure 1b: depth-{result.depth} partition (optimal)",
+    )
+    canvas.write(str(out / "figure1b.svg"))
+    print(f"wrote {out / 'figure1b.svg'}  (depth {result.depth})")
+
+    # Figure 3's matrix, solved optimally.
+    pattern3 = figure_3()
+    result3 = sap_solve(pattern3, options=SapOptions(trials=32, seed=2024))
+    canvas = partition_figure(
+        pattern3,
+        result3.partition,
+        title=f"Figure 3 matrix: depth-{result3.depth} partition",
+    )
+    canvas.write(str(out / "figure3.svg"))
+    print(f"wrote {out / 'figure3.svg'}  (depth {result3.depth})")
+
+    # Figure 4: hardest cases.
+    fig4 = run_figure4(Figure4Config(scale="quick", top_n=8))
+    figure4_svg(fig4).write(str(out / "figure4.svg"))
+    print(f"wrote {out / 'figure4.svg'}  ({len(fig4.top_cases())} cases)")
+
+    # Table I saturation curves.
+    table1 = run_table1(
+        Table1Config(
+            scale="quick",
+            heuristics=("trivial", "packing:1", "packing:10", "packing:100"),
+            include_large=False,
+            smt_time_budget=15.0,
+        )
+    )
+    table1_saturation_svg(table1).write(str(out / "table1_saturation.svg"))
+    print(f"wrote {out / 'table1_saturation.svg'}")
+
+
+if __name__ == "__main__":
+    main()

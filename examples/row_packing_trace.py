@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Step-by-step replay of Figure 3: row packing is order sensitive.
+
+Runs Algorithm 2 on the paper's 5x5 example twice — in the given row
+order (5 rectangles) and in the Figure 3b order (4 rectangles) — and
+prints each basis event, reproducing the figure's narrative.
+
+Run:  python examples/row_packing_trace.py
+"""
+
+from repro.core.paper_matrices import FIGURE_3_GOOD_ORDER, figure_3
+from repro.core.render import render_matrix, render_partition, render_side_by_side
+from repro.solvers.row_packing import PackingTrace, pack_rows_once
+from repro.solvers.sap import sap_solve
+
+
+def run_order(matrix, order, label):
+    print(f"--- {label}: processing rows in order {list(order)} ---")
+    trace = PackingTrace()
+    partition = pack_rows_once(matrix, list(order), trace=trace)
+    print(trace.render(matrix))
+    print(f"=> {partition.depth} rectangles")
+    print(
+        render_side_by_side(
+            render_matrix(matrix), render_partition(partition, matrix)
+        )
+    )
+    print()
+    return partition
+
+
+def main() -> None:
+    matrix = figure_3()
+    print("Figure 3 matrix:")
+    print(render_matrix(matrix))
+    print()
+
+    top_down = run_order(matrix, range(5), "Figure 3a (top-down order)")
+    shuffled = run_order(
+        matrix, FIGURE_3_GOOD_ORDER, "Figure 3b (shuffled order)"
+    )
+
+    assert top_down.depth == 5 and shuffled.depth == 4
+
+    result = sap_solve(matrix, trials=32, seed=0)
+    print(
+        f"SAP confirms the optimum: r_B = {result.depth} "
+        f"(proved: {result.proved_optimal})"
+    )
+    print(
+        "\nThis is why Algorithm 2 shuffles and retries: one trial is a\n"
+        "local search, many trials approach the optimum (Observation 3)."
+    )
+
+
+if __name__ == "__main__":
+    main()

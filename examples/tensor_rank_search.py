@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Probing the paper's open question: is r_B multiplicative under (x)?
+
+Section VI suggests using the exact solver to investigate how binary
+rank behaves under tensor products (the FTQC two-level structure of
+Section V relies on the product upper bound).  This example runs the
+probe harness on three kinds of factor pairs and reports the verdicts:
+
+* Eq. 2's matrix squared — resolved *multiplicative* by Eq. 3 alone,
+  because the matrix has full real rank (rank is multiplicative over R;
+  the fooling bound of Eq. 5 is the slack one here);
+* random factors — almost always full-rank, hence resolved the same
+  trivial way (the paper's Observation 1 at work);
+* double-slack factors (binary rank above both the real rank and the
+  fooling number, found by rejection sampling) — the only kind of pair
+  whose bracket opens, forcing the oracle to genuinely search below
+  the product bound.
+
+Run:  python examples/tensor_rank_search.py
+"""
+
+from repro.experiments.tensor_rank import TensorRankConfig, run_tensor_rank
+
+
+def main() -> None:
+    config = TensorRankConfig(
+        pairs=4,
+        open_pairs=1,
+        shape=3,
+        open_shape=5,
+        seed=2024,
+        probe_budget=30.0,
+    )
+    result = run_tensor_rank(config)
+    print(result.render())
+    print()
+
+    witnesses = result.witnesses()
+    if witnesses:
+        print("Strict submultiplicativity witnesses found:")
+        for probe in witnesses:
+            print(
+                f"  {probe.label}: r_B(A (x) B) <= "
+                f"{probe.product_bound - 1} < "
+                f"{probe.rank_a} * {probe.rank_b}"
+            )
+    else:
+        decided = [p for p in result.probes if p.verdict != "undecided"]
+        print(
+            f"No submultiplicativity witness among {len(decided)} decided "
+            "pairs — consistent with (but not proof of) multiplicativity."
+        )
+    undecided = [p for p in result.probes if p.verdict == "undecided"]
+    if undecided:
+        print(
+            f"{len(undecided)} pair(s) hit the probe budget; rerun with a "
+            "larger --probe-budget via python -m repro.experiments.tensor_rank."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Neutral-atom substrate: arrays, AOD configurations, schedules, simulation."""
+
+from repro.atoms.aod import AodConfiguration
+from repro.atoms.array import QubitArray
+from repro.atoms.constraints import AodConstraints
+from repro.atoms.legalize import (
+    LegalizationResult,
+    legalize_configuration,
+    legalize_schedule,
+    split_axis,
+)
+from repro.atoms.compiler import (
+    STRATEGIES,
+    CompilationResult,
+    compile_addressing,
+)
+from repro.atoms.cost import ScheduleCostModel, reorder_for_tone_reuse
+from repro.atoms.layers import (
+    CircuitCompilation,
+    LayerSpec,
+    compile_layers,
+    layers_from_patterns,
+)
+from repro.atoms.schedule import (
+    AddressingOperation,
+    AddressingSchedule,
+    RzPulse,
+)
+from repro.atoms.simulator import AddressingReport, AddressingSimulator
+
+__all__ = [
+    "AddressingOperation",
+    "AddressingReport",
+    "AddressingSchedule",
+    "AddressingSimulator",
+    "AodConfiguration",
+    "AodConstraints",
+    "LegalizationResult",
+    "legalize_configuration",
+    "legalize_schedule",
+    "split_axis",
+    "CircuitCompilation",
+    "CompilationResult",
+    "LayerSpec",
+    "compile_layers",
+    "layers_from_patterns",
+    "QubitArray",
+    "RzPulse",
+    "STRATEGIES",
+    "ScheduleCostModel",
+    "compile_addressing",
+    "reorder_for_tone_reuse",
+]

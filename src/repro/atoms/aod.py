@@ -1,0 +1,84 @@
+"""Acousto-optic deflector (AOD) configurations.
+
+A 2D AOD drives one RF tone per active row and per active column; the
+deflected beams overlap exactly on the *product* of the active rows and
+columns (Figure 1a).  One configuration therefore realizes one
+combinatorial rectangle — this is the physical contract the whole paper
+rests on, and the only hardware behaviour the simulator assumes.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Iterator, Tuple
+
+from repro.core.exceptions import ScheduleError
+from repro.core.rectangle import Rectangle
+
+
+class AodConfiguration:
+    """A set of active row tones and column tones."""
+
+    __slots__ = ("_rows", "_cols")
+
+    def __init__(self, rows: Iterable[int], cols: Iterable[int]) -> None:
+        row_set = frozenset(rows)
+        col_set = frozenset(cols)
+        if not row_set or not col_set:
+            raise ScheduleError(
+                "an AOD configuration needs at least one row and one "
+                "column tone"
+            )
+        if any(r < 0 for r in row_set) or any(c < 0 for c in col_set):
+            raise ScheduleError("tone indices must be non-negative")
+        self._rows = row_set
+        self._cols = col_set
+
+    @classmethod
+    def from_rectangle(cls, rectangle: Rectangle) -> "AodConfiguration":
+        return cls(rectangle.rows, rectangle.cols)
+
+    # ------------------------------------------------------------------
+    @property
+    def rows(self) -> FrozenSet[int]:
+        return self._rows
+
+    @property
+    def cols(self) -> FrozenSet[int]:
+        return self._cols
+
+    @property
+    def num_tones(self) -> int:
+        """Control cost: one RF tone per active row/column."""
+        return len(self._rows) + len(self._cols)
+
+    def addressed_sites(self) -> Iterator[Tuple[int, int]]:
+        """All illuminated sites: the row x column product."""
+        for i in sorted(self._rows):
+            for j in sorted(self._cols):
+                yield (i, j)
+
+    def addresses(self, i: int, j: int) -> bool:
+        return i in self._rows and j in self._cols
+
+    def to_rectangle(self) -> Rectangle:
+        return Rectangle.from_sets(self._rows, self._cols)
+
+    def fits(self, num_rows: int, num_cols: int) -> bool:
+        return (
+            max(self._rows) < num_rows and max(self._cols) < num_cols
+        )
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AodConfiguration):
+            return NotImplemented
+        return self._rows == other._rows and self._cols == other._cols
+
+    def __hash__(self) -> int:
+        return hash((self._rows, self._cols))
+
+    def __repr__(self) -> str:
+        return (
+            f"AodConfiguration(rows={sorted(self._rows)}, "
+            f"cols={sorted(self._cols)})"
+        )

@@ -1,0 +1,90 @@
+"""2D qubit array geometry with optional vacancies.
+
+Models the static trap array of the neutral-atom platform (Figure 1a):
+an ``m x n`` grid of sites, each either occupied by an atom or vacant.
+Vacant sites may be illuminated freely (there is nothing there to
+acquire phase) — the "don't care" opportunity of Section VI.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Tuple
+
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.exceptions import ScheduleError
+
+
+class QubitArray:
+    """A rectangular array of trap sites with an occupancy map."""
+
+    def __init__(self, occupancy: BinaryMatrix) -> None:
+        self._occupancy = occupancy
+
+    @classmethod
+    def full(cls, num_rows: int, num_cols: int) -> "QubitArray":
+        """Array with an atom in every site."""
+        return cls(BinaryMatrix.all_ones(num_rows, num_cols))
+
+    @classmethod
+    def with_vacancies(
+        cls,
+        num_rows: int,
+        num_cols: int,
+        vacancies: Iterable[Tuple[int, int]],
+    ) -> "QubitArray":
+        vacancy_matrix = BinaryMatrix.from_cells(
+            vacancies, (num_rows, num_cols)
+        )
+        occupancy = vacancy_matrix.complement()
+        return cls(occupancy)
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self._occupancy.shape
+
+    @property
+    def num_rows(self) -> int:
+        return self._occupancy.num_rows
+
+    @property
+    def num_cols(self) -> int:
+        return self._occupancy.num_cols
+
+    @property
+    def occupancy(self) -> BinaryMatrix:
+        return self._occupancy
+
+    @property
+    def num_atoms(self) -> int:
+        return self._occupancy.count_ones()
+
+    def is_occupied(self, i: int, j: int) -> bool:
+        return self._occupancy[i, j] == 1
+
+    def atoms(self) -> Iterator[Tuple[int, int]]:
+        return self._occupancy.ones()
+
+    def vacancies(self) -> Iterator[Tuple[int, int]]:
+        return self._occupancy.complement().ones()
+
+    # ------------------------------------------------------------------
+    def check_pattern(self, pattern: BinaryMatrix) -> None:
+        """Require ``pattern`` to address only occupied sites."""
+        if pattern.shape != self.shape:
+            raise ScheduleError(
+                f"pattern shape {pattern.shape} != array shape {self.shape}"
+            )
+        stray = pattern.elementwise_and(self._occupancy.complement())
+        if not stray.is_zero():
+            bad = next(stray.ones())
+            raise ScheduleError(
+                f"pattern addresses vacant site {bad}; "
+                "vacant sites hold no qubit"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"QubitArray({self.num_rows}x{self.num_cols}, "
+            f"atoms={self.num_atoms})"
+        )

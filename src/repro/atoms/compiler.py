@@ -1,0 +1,109 @@
+"""Pattern -> schedule compilation: the end-to-end user entry point.
+
+``compile_addressing`` turns "apply Rz(theta) to this set of qubits" into
+a verified, depth-minimized AOD schedule, choosing between the row
+packing heuristic (fast) and the full SAP pipeline (optimal).  On arrays
+with vacancies it can optionally exploit them as don't-cares (Section VI
+future work) via :mod:`repro.completion`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.atoms.array import QubitArray
+from repro.atoms.schedule import AddressingSchedule
+from repro.atoms.simulator import AddressingSimulator
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.exceptions import ScheduleError
+from repro.core.partition import Partition
+from repro.solvers.row_packing import PackingOptions, row_packing
+from repro.solvers.sap import SapOptions, sap_solve
+from repro.utils.rng import RngLike
+
+STRATEGIES = ("packing", "sap")
+
+
+@dataclass
+class CompilationResult:
+    """A compiled schedule plus the artifacts behind it."""
+
+    schedule: AddressingSchedule
+    partition: Partition
+    proved_optimal: bool
+    used_vacancies: bool
+
+    @property
+    def depth(self) -> int:
+        return self.schedule.depth
+
+
+def compile_addressing(
+    array: QubitArray,
+    target: BinaryMatrix,
+    *,
+    theta: float = 1.0,
+    strategy: str = "sap",
+    exploit_vacancies: bool = False,
+    trials: int = 32,
+    seed: RngLike = None,
+    time_budget: Optional[float] = None,
+) -> CompilationResult:
+    """Compile and verify an addressing schedule for ``target``.
+
+    ``strategy='sap'`` proves depth optimality when the budget allows;
+    ``strategy='packing'`` returns the heuristic result immediately.
+    With ``exploit_vacancies=True`` the compiler may illuminate vacant
+    sites to merge rectangles (never a correctness risk — verified by
+    simulation before returning).
+    """
+    if strategy not in STRATEGIES:
+        raise ScheduleError(
+            f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
+        )
+    array.check_pattern(target)
+
+    used_vacancies = False
+    proved_optimal = False
+    if exploit_vacancies and array.num_atoms < (
+        array.num_rows * array.num_cols
+    ):
+        # Deferred import: completion builds on the same solver stack.
+        from repro.completion import MaskedMatrix, masked_minimum_addressing
+
+        masked = MaskedMatrix.from_target_and_vacancies(
+            target, array.occupancy.complement()
+        )
+        outcome = masked_minimum_addressing(
+            masked, trials=trials, seed=seed, time_budget=time_budget
+        )
+        partition = outcome.partition
+        proved_optimal = outcome.proved_optimal
+        used_vacancies = True
+    elif strategy == "sap":
+        result = sap_solve(
+            matrix=target,
+            options=SapOptions(
+                trials=trials, seed=seed, time_budget=time_budget
+            ),
+        )
+        partition = result.partition
+        proved_optimal = result.proved_optimal
+    else:
+        partition = row_packing(
+            target, options=PackingOptions(trials=trials, seed=seed)
+        )
+
+    schedule = AddressingSchedule.from_partition(partition, theta=theta)
+    report = AddressingSimulator(array).verify(schedule, target)
+    if not report.ok:
+        raise ScheduleError(
+            f"compiled schedule failed verification: {report.summary()}"
+        )
+    return CompilationResult(
+        schedule=schedule,
+        partition=partition,
+        proved_optimal=proved_optimal,
+        used_vacancies=used_vacancies,
+    )

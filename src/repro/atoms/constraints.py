@@ -1,0 +1,127 @@
+"""Physical constraint model for 2D AOD configurations.
+
+The EBMF abstraction treats any row/column product as one addressing
+step.  Real acousto-optic deflectors add RF-side restrictions (cf. the
+hardware discussion in Bluvstein et al. and Graham et al.):
+
+* a bounded number of simultaneous tones per axis (RF synthesizer
+  channels / total diffraction efficiency),
+* a minimum spacing between active rows (or columns): neighbouring
+  tones produce spots too close to resolve without crosstalk,
+* a total-tone budget across both axes (RF power routed into one AOD).
+
+:class:`AodConstraints` captures these; the legalizer in
+:mod:`repro.atoms.legalize` splits an ideal schedule into one obeying
+them, quantifying the extra depth the hardware limits impose on top of
+the binary-rank optimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.atoms.aod import AodConfiguration
+from repro.atoms.schedule import AddressingSchedule
+from repro.core.exceptions import ScheduleError
+
+
+@dataclass(frozen=True)
+class AodConstraints:
+    """Hardware limits on a single AOD configuration.
+
+    ``None`` disables a limit; spacings of 1 (adjacent lines allowed)
+    are the unconstrained default.  ``max_total_tones`` bounds
+    ``|rows| + |cols|``, the number of RF tones driving the deflector.
+    """
+
+    max_row_tones: Optional[int] = None
+    max_col_tones: Optional[int] = None
+    min_row_spacing: int = 1
+    min_col_spacing: int = 1
+    max_total_tones: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in ("max_row_tones", "max_col_tones", "max_total_tones"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ScheduleError(f"{name} must be >= 1, got {value}")
+        for name in ("min_row_spacing", "min_col_spacing"):
+            value = getattr(self, name)
+            if value < 1:
+                raise ScheduleError(f"{name} must be >= 1, got {value}")
+        if (
+            self.max_total_tones is not None
+            and self.max_total_tones < 2
+        ):
+            raise ScheduleError(
+                "max_total_tones must be >= 2 (one row + one column)"
+            )
+
+    @property
+    def unconstrained(self) -> bool:
+        return (
+            self.max_row_tones is None
+            and self.max_col_tones is None
+            and self.max_total_tones is None
+            and self.min_row_spacing == 1
+            and self.min_col_spacing == 1
+        )
+
+    # ------------------------------------------------------------------
+    def violations(self, config: AodConfiguration) -> List[str]:
+        """Human-readable list of limits ``config`` breaks (empty = legal)."""
+        problems: List[str] = []
+        rows = sorted(config.rows)
+        cols = sorted(config.cols)
+        if self.max_row_tones is not None and len(rows) > self.max_row_tones:
+            problems.append(
+                f"{len(rows)} row tones exceed limit {self.max_row_tones}"
+            )
+        if self.max_col_tones is not None and len(cols) > self.max_col_tones:
+            problems.append(
+                f"{len(cols)} column tones exceed limit {self.max_col_tones}"
+            )
+        if self.max_total_tones is not None:
+            total = len(rows) + len(cols)
+            if total > self.max_total_tones:
+                problems.append(
+                    f"{total} total tones exceed limit {self.max_total_tones}"
+                )
+        problems.extend(
+            f"rows {a} and {b} closer than spacing {self.min_row_spacing}"
+            for a, b in _spacing_violations(rows, self.min_row_spacing)
+        )
+        problems.extend(
+            f"columns {a} and {b} closer than spacing {self.min_col_spacing}"
+            for a, b in _spacing_violations(cols, self.min_col_spacing)
+        )
+        return problems
+
+    def is_legal(self, config: AodConfiguration) -> bool:
+        return not self.violations(config)
+
+    def check_schedule(
+        self, schedule: AddressingSchedule
+    ) -> List[Tuple[int, str]]:
+        """All violations across a schedule as ``(step, message)`` pairs."""
+        found: List[Tuple[int, str]] = []
+        for step, operation in enumerate(schedule):
+            for message in self.violations(operation.configuration):
+                found.append((step, message))
+        return found
+
+    def schedule_is_legal(self, schedule: AddressingSchedule) -> bool:
+        return not self.check_schedule(schedule)
+
+
+def _spacing_violations(
+    sorted_indices: List[int], spacing: int
+) -> List[Tuple[int, int]]:
+    if spacing <= 1:
+        return []
+    return [
+        (a, b)
+        for a, b in zip(sorted_indices, sorted_indices[1:])
+        if b - a < spacing
+    ]

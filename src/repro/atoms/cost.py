@@ -1,0 +1,100 @@
+"""Schedule cost models beyond raw depth.
+
+Depth (the number of AOD reconfigurations) is the paper's objective, but
+a released toolchain also wants wall-clock and control-complexity
+estimates: reconfiguring the AOD costs settle time proportional-ish to
+the tone changes, each pulse has a duration, and every active tone
+occupies an RF synthesizer channel.  The model here is deliberately
+simple and fully documented — callers calibrate the constants to their
+apparatus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Tuple
+
+from repro.atoms.schedule import AddressingSchedule
+from repro.core.exceptions import ScheduleError
+
+
+@dataclass(frozen=True)
+class ScheduleCostModel:
+    """Linear cost model for an addressing schedule.
+
+    ``reconfiguration_time`` is charged per step; ``tone_switch_time``
+    per row/column tone that differs from the previous configuration
+    (the first configuration pays for all its tones); ``pulse_time`` per
+    Rz shot.  Times are in arbitrary units (typically microseconds).
+    """
+
+    reconfiguration_time: float = 100.0
+    tone_switch_time: float = 1.0
+    pulse_time: float = 10.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "reconfiguration_time",
+            "tone_switch_time",
+            "pulse_time",
+        ):
+            if getattr(self, name) < 0:
+                raise ScheduleError(f"{name} must be non-negative")
+
+    # ------------------------------------------------------------------
+    def duration(self, schedule: AddressingSchedule) -> float:
+        """Total schedule duration under the model."""
+        total = 0.0
+        previous_rows: FrozenSet[int] = frozenset()
+        previous_cols: FrozenSet[int] = frozenset()
+        for operation in schedule:
+            config = operation.configuration
+            changed_tones = len(
+                config.rows ^ previous_rows
+            ) + len(config.cols ^ previous_cols)
+            total += self.reconfiguration_time
+            total += self.tone_switch_time * changed_tones
+            total += self.pulse_time
+            previous_rows = config.rows
+            previous_cols = config.cols
+        return total
+
+    def peak_tones(self, schedule: AddressingSchedule) -> int:
+        """Maximum simultaneous RF tones — the synthesizer channel
+        requirement, the paper's |X| + |Y| control-count argument."""
+        return max(
+            (op.configuration.num_tones for op in schedule), default=0
+        )
+
+    def summary(self, schedule: AddressingSchedule) -> Tuple[float, int, int]:
+        """``(duration, depth, peak_tones)`` in one call."""
+        return (
+            self.duration(schedule),
+            schedule.depth,
+            self.peak_tones(schedule),
+        )
+
+
+def reorder_for_tone_reuse(schedule: AddressingSchedule) -> AddressingSchedule:
+    """Greedy reordering minimizing tone switches between steps.
+
+    The partition fixes the *set* of configurations but not their order;
+    consecutive configurations sharing tones settle faster.  Greedy
+    nearest-neighbour on the symmetric-difference metric; depth and
+    correctness are unaffected (the same rectangles fire exactly once).
+    """
+    remaining = list(schedule.operations)
+    if not remaining:
+        return schedule
+    ordered = [remaining.pop(0)]
+    while remaining:
+        last = ordered[-1].configuration
+        best_index = min(
+            range(len(remaining)),
+            key=lambda k: len(
+                remaining[k].configuration.rows ^ last.rows
+            )
+            + len(remaining[k].configuration.cols ^ last.cols),
+        )
+        ordered.append(remaining.pop(best_index))
+    return AddressingSchedule(ordered, schedule.shape)

@@ -1,0 +1,97 @@
+"""Multi-layer compilation: a sequence of addressing patterns.
+
+A quantum circuit induces a *sequence* of single-qubit-gate layers, each
+with its own target pattern (and possibly its own rotation angle).  Each
+layer compiles independently — rectangles cannot be shared across layers
+because phases differ — but the compiler aggregates statistics and can
+reorder rectangles inside each layer for tone reuse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.atoms.array import QubitArray
+from repro.atoms.compiler import CompilationResult, compile_addressing
+from repro.atoms.cost import ScheduleCostModel, reorder_for_tone_reuse
+from repro.atoms.schedule import AddressingSchedule
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.exceptions import ScheduleError
+from repro.utils.rng import RngLike
+
+
+@dataclass
+class LayerSpec:
+    """One circuit layer: which atoms get Rz(theta)."""
+
+    target: BinaryMatrix
+    theta: float = 1.0
+
+
+@dataclass
+class CircuitCompilation:
+    """Result of :func:`compile_layers`."""
+
+    layers: List[CompilationResult]
+    schedules: List[AddressingSchedule]
+
+    @property
+    def total_depth(self) -> int:
+        return sum(schedule.depth for schedule in self.schedules)
+
+    @property
+    def all_proved_optimal(self) -> bool:
+        return all(layer.proved_optimal for layer in self.layers)
+
+    def duration(self, model: Optional[ScheduleCostModel] = None) -> float:
+        if model is None:
+            model = ScheduleCostModel()
+        return sum(model.duration(schedule) for schedule in self.schedules)
+
+
+def compile_layers(
+    array: QubitArray,
+    layers: Sequence[LayerSpec],
+    *,
+    strategy: str = "sap",
+    exploit_vacancies: bool = False,
+    trials: int = 32,
+    seed: RngLike = None,
+    time_budget_per_layer: Optional[float] = None,
+    tone_reuse: bool = True,
+) -> CircuitCompilation:
+    """Compile every layer and (optionally) reorder for tone reuse.
+
+    The per-layer time budget keeps long circuits responsive; each layer
+    is verified behaviourally by :func:`compile_addressing` before being
+    accepted.
+    """
+    if not layers:
+        raise ScheduleError("circuit has no layers")
+    results: List[CompilationResult] = []
+    schedules: List[AddressingSchedule] = []
+    for index, layer in enumerate(layers):
+        result = compile_addressing(
+            array,
+            layer.target,
+            theta=layer.theta,
+            strategy=strategy,
+            exploit_vacancies=exploit_vacancies,
+            trials=trials,
+            seed=seed if seed is None else (hash((index, str(seed))) & 0xFFFF),
+            time_budget=time_budget_per_layer,
+        )
+        schedule = result.schedule
+        if tone_reuse:
+            schedule = reorder_for_tone_reuse(schedule)
+        results.append(result)
+        schedules.append(schedule)
+    return CircuitCompilation(layers=results, schedules=schedules)
+
+
+def layers_from_patterns(
+    patterns: Sequence[BinaryMatrix], *, theta: float = 1.0
+) -> List[LayerSpec]:
+    """Convenience: uniform-angle layers from raw patterns."""
+    return [LayerSpec(target=pattern, theta=theta) for pattern in patterns]

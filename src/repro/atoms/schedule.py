@@ -1,0 +1,97 @@
+"""Addressing schedules: sequences of pulsed AOD configurations.
+
+The depth of a schedule — the number of AOD reconfigurations — is the
+quantity the paper minimizes: it equals the number of rectangles in the
+underlying EBMF.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.atoms.aod import AodConfiguration
+from repro.core.exceptions import ScheduleError
+from repro.core.partition import Partition
+
+
+@dataclass(frozen=True)
+class RzPulse:
+    """A global Rz(theta) pulse routed through the AOD."""
+
+    theta: float
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.theta, (int, float)):
+            raise ScheduleError(f"theta must be numeric, got {self.theta!r}")
+
+
+@dataclass(frozen=True)
+class AddressingOperation:
+    """One step: configure the AOD, fire one pulse."""
+
+    configuration: AodConfiguration
+    pulse: RzPulse
+
+
+class AddressingSchedule:
+    """An ordered list of addressing operations over a fixed array shape."""
+
+    def __init__(
+        self,
+        operations: Sequence[AddressingOperation],
+        shape: Tuple[int, int],
+    ) -> None:
+        num_rows, num_cols = shape
+        ops = list(operations)
+        for index, op in enumerate(ops):
+            if not op.configuration.fits(num_rows, num_cols):
+                raise ScheduleError(
+                    f"operation {index} addresses outside the "
+                    f"{num_rows}x{num_cols} array"
+                )
+        self._operations = ops
+        self._shape = (num_rows, num_cols)
+
+    @classmethod
+    def from_partition(
+        cls,
+        partition: Partition,
+        *,
+        theta: float,
+    ) -> "AddressingSchedule":
+        """Compile an EBMF into a schedule: one pulse per rectangle."""
+        operations = [
+            AddressingOperation(
+                AodConfiguration.from_rectangle(rect), RzPulse(theta)
+            )
+            for rect in partition
+        ]
+        return cls(operations, partition.shape)
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self._shape
+
+    @property
+    def operations(self) -> List[AddressingOperation]:
+        return list(self._operations)
+
+    @property
+    def depth(self) -> int:
+        return len(self._operations)
+
+    @property
+    def total_tones(self) -> int:
+        """Aggregate control cost: sum of active tones over all steps."""
+        return sum(op.configuration.num_tones for op in self._operations)
+
+    def __iter__(self) -> Iterator[AddressingOperation]:
+        return iter(self._operations)
+
+    def __len__(self) -> int:
+        return len(self._operations)
+
+    def __repr__(self) -> str:
+        return f"AddressingSchedule(depth={self.depth}, shape={self._shape})"

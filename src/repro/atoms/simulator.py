@@ -1,0 +1,117 @@
+"""Behavioural simulator for AOD addressing schedules.
+
+Executes a schedule against a :class:`~repro.atoms.array.QubitArray` by
+accumulating Rz phase on every *occupied* illuminated site, then judges
+the run against a target pattern:
+
+* every target atom must receive exactly one pulse (accumulated phase
+  ``theta``) — double addressing corrupts the intended rotation;
+* every non-target atom must receive none;
+* vacant sites may be illuminated arbitrarily often (nothing is there).
+
+This enforces precisely the contract that makes depth-optimal addressing
+an EBMF problem (plus the don't-care relaxation of Section VI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.atoms.array import QubitArray
+from repro.atoms.schedule import AddressingSchedule
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.exceptions import ScheduleError
+
+Site = Tuple[int, int]
+
+
+@dataclass
+class AddressingReport:
+    """Verdict of :meth:`AddressingSimulator.verify`."""
+
+    ok: bool
+    double_addressed: List[Site] = field(default_factory=list)
+    missed: List[Site] = field(default_factory=list)
+    spurious: List[Site] = field(default_factory=list)
+    pulses_per_site: Dict[Site, int] = field(default_factory=dict)
+    depth: int = 0
+
+    def summary(self) -> str:
+        if self.ok:
+            return f"OK: depth {self.depth}, all targets addressed exactly once"
+        return (
+            f"FAILED: {len(self.double_addressed)} double-addressed, "
+            f"{len(self.missed)} missed, {len(self.spurious)} spurious"
+        )
+
+
+class AddressingSimulator:
+    """Phase-accumulation simulation of a schedule on an atom array."""
+
+    def __init__(self, array: QubitArray) -> None:
+        self._array = array
+
+    @property
+    def array(self) -> QubitArray:
+        return self._array
+
+    def run(self, schedule: AddressingSchedule) -> Dict[Site, float]:
+        """Accumulated phase per occupied site after the whole schedule."""
+        if schedule.shape != self._array.shape:
+            raise ScheduleError(
+                f"schedule shape {schedule.shape} != array shape "
+                f"{self._array.shape}"
+            )
+        phases: Dict[Site, float] = {
+            site: 0.0 for site in self._array.atoms()
+        }
+        for operation in schedule:
+            theta = operation.pulse.theta
+            for site in operation.configuration.addressed_sites():
+                if site in phases:
+                    phases[site] += theta
+        return phases
+
+    def pulse_counts(self, schedule: AddressingSchedule) -> Dict[Site, int]:
+        """Number of pulses received per occupied site."""
+        if schedule.shape != self._array.shape:
+            raise ScheduleError(
+                f"schedule shape {schedule.shape} != array shape "
+                f"{self._array.shape}"
+            )
+        counts: Dict[Site, int] = {site: 0 for site in self._array.atoms()}
+        for operation in schedule:
+            for site in operation.configuration.addressed_sites():
+                if site in counts:
+                    counts[site] += 1
+        return counts
+
+    def verify(
+        self,
+        schedule: AddressingSchedule,
+        target: BinaryMatrix,
+    ) -> AddressingReport:
+        """Check that ``schedule`` addresses exactly the target atoms."""
+        self._array.check_pattern(target)
+        counts = self.pulse_counts(schedule)
+        double_addressed: List[Site] = []
+        missed: List[Site] = []
+        spurious: List[Site] = []
+        for site, count in sorted(counts.items()):
+            wanted = target[site[0], site[1]] == 1
+            if wanted and count == 0:
+                missed.append(site)
+            elif wanted and count > 1:
+                double_addressed.append(site)
+            elif not wanted and count > 0:
+                spurious.append(site)
+        ok = not (double_addressed or missed or spurious)
+        return AddressingReport(
+            ok=ok,
+            double_addressed=double_addressed,
+            missed=missed,
+            spurious=spurious,
+            pulses_per_site=counts,
+            depth=schedule.depth,
+        )

@@ -1,0 +1,35 @@
+"""Benchmark generators for the paper's three evaluation families."""
+
+from repro.benchgen.gap import gap_matrix
+from repro.benchgen.known_optimal import known_optimal_matrix
+from repro.benchgen.random_matrices import (
+    random_matrix,
+    random_matrix_exact_ones,
+    random_nonempty_matrix,
+)
+from repro.benchgen.suite import (
+    LARGE_OCCUPANCIES,
+    SCALES,
+    SMALL_OCCUPANCIES,
+    BenchmarkCase,
+    gap_suite,
+    known_optimal_suite,
+    random_suite,
+    table1_suites,
+)
+
+__all__ = [
+    "BenchmarkCase",
+    "LARGE_OCCUPANCIES",
+    "SCALES",
+    "SMALL_OCCUPANCIES",
+    "gap_matrix",
+    "gap_suite",
+    "known_optimal_matrix",
+    "known_optimal_suite",
+    "random_matrix",
+    "random_matrix_exact_ones",
+    "random_nonempty_matrix",
+    "random_suite",
+    "table1_suites",
+]

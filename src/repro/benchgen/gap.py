@@ -1,0 +1,66 @@
+"""Benchmark Set 3: matrices with a gap between real and binary rank.
+
+Construction (paper Section IV-A): sample a random row ``r`` and split
+it ``k`` times into disjoint pairs ``r = r' + r''``.  Over the reals the
+``2k`` rows have rank ``k + 1`` (any one pair recovers ``r``, each
+further pair adds one dimension), but recombining pairs inside an EBMF
+would need negative coefficients, so the binary rank exceeds ``k + 1`` —
+the real-rank lower bound goes slack and the SMT phase has real work to
+do.  The remaining ``m - 2k`` rows are random at 50% occupancy.
+"""
+
+from __future__ import annotations
+
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.exceptions import InvalidMatrixError
+from repro.utils.bitops import popcount
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def gap_matrix(
+    num_rows: int,
+    num_cols: int,
+    num_pairs: int,
+    *,
+    seed: RngLike = None,
+) -> BinaryMatrix:
+    """Draw a Set-3 matrix with ``num_pairs`` split-row pairs."""
+    if num_pairs < 1:
+        raise InvalidMatrixError(f"num_pairs must be >= 1, got {num_pairs}")
+    if 2 * num_pairs > num_rows:
+        raise InvalidMatrixError(
+            f"{num_pairs} pairs need {2 * num_pairs} rows, "
+            f"matrix has {num_rows}"
+        )
+    rng = ensure_rng(seed)
+
+    # The shared row r: 50% occupancy, at least 2 ones so it can split.
+    base = 0
+    while popcount(base) < 2:
+        base = _random_row(num_cols, 0.5, rng)
+
+    masks = []
+    for _ in range(num_pairs):
+        first = _proper_submask(base, rng)
+        masks.append(first)
+        masks.append(base & ~first)
+    for _ in range(num_rows - 2 * num_pairs):
+        masks.append(_random_row(num_cols, 0.5, rng))
+    return BinaryMatrix(masks, num_cols)
+
+
+def _random_row(num_cols: int, occupancy: float, rng) -> int:
+    mask = 0
+    for j in range(num_cols):
+        if rng.random() < occupancy:
+            mask |= 1 << j
+    return mask
+
+
+def _proper_submask(base: int, rng) -> int:
+    """A non-empty proper submask of ``base`` (both halves non-empty)."""
+    bits = [j for j in range(base.bit_length()) if (base >> j) & 1]
+    while True:
+        chosen = [j for j in bits if rng.random() < 0.5]
+        if 0 < len(chosen) < len(bits):
+            return sum(1 << j for j in chosen)

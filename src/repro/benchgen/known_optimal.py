@@ -1,0 +1,85 @@
+"""Benchmark Set 2: matrices with known optimal solutions.
+
+Construction (paper Section IV-A): pick ``k`` pairwise-disjoint row
+vectors ``r_i`` and ``k`` linearly independent column vectors ``c_i``;
+then ``M = sum_i c_i r_i`` is binary (disjoint rows prevent overlaps),
+has an evident ``k``-rectangle partition, and has real rank exactly
+``k`` — so by Eq. 3 the partition is optimal and ``r_B(M) = k``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.exceptions import InvalidMatrixError
+from repro.core.partition import Partition
+from repro.core.rectangle import Rectangle
+from repro.linalg.exact_rank import real_rank
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def known_optimal_matrix(
+    num_rows: int,
+    num_cols: int,
+    rank: int,
+    *,
+    seed: RngLike = None,
+    max_attempts: int = 2000,
+) -> Tuple[BinaryMatrix, Partition]:
+    """Draw ``(M, optimal_partition)`` with ``r_B(M) = rank``."""
+    if not 1 <= rank <= min(num_rows, num_cols):
+        raise InvalidMatrixError(
+            f"rank must be in [1, {min(num_rows, num_cols)}], got {rank}"
+        )
+    rng = ensure_rng(seed)
+    for _ in range(max_attempts):
+        row_masks = _disjoint_row_vectors(num_cols, rank, rng)
+        col_masks = _independent_column_vectors(num_rows, rank, rng)
+        if col_masks is None:
+            continue
+        rects = [
+            Rectangle(col_masks[i], row_masks[i]) for i in range(rank)
+        ]
+        partition = Partition(rects, (num_rows, num_cols))
+        matrix = partition.covered_matrix()
+        # Disjoint rows guarantee the rectangles never overlap, but the
+        # construction can accidentally admit a *smaller* partition only
+        # if rank_R < k; the column draw already ensures rank_R = k.
+        partition.validate(matrix)
+        if real_rank(matrix) != rank:
+            continue
+        return matrix, partition
+    raise InvalidMatrixError(
+        f"failed to build a known-optimal {num_rows}x{num_cols} matrix of "
+        f"rank {rank} in {max_attempts} attempts"
+    )
+
+
+def _disjoint_row_vectors(num_cols: int, k: int, rng) -> List[int]:
+    """``k`` non-empty pairwise-disjoint column masks."""
+    while True:
+        assignment = [rng.randrange(k + 1) for _ in range(num_cols)]
+        masks = [0] * k
+        for j, owner in enumerate(assignment):
+            if owner < k:
+                masks[owner] |= 1 << j
+        if all(masks):
+            return masks
+
+
+def _independent_column_vectors(num_rows: int, k: int, rng):
+    """``k`` linearly independent (over Q) 0/1 vectors of length num_rows."""
+    for _ in range(200):
+        vectors = []
+        for _ in range(k):
+            mask = 0
+            while mask == 0:
+                mask = rng.getrandbits(num_rows)
+            vectors.append(mask)
+        columns = [
+            [(mask >> i) & 1 for i in range(num_rows)] for mask in vectors
+        ]
+        if real_rank(columns) == k:
+            return vectors
+    return None

@@ -1,0 +1,171 @@
+"""Named benchmark suites mirroring the rows of Table I.
+
+Each suite is a list of :class:`BenchmarkCase`; the ``scale`` knob
+switches between paper-scale counts (Section IV-A) and laptop-friendly
+defaults (see DESIGN.md, "Scaling policy").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.benchgen.gap import gap_matrix
+from repro.benchgen.known_optimal import known_optimal_matrix
+from repro.benchgen.random_matrices import random_matrix
+from repro.core.binary_matrix import BinaryMatrix
+from repro.utils.rng import spawn_seeds
+
+SCALES = ("quick", "paper")
+
+SMALL_OCCUPANCIES = tuple(x / 10 for x in range(1, 10))
+LARGE_OCCUPANCIES = (0.01, 0.02, 0.05, 0.10, 0.20)
+
+
+@dataclass(frozen=True)
+class BenchmarkCase:
+    """One benchmark instance plus its provenance."""
+
+    case_id: str
+    family: str
+    matrix: BinaryMatrix
+    known_binary_rank: Optional[int] = None
+    params: Dict[str, object] = field(default_factory=dict, hash=False)
+
+    def __repr__(self) -> str:
+        return f"BenchmarkCase({self.case_id})"
+
+
+def _per_cell_count(scale: str, paper_count: int, quick_count: int) -> int:
+    return paper_count if scale == "paper" else quick_count
+
+
+def random_suite(
+    shape: Sequence[int],
+    occupancies: Sequence[float],
+    count_per_occupancy: int,
+    *,
+    seed: int = 2024,
+) -> List[BenchmarkCase]:
+    """Set 1 for one shape: ``count`` matrices per occupancy."""
+    num_rows, num_cols = shape
+    cases: List[BenchmarkCase] = []
+    seeds = spawn_seeds(
+        seed, len(occupancies) * count_per_occupancy,
+        salt=f"rand{num_rows}x{num_cols}",
+    )
+    index = 0
+    for occupancy in occupancies:
+        for repeat in range(count_per_occupancy):
+            matrix = random_matrix(
+                num_rows, num_cols, occupancy, seed=seeds[index]
+            )
+            cases.append(
+                BenchmarkCase(
+                    case_id=(
+                        f"rand-{num_rows}x{num_cols}-occ{occupancy:g}-{repeat}"
+                    ),
+                    family=f"{num_rows}x{num_cols}, rand",
+                    matrix=matrix,
+                    params={"occupancy": occupancy, "repeat": repeat},
+                )
+            )
+            index += 1
+    return cases
+
+
+def known_optimal_suite(
+    shape: Sequence[int],
+    ranks: Sequence[int],
+    count_per_rank: int,
+    *,
+    seed: int = 2024,
+) -> List[BenchmarkCase]:
+    """Set 2: matrices with known ``r_B`` (Eq. 3 certificate)."""
+    num_rows, num_cols = shape
+    cases: List[BenchmarkCase] = []
+    seeds = spawn_seeds(
+        seed, len(ranks) * count_per_rank, salt="known-optimal"
+    )
+    index = 0
+    for rank in ranks:
+        for repeat in range(count_per_rank):
+            matrix, _ = known_optimal_matrix(
+                num_rows, num_cols, rank, seed=seeds[index]
+            )
+            cases.append(
+                BenchmarkCase(
+                    case_id=f"opt-{num_rows}x{num_cols}-k{rank}-{repeat}",
+                    family=f"{num_rows}x{num_cols}, opt",
+                    matrix=matrix,
+                    known_binary_rank=rank,
+                    params={"rank": rank, "repeat": repeat},
+                )
+            )
+            index += 1
+    return cases
+
+
+def gap_suite(
+    shape: Sequence[int],
+    num_pairs: int,
+    count: int,
+    *,
+    seed: int = 2024,
+) -> List[BenchmarkCase]:
+    """Set 3 for one pair count."""
+    num_rows, num_cols = shape
+    seeds = spawn_seeds(seed, count, salt=f"gap{num_pairs}")
+    return [
+        BenchmarkCase(
+            case_id=f"gap-{num_rows}x{num_cols}-p{num_pairs}-{repeat}",
+            family=f"{num_rows}x{num_cols}, gap, {num_pairs}",
+            matrix=gap_matrix(
+                num_rows, num_cols, num_pairs, seed=seeds[repeat]
+            ),
+            params={"num_pairs": num_pairs, "repeat": repeat},
+        )
+        for repeat in range(count)
+    ]
+
+
+def table1_suites(
+    *,
+    scale: str = "quick",
+    seed: int = 2024,
+    include_large: bool = True,
+) -> Dict[str, List[BenchmarkCase]]:
+    """All Table I benchmark families, keyed by the paper's row labels.
+
+    Paper scale: 10 matrices per occupancy for the small random sets,
+    10 per rank for Set 2, 100 per pair count for Set 3.  Quick scale
+    cuts the counts (3 / 4 / 12 respectively) and the large occupancy
+    list — orderings in the reproduced table are unaffected.
+    """
+    if scale not in SCALES:
+        raise ValueError(f"scale must be one of {SCALES}, got {scale!r}")
+    count_small = _per_cell_count(scale, 10, 3)
+    count_opt = _per_cell_count(scale, 10, 4)
+    count_gap = _per_cell_count(scale, 100, 12)
+    count_large = _per_cell_count(scale, 10, 2)
+    large_occupancies = (
+        LARGE_OCCUPANCIES if scale == "paper" else (0.01, 0.02, 0.05)
+    )
+
+    suites: Dict[str, List[BenchmarkCase]] = {}
+    for shape in ((10, 10), (10, 20), (10, 30)):
+        label = f"{shape[0]}x{shape[1]}, rand"
+        suites[label] = random_suite(
+            shape, SMALL_OCCUPANCIES, count_small, seed=seed
+        )
+    if include_large:
+        suites["100x100, rand"] = random_suite(
+            (100, 100), large_occupancies, count_large, seed=seed
+        )
+    suites["10x10, opt"] = known_optimal_suite(
+        (10, 10), range(1, 11), count_opt, seed=seed
+    )
+    for pairs in (2, 3, 4, 5):
+        label = f"10x10, gap, {pairs}"
+        suites[label] = gap_suite((10, 10), pairs, count_gap, seed=seed)
+    return suites

@@ -1,0 +1,348 @@
+"""Command-line interface: solve patterns and compile schedules.
+
+Usage (also installed as ``python -m repro``):
+
+    python -m repro rank PATTERN_FILE [--budget SECONDS]
+    python -m repro solve PATTERN_FILE [--heuristic-only] [--trials N]
+    python -m repro compile PATTERN_FILE [--theta T] [--vacancy-char C]
+    python -m repro bounds PATTERN_FILE
+    python -m repro audit PATTERN_FILE [--budget SECONDS]
+    python -m repro legalize PATTERN_FILE [--max-row-tones N] [...]
+    python -m repro render PATTERN_FILE OUTPUT.svg
+    python -m repro examples
+
+A pattern file holds one row per line using '0'/'1' (and optionally a
+vacancy character, default '*', for ``compile``, which then exploits the
+vacancies as don't-cares).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.atoms.array import QubitArray
+from repro.atoms.compiler import compile_addressing
+from repro.atoms.simulator import AddressingSimulator
+from repro.completion.masked import MaskedMatrix
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.bounds import rank_lower_bound, trivial_upper_bound
+from repro.core.fooling import fooling_number
+from repro.core.render import render_matrix, render_partition, render_side_by_side
+from repro.solvers.row_packing import PackingOptions, row_packing
+from repro.solvers.sap import SapOptions, sap_solve
+
+
+def _read_lines(path: str) -> List[str]:
+    if path == "-":
+        return [line.strip() for line in sys.stdin if line.strip()]
+    with open(path) as stream:
+        return [line.strip() for line in stream if line.strip()]
+
+
+def _read_pattern(path: str) -> BinaryMatrix:
+    return BinaryMatrix.from_strings(_read_lines(path))
+
+
+def cmd_rank(args: argparse.Namespace) -> int:
+    matrix = _read_pattern(args.pattern)
+    result = sap_solve(
+        matrix,
+        options=SapOptions(
+            trials=args.trials, seed=args.seed, time_budget=args.budget
+        ),
+    )
+    print(f"shape:        {matrix.num_rows}x{matrix.num_cols}")
+    print(f"ones:         {matrix.count_ones()}")
+    print(f"real rank:    {rank_lower_bound(matrix)}")
+    print(f"fooling:      {fooling_number(matrix, max_cells=96)}")
+    print(f"trivial ub:   {trivial_upper_bound(matrix)}")
+    if result.proved_optimal:
+        print(f"binary rank:  {result.depth} (proven)")
+    else:
+        print(
+            f"binary rank:  in [{result.lower_bound}, {result.depth}] "
+            f"(budget exhausted)"
+        )
+    return 0
+
+
+def cmd_solve(args: argparse.Namespace) -> int:
+    matrix = _read_pattern(args.pattern)
+    if args.heuristic_only:
+        partition = row_packing(
+            matrix,
+            options=PackingOptions(trials=args.trials, seed=args.seed),
+        )
+        proved = partition.depth <= rank_lower_bound(matrix)
+    else:
+        result = sap_solve(
+            matrix,
+            options=SapOptions(
+                trials=args.trials, seed=args.seed, time_budget=args.budget
+            ),
+        )
+        partition = result.partition
+        proved = result.proved_optimal
+    print(
+        f"depth {partition.depth}"
+        + (" (proven optimal)" if proved else " (upper bound)")
+    )
+    print(
+        render_side_by_side(
+            render_matrix(matrix), render_partition(partition, matrix)
+        )
+    )
+    return 0
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    lines = _read_lines(args.pattern)
+    vacancy = args.vacancy_char
+    has_vacancies = any(vacancy in line for line in lines)
+    if has_vacancies:
+        masked = MaskedMatrix.from_strings(
+            [line.replace(vacancy, "*") for line in lines]
+        )
+        target = masked.ones_matrix
+        vacancies = list(masked.dont_care_matrix.ones())
+        array = QubitArray.with_vacancies(
+            target.num_rows, target.num_cols, vacancies
+        )
+    else:
+        target = BinaryMatrix.from_strings(lines)
+        array = QubitArray.full(target.num_rows, target.num_cols)
+
+    result = compile_addressing(
+        array,
+        target,
+        theta=args.theta,
+        strategy="packing" if args.heuristic_only else "sap",
+        exploit_vacancies=has_vacancies,
+        trials=args.trials,
+        seed=args.seed,
+        time_budget=args.budget,
+    )
+    report = AddressingSimulator(array).verify(result.schedule, target)
+    print(f"depth {result.depth}; {report.summary()}")
+    for step, operation in enumerate(result.schedule):
+        config = operation.configuration
+        print(
+            f"  step {step}: rows {sorted(config.rows)} "
+            f"cols {sorted(config.cols)} Rz({operation.pulse.theta})"
+        )
+    return 0 if report.ok else 1
+
+
+def cmd_bounds(args: argparse.Namespace) -> int:
+    matrix = _read_pattern(args.pattern)
+    from repro.core.bounds import binary_rank_bounds
+
+    small = matrix.num_rows <= 12 and matrix.num_cols <= 12
+    bounds = binary_rank_bounds(
+        matrix, use_fooling=True, use_lp=small, seed=args.seed
+    )
+    print(f"shape:            {matrix.num_rows}x{matrix.num_cols}")
+    print(f"rank bound:       {bounds.rank_bound}   (Eq. 3)")
+    print(f"fooling bound:    {bounds.fooling_bound}")
+    if bounds.lp_bound is not None:
+        print(f"LP cover bound:   {bounds.lp_bound}   (fractional cover)")
+    else:
+        print("LP cover bound:   skipped (matrix too large)")
+    print(f"trivial upper:    {bounds.upper}")
+    print(f"bracket:          [{bounds.lower}, {bounds.upper}]"
+          + ("  TIGHT" if bounds.is_tight else ""))
+    return 0
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    from repro.core.reductions import reduce_matrix
+    from repro.sat.proof import proof_stats
+    from repro.sat.solver import SolveStatus
+    from repro.smt.oracle import RankDecisionOracle
+
+    matrix = _read_pattern(args.pattern)
+    upper = row_packing(
+        matrix, options=PackingOptions(trials=args.trials, seed=args.seed)
+    ).depth
+    lower = rank_lower_bound(matrix)
+    if upper <= lower:
+        print(f"binary rank {upper} certified by Eq. 3 alone; no SAT proof needed")
+        return 0
+    reduced = reduce_matrix(matrix)
+    oracle = RankDecisionOracle(reduced.matrix, proof=True)
+    bound = upper - 1
+    while bound >= lower:
+        status, partition = oracle.check_at_most(bound, time_budget=args.budget)
+        if status is SolveStatus.SAT:
+            bound = partition.depth - 1
+            continue
+        if status is SolveStatus.UNSAT:
+            break
+        print(f"budget exhausted; binary rank in [{lower}, {bound + 1}]")
+        return 1
+    rank = bound + 1
+    print(f"binary rank: {rank}")
+    if oracle.proof_log is not None and oracle.proof_log.refuted:
+        stats = proof_stats(oracle.proof_log)
+        oracle.verify_refutation()
+        print(
+            f"UNSAT certificate verified: {stats['axioms']} axioms, "
+            f"{stats['learned']} learned clauses"
+        )
+    else:
+        print("optimality by Eq. 3 bound (no UNSAT step required)")
+    return 0
+
+
+def cmd_legalize(args: argparse.Namespace) -> int:
+    from repro.atoms.constraints import AodConstraints
+    from repro.atoms.legalize import legalize_schedule
+    from repro.atoms.schedule import AddressingSchedule
+
+    matrix = _read_pattern(args.pattern)
+    partition = row_packing(
+        matrix, options=PackingOptions(trials=args.trials, seed=args.seed)
+    )
+    schedule = AddressingSchedule.from_partition(partition, theta=args.theta)
+    constraints = AodConstraints(
+        max_row_tones=args.max_row_tones,
+        max_col_tones=args.max_col_tones,
+        min_row_spacing=args.min_row_spacing,
+        min_col_spacing=args.min_col_spacing,
+        max_total_tones=args.max_total_tones,
+    )
+    result = legalize_schedule(schedule, constraints)
+    array = QubitArray.full(*matrix.shape)
+    report = AddressingSimulator(array).verify(result.schedule, matrix)
+    print(f"ideal depth:     {result.original_depth}")
+    print(f"legal depth:     {result.depth}  ({result.inflation:.2f}x)")
+    print(f"split steps:     {result.split_operations}")
+    print(f"verification:    {report.summary()}")
+    return 0 if report.ok else 1
+
+
+def cmd_render(args: argparse.Namespace) -> int:
+    from repro.viz.figures import partition_figure
+
+    matrix = _read_pattern(args.pattern)
+    result = sap_solve(
+        matrix,
+        options=SapOptions(
+            trials=args.trials, seed=args.seed, time_budget=args.budget
+        ),
+    )
+    title = (
+        f"depth-{result.depth} partition"
+        + (" (optimal)" if result.proved_optimal else " (upper bound)")
+    )
+    canvas = partition_figure(
+        matrix,
+        result.partition,
+        with_fooling=matrix.count_ones() <= 96,
+        title=title,
+    )
+    canvas.write(args.output)
+    print(f"wrote {args.output} ({title})")
+    return 0
+
+
+def cmd_examples(_args: argparse.Namespace) -> int:
+    print(__doc__)
+    print("Bundled runnable examples:")
+    for name in (
+        "quickstart",
+        "row_packing_trace",
+        "neutral_atom_addressing",
+        "ftqc_two_level",
+        "qldpc_memory",
+        "cover_vs_partition",
+        "aod_hardware_limits",
+        "proof_audit",
+        "vacancy_dont_cares",
+        "tensor_rank_search",
+        "render_figures",
+    ):
+        print(f"  python examples/{name}.py")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("pattern", help="pattern file, or '-' for stdin")
+        p.add_argument("--trials", type=int, default=32)
+        p.add_argument("--seed", type=int, default=2024)
+        p.add_argument("--budget", type=float, default=30.0)
+
+    p_rank = sub.add_parser("rank", help="bounds and exact binary rank")
+    common(p_rank)
+    p_rank.set_defaults(func=cmd_rank)
+
+    p_solve = sub.add_parser("solve", help="compute a rectangle partition")
+    common(p_solve)
+    p_solve.add_argument("--heuristic-only", action="store_true")
+    p_solve.set_defaults(func=cmd_solve)
+
+    p_compile = sub.add_parser(
+        "compile", help="compile and verify an AOD schedule"
+    )
+    common(p_compile)
+    p_compile.add_argument("--theta", type=float, default=1.0)
+    p_compile.add_argument("--heuristic-only", action="store_true")
+    p_compile.add_argument(
+        "--vacancy-char", default="*",
+        help="character marking vacant sites (default '*')",
+    )
+    p_compile.set_defaults(func=cmd_compile)
+
+    p_bounds = sub.add_parser(
+        "bounds", help="all lower/upper bounds without exact solving"
+    )
+    common(p_bounds)
+    p_bounds.set_defaults(func=cmd_bounds)
+
+    p_audit = sub.add_parser(
+        "audit", help="exact rank with a verified UNSAT certificate"
+    )
+    common(p_audit)
+    p_audit.set_defaults(func=cmd_audit)
+
+    p_legalize = sub.add_parser(
+        "legalize", help="legalize a schedule under AOD constraints"
+    )
+    common(p_legalize)
+    p_legalize.add_argument("--theta", type=float, default=1.0)
+    p_legalize.add_argument("--max-row-tones", type=int, default=None)
+    p_legalize.add_argument("--max-col-tones", type=int, default=None)
+    p_legalize.add_argument("--min-row-spacing", type=int, default=1)
+    p_legalize.add_argument("--min-col-spacing", type=int, default=1)
+    p_legalize.add_argument("--max-total-tones", type=int, default=None)
+    p_legalize.set_defaults(func=cmd_legalize)
+
+    p_render = sub.add_parser(
+        "render", help="render the optimal partition as an SVG figure"
+    )
+    common(p_render)
+    p_render.add_argument("output", help="output SVG path")
+    p_render.set_defaults(func=cmd_render)
+
+    p_examples = sub.add_parser("examples", help="list bundled examples")
+    p_examples.set_defaults(func=cmd_examples)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

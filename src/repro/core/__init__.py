@@ -1,0 +1,68 @@
+"""Core data model: binary matrices, rectangles, partitions, bounds."""
+
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.bounds import (
+    BinaryRankBounds,
+    binary_rank_bounds,
+    fooling_lower_bound,
+    rank_lower_bound,
+    trivial_upper_bound,
+)
+from repro.core.exceptions import (
+    BudgetExceeded,
+    EncodingError,
+    InvalidMatrixError,
+    InvalidPartitionError,
+    InvalidRectangleError,
+    ReproError,
+    ScheduleError,
+    SolverError,
+)
+from repro.core.fooling import (
+    fooling_number,
+    greedy_fooling_set,
+    is_fooling_pair,
+    max_fooling_set,
+    verify_fooling_set,
+)
+from repro.core.partition import Partition
+from repro.core.rectangle import Rectangle
+from repro.core.render import (
+    render_matrix,
+    render_partition,
+    render_side_by_side,
+)
+from repro.core.reductions import (
+    ReducedMatrix,
+    distinct_nonzero_cols,
+    distinct_nonzero_rows,
+    reduce_matrix,
+)
+
+__all__ = [
+    "BinaryMatrix",
+    "BinaryRankBounds",
+    "BudgetExceeded",
+    "EncodingError",
+    "InvalidMatrixError",
+    "InvalidPartitionError",
+    "InvalidRectangleError",
+    "Partition",
+    "Rectangle",
+    "ReducedMatrix",
+    "ReproError",
+    "ScheduleError",
+    "SolverError",
+    "binary_rank_bounds",
+    "distinct_nonzero_cols",
+    "distinct_nonzero_rows",
+    "fooling_lower_bound",
+    "fooling_number",
+    "greedy_fooling_set",
+    "is_fooling_pair",
+    "max_fooling_set",
+    "rank_lower_bound",
+    "reduce_matrix",
+    "trivial_upper_bound",
+    "verify_fooling_set",
+]

@@ -1,0 +1,97 @@
+"""Lower and upper bounds on the binary rank ``r_B(M)``.
+
+The SAP loop (Algorithm 1 of the paper) brackets the optimum between the
+real-rank lower bound of Eq. 3 and the row-packing upper bound; fooling
+sets give an alternative lower bound (Section II) that is sometimes
+strictly weaker (Eq. 2) and sometimes the only multiplicative handle in
+the tensor-product setting (Eq. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.fooling import fooling_number
+from repro.core.reductions import distinct_nonzero_cols, distinct_nonzero_rows
+from repro.linalg.exact_rank import real_rank
+from repro.utils.rng import RngLike
+
+
+def rank_lower_bound(matrix: BinaryMatrix) -> int:
+    """Eq. 3: ``rank_R(M) <= r_B(M)``, computed exactly over Q."""
+    return real_rank(matrix)
+
+
+def fooling_lower_bound(
+    matrix: BinaryMatrix,
+    *,
+    exact: bool = True,
+    max_cells: int = 128,
+    seed: RngLike = None,
+) -> int:
+    """``phi(M) <= r_B(M)`` via (maximum) fooling sets."""
+    return fooling_number(matrix, exact=exact, max_cells=max_cells, seed=seed)
+
+
+def trivial_upper_bound(matrix: BinaryMatrix) -> int:
+    """Section III-B: min(#distinct non-empty rows, #distinct non-empty
+    columns) — partition into single (consolidated) rows or columns."""
+    return min(distinct_nonzero_rows(matrix), distinct_nonzero_cols(matrix))
+
+
+@dataclass(frozen=True)
+class BinaryRankBounds:
+    """A bracket ``lower <= r_B(M) <= upper`` with provenance."""
+
+    lower: int
+    upper: int
+    rank_bound: int
+    fooling_bound: Optional[int]
+    lp_bound: Optional[int] = None
+
+    @property
+    def is_tight(self) -> bool:
+        return self.lower == self.upper
+
+
+def binary_rank_bounds(
+    matrix: BinaryMatrix,
+    *,
+    use_fooling: bool = False,
+    fooling_exact: bool = True,
+    use_lp: bool = False,
+    seed: RngLike = None,
+) -> BinaryRankBounds:
+    """Bracket ``r_B(M)`` with the cheap bounds used by SAP.
+
+    The fooling bound is optional because the exact maximum fooling set
+    is itself NP-hard; the LP bound (fractional rectangle cover, see
+    :mod:`repro.cover.lp`) enumerates maximal rectangles, so it is for
+    paper-scale matrices only.  SAP requires just the rank bound (Eq. 3).
+    """
+    rank_bound = rank_lower_bound(matrix)
+    fooling_bound: Optional[int] = None
+    lp_bound: Optional[int] = None
+    lower = rank_bound
+    if use_fooling:
+        fooling_bound = fooling_lower_bound(
+            matrix, exact=fooling_exact, seed=seed
+        )
+        lower = max(lower, fooling_bound)
+    if use_lp:
+        from repro.cover.lp import lp_lower_bound
+
+        lp_bound = lp_lower_bound(matrix)
+        lower = max(lower, lp_bound)
+    upper = trivial_upper_bound(matrix)
+    if matrix.is_zero():
+        lower, upper = 0, 0
+    return BinaryRankBounds(
+        lower=lower,
+        upper=upper,
+        rank_bound=rank_bound,
+        fooling_bound=fooling_bound,
+        lp_bound=lp_bound,
+    )

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the repro library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class InvalidMatrixError(ReproError):
+    """Raised when constructing a malformed binary matrix."""
+
+
+class InvalidPartitionError(ReproError):
+    """Raised when a rectangle set is not a valid EBMF of a matrix."""
+
+
+class InvalidRectangleError(ReproError):
+    """Raised when constructing a malformed combinatorial rectangle."""
+
+
+class SolverError(ReproError):
+    """Raised on internal solver failures (inconsistent state, bad input)."""
+
+
+class BudgetExceeded(SolverError):
+    """Raised (or reported) when a solver hits its time/conflict budget."""
+
+
+class EncodingError(ReproError):
+    """Raised by the SMT-style encoders on malformed encoding requests."""
+
+
+class ProofError(SolverError):
+    """Raised when an UNSAT proof log fails independent verification."""
+
+
+class ScheduleError(ReproError):
+    """Raised by the neutral-atom substrate for invalid AOD schedules."""

@@ -1,0 +1,66 @@
+"""The concrete matrices that appear in the paper's figures and equations.
+
+Used by tests, examples, and the sanity-check experiment so that every
+worked example in the paper is executable here.
+"""
+
+from __future__ import annotations
+
+from repro.core.binary_matrix import BinaryMatrix
+
+
+def figure_1b() -> BinaryMatrix:
+    """The 6x6 motivating pattern of Figure 1b / Figure 2a.
+
+    Partitionable into 5 rectangles, with a fooling set of size 5 proving
+    optimality (``r_B = phi = 5``).
+    """
+    return BinaryMatrix.from_strings(
+        [
+            "101100",
+            "010011",
+            "101010",
+            "010101",
+            "111000",
+            "000111",
+        ]
+    )
+
+
+def equation_2() -> BinaryMatrix:
+    """The 3x3 matrix of Eq. 2: ``phi = 2`` but ``r_B = 3``.
+
+    Shows the fooling-set bound is not always tight.
+    """
+    return BinaryMatrix.from_strings(["110", "011", "111"])
+
+
+def figure_3() -> BinaryMatrix:
+    """The 5x5 matrix of Figure 3 (row-packing worked example).
+
+    Processing rows top-down yields 5 rectangles; the shuffled order
+    ``[4, 2, 3, 0, 1]`` yields 4.
+    """
+    return BinaryMatrix.from_strings(
+        [
+            "11000",
+            "00110",
+            "01100",
+            "10011",
+            "11111",
+        ]
+    )
+
+
+FIGURE_3_GOOD_ORDER = (4, 2, 3, 0, 1)
+"""Row order used in Figure 3b, which packs into 4 rectangles."""
+
+
+def section_2_nonbinary_example() -> BinaryMatrix:
+    """The 3x3 matrix used in Section II to show EBMF addition is over R.
+
+    ``[[0,1,1],[1,0,1],[1,1,0]]`` — the complement of the identity; its
+    binary rank is 3 while the mod-2 'factorization' with two rectangles
+    double-covers the (0,0) entry and is therefore not an EBMF.
+    """
+    return BinaryMatrix.from_strings(["011", "101", "110"])

@@ -1,0 +1,145 @@
+"""Combinatorial rectangles.
+
+A rectangle is a set of the form ``X' x Y'`` with ``X'`` a subset of rows
+and ``Y'`` a subset of columns — exactly what one AOD configuration can
+address (Section I of the paper), and exactly a rank-1 binary submatrix
+(Section II).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Tuple
+
+import numpy as np
+
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.exceptions import InvalidRectangleError
+from repro.utils.bitops import bits_from_indices, mask_to_tuple, popcount
+
+
+class Rectangle:
+    """A non-empty combinatorial rectangle, stored as two bit masks."""
+
+    __slots__ = ("_row_mask", "_col_mask")
+
+    def __init__(self, row_mask: int, col_mask: int) -> None:
+        if row_mask <= 0 or col_mask <= 0:
+            raise InvalidRectangleError(
+                f"rectangle must have at least one row and one column "
+                f"(row_mask={row_mask:#x}, col_mask={col_mask:#x})"
+            )
+        self._row_mask = row_mask
+        self._col_mask = col_mask
+
+    @classmethod
+    def from_sets(
+        cls, rows: Iterable[int], cols: Iterable[int]
+    ) -> "Rectangle":
+        return cls(bits_from_indices(rows), bits_from_indices(cols))
+
+    @classmethod
+    def single(cls, i: int, j: int) -> "Rectangle":
+        """The 1x1 rectangle containing only cell ``(i, j)``."""
+        return cls(1 << i, 1 << j)
+
+    # ------------------------------------------------------------------
+    @property
+    def row_mask(self) -> int:
+        return self._row_mask
+
+    @property
+    def col_mask(self) -> int:
+        return self._col_mask
+
+    @property
+    def rows(self) -> Tuple[int, ...]:
+        return mask_to_tuple(self._row_mask)
+
+    @property
+    def cols(self) -> Tuple[int, ...]:
+        return mask_to_tuple(self._col_mask)
+
+    @property
+    def num_rows(self) -> int:
+        return popcount(self._row_mask)
+
+    @property
+    def num_cols(self) -> int:
+        return popcount(self._col_mask)
+
+    @property
+    def num_cells(self) -> int:
+        return self.num_rows * self.num_cols
+
+    # ------------------------------------------------------------------
+    def cells(self) -> Iterator[Tuple[int, int]]:
+        for i in self.rows:
+            for j in self.cols:
+                yield (i, j)
+
+    def contains(self, i: int, j: int) -> bool:
+        return bool((self._row_mask >> i) & 1 and (self._col_mask >> j) & 1)
+
+    def overlaps(self, other: "Rectangle") -> bool:
+        """True if the two rectangles share at least one cell."""
+        return bool(
+            self._row_mask & other._row_mask
+            and self._col_mask & other._col_mask
+        )
+
+    def within(self, matrix: BinaryMatrix) -> bool:
+        """True if every cell of the rectangle is a 1 of ``matrix``."""
+        if self._row_mask >> matrix.num_rows:
+            return False
+        if self._col_mask >> matrix.num_cols:
+            return False
+        for i in self.rows:
+            if self._col_mask & ~matrix.row_mask(i):
+                return False
+        return True
+
+    def transpose(self) -> "Rectangle":
+        return Rectangle(self._col_mask, self._row_mask)
+
+    # ------------------------------------------------------------------
+    def to_matrix(self, shape: Tuple[int, int]) -> BinaryMatrix:
+        """The rank-1 indicator matrix ``P_i`` of this rectangle."""
+        num_rows, num_cols = shape
+        if self._row_mask >> num_rows or self._col_mask >> num_cols:
+            raise InvalidRectangleError(
+                f"rectangle {self!r} does not fit in shape {shape}"
+            )
+        masks = [
+            self._col_mask if (self._row_mask >> i) & 1 else 0
+            for i in range(num_rows)
+        ]
+        return BinaryMatrix(masks, num_cols)
+
+    def h_column(self, num_rows: int) -> np.ndarray:
+        """Indicator column of rows — one column of ``H`` in ``M = HW``."""
+        out = np.zeros(num_rows, dtype=np.int64)
+        for i in self.rows:
+            out[i] = 1
+        return out
+
+    def w_row(self, num_cols: int) -> np.ndarray:
+        """Indicator row of columns — one row of ``W`` in ``M = HW``."""
+        out = np.zeros(num_cols, dtype=np.int64)
+        for j in self.cols:
+            out[j] = 1
+        return out
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Rectangle):
+            return NotImplemented
+        return (
+            self._row_mask == other._row_mask
+            and self._col_mask == other._col_mask
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._row_mask, self._col_mask))
+
+    def __repr__(self) -> str:
+        return f"Rectangle(rows={list(self.rows)}, cols={list(self.cols)})"

@@ -1,0 +1,115 @@
+"""Matrix reductions: removing empty and duplicate rows/columns.
+
+The paper's trivial upper bound (Section III-B) is the smaller of width
+and height *after removing empty and duplicated rows and columns*.  The
+reduction here performs that compression and remembers enough to lift a
+partition of the reduced matrix back to the original.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.exceptions import InvalidPartitionError
+from repro.core.partition import Partition
+from repro.core.rectangle import Rectangle
+
+
+@dataclass(frozen=True)
+class ReducedMatrix:
+    """A compressed matrix plus the bookkeeping to undo the compression.
+
+    ``row_groups[k]`` lists the original row indices collapsed into reduced
+    row ``k`` (all identical, non-empty); likewise ``col_groups``.
+    """
+
+    matrix: BinaryMatrix
+    row_groups: Tuple[Tuple[int, ...], ...]
+    col_groups: Tuple[Tuple[int, ...], ...]
+    original_shape: Tuple[int, int]
+
+    def lift(self, partition: Partition) -> Partition:
+        """Lift a partition of the reduced matrix to the original matrix.
+
+        Each reduced row/column expands to its whole duplicate group —
+        valid because duplicated rows have identical 1-patterns, so a
+        rectangle covering one covers all simultaneously.
+        """
+        if partition.shape != self.matrix.shape:
+            raise InvalidPartitionError(
+                f"partition shape {partition.shape} != reduced shape "
+                f"{self.matrix.shape}"
+            )
+        rects: List[Rectangle] = []
+        for rect in partition:
+            rows: List[int] = []
+            for k in rect.rows:
+                rows.extend(self.row_groups[k])
+            cols: List[int] = []
+            for k in rect.cols:
+                cols.extend(self.col_groups[k])
+            rects.append(Rectangle.from_sets(rows, cols))
+        return Partition(rects, self.original_shape)
+
+
+def reduce_matrix(matrix: BinaryMatrix) -> ReducedMatrix:
+    """Drop empty rows/columns and merge duplicates (rows first, then
+    columns of the row-reduced matrix).
+
+    Duplicate merging is rank-preserving and binary-rank-preserving, so
+    solving on the reduced matrix and lifting is always sound.
+    """
+    # --- rows ---
+    row_order: Dict[int, int] = {}
+    row_groups: List[List[int]] = []
+    for i, mask in enumerate(matrix.row_masks):
+        if mask == 0:
+            continue
+        if mask in row_order:
+            row_groups[row_order[mask]].append(i)
+        else:
+            row_order[mask] = len(row_groups)
+            row_groups.append([i])
+    kept_row_masks = list(row_order.keys())
+
+    # --- columns (on the row-reduced matrix) ---
+    col_signature: Dict[Tuple[int, ...], int] = {}
+    col_groups: List[List[int]] = []
+    for j in range(matrix.num_cols):
+        signature = tuple((mask >> j) & 1 for mask in kept_row_masks)
+        if not any(signature):
+            continue
+        if signature in col_signature:
+            col_groups[col_signature[signature]].append(j)
+        else:
+            col_signature[signature] = len(col_groups)
+            col_groups.append([j])
+
+    # Rebuild each kept row against the kept-column order.
+    reduced_masks = []
+    for mask in kept_row_masks:
+        new_mask = 0
+        for new_j, group in enumerate(col_groups):
+            if (mask >> group[0]) & 1:
+                new_mask |= 1 << new_j
+        reduced_masks.append(new_mask)
+
+    reduced = BinaryMatrix(reduced_masks, len(col_groups))
+    return ReducedMatrix(
+        matrix=reduced,
+        row_groups=tuple(tuple(g) for g in row_groups),
+        col_groups=tuple(tuple(g) for g in col_groups),
+        original_shape=matrix.shape,
+    )
+
+
+def distinct_nonzero_rows(matrix: BinaryMatrix) -> int:
+    """Count of distinct non-empty rows."""
+    return len({mask for mask in matrix.row_masks if mask != 0})
+
+
+def distinct_nonzero_cols(matrix: BinaryMatrix) -> int:
+    """Count of distinct non-empty columns."""
+    return len({mask for mask in matrix.col_masks() if mask != 0})

@@ -1,0 +1,79 @@
+"""ASCII rendering of matrices and partitions.
+
+Mirrors the paper's figures: each rectangle of a partition gets a
+distinct marker, zeros render as '.', so the rectangle structure of a
+pattern is visible at a glance in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.exceptions import InvalidPartitionError
+from repro.core.partition import Partition
+
+MARKERS = "0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz"
+
+
+def render_matrix(matrix: BinaryMatrix, *, one: str = "#", zero: str = ".") -> str:
+    """Plain rendering: '#' for 1, '.' for 0."""
+    return "\n".join(
+        "".join(
+            one if matrix[i, j] else zero for j in range(matrix.num_cols)
+        )
+        for i in range(matrix.num_rows)
+    )
+
+
+def render_partition(
+    partition: Partition,
+    matrix: Optional[BinaryMatrix] = None,
+    *,
+    zero: str = ".",
+) -> str:
+    """Render a partition with one marker character per rectangle.
+
+    If ``matrix`` is given, cells covered by no rectangle render as
+    ``zero`` (and a cell covered by several rectangles renders as '!').
+    """
+    num_rows, num_cols = partition.shape
+    grid: List[List[str]] = [
+        [zero] * num_cols for _ in range(num_rows)
+    ]
+    for index, rect in enumerate(partition):
+        marker = MARKERS[index % len(MARKERS)]
+        for i, j in rect.cells():
+            if grid[i][j] != zero:
+                grid[i][j] = "!"
+            else:
+                grid[i][j] = marker
+    if matrix is not None:
+        if matrix.shape != partition.shape:
+            raise InvalidPartitionError(
+                f"matrix shape {matrix.shape} != partition shape "
+                f"{partition.shape}"
+            )
+        for i in range(num_rows):
+            for j in range(num_cols):
+                if matrix[i, j] and grid[i][j] == zero:
+                    grid[i][j] = "?"  # an uncovered 1
+    return "\n".join("".join(row) for row in grid)
+
+
+def render_side_by_side(*blocks: str, gap: str = "   ") -> str:
+    """Join multi-line blocks horizontally (for before/after displays)."""
+    split_blocks = [block.splitlines() for block in blocks]
+    height = max(len(lines) for lines in split_blocks)
+    widths = [
+        max((len(line) for line in lines), default=0)
+        for lines in split_blocks
+    ]
+    out_lines = []
+    for row in range(height):
+        parts = []
+        for lines, width in zip(split_blocks, widths):
+            line = lines[row] if row < len(lines) else ""
+            parts.append(line.ljust(width))
+        out_lines.append(gap.join(parts).rstrip())
+    return "\n".join(out_lines)

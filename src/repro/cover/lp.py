@@ -1,0 +1,108 @@
+"""Fractional-cover LP lower bound on the rectangle cover number.
+
+The minimum number of rectangles covering the 1s of ``M`` (the boolean
+rank) is an integer program; its LP relaxation
+
+    minimize   sum_R x_R
+    subject to sum_{R containing cell} x_R >= 1   for every 1-cell,
+               x_R >= 0,
+
+taken over the *maximal* rectangles ``R`` (any cover by arbitrary
+rectangles converts to one by maximal rectangles without increasing the
+count), gives the fractional cover number.  Its ceiling lower-bounds
+the cover number, which in turn lower-bounds the partition number
+``r_B`` — so this is a third lower bound for SAP, incomparable with
+Eq. 3's real rank (e.g. crown matrices: LP bound grows like
+``log n`` while rank is ``n``; triangular matrices the other way).
+
+Solved with scipy's HiGHS backend.  Paper-scale matrices (<= 10 rows)
+have at most a few hundred maximal rectangles, so this is milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.exceptions import SolverError
+from repro.core.rectangle import Rectangle
+from repro.cover.maximal import maximal_rectangles
+
+# Guard against ceil(0.9999999...) undershoot from LP solver tolerance.
+_EPSILON = 1e-6
+
+
+@dataclass
+class FractionalCoverResult:
+    """LP optimum with the rectangle weights that achieve it."""
+
+    value: float
+    weights: List[Tuple[Rectangle, float]]
+    num_rectangles: int  # columns in the LP
+
+    @property
+    def lower_bound(self) -> int:
+        """Integer lower bound on the cover number (hence on r_B)."""
+        return int(np.ceil(self.value - _EPSILON))
+
+
+def fractional_cover(
+    matrix: BinaryMatrix,
+    *,
+    limit: int = 100_000,
+) -> Optional[FractionalCoverResult]:
+    """Solve the fractional rectangle cover LP for ``matrix``.
+
+    Returns ``None`` for the all-zero matrix (the LP is empty and the
+    bound is trivially 0).
+    """
+    # scipy is an optional dependency (the 'dev' extra): only this LP
+    # needs it, so the import is deferred to the call.
+    from scipy.optimize import linprog
+
+    cells = list(matrix.ones())
+    if not cells:
+        return None
+    rectangles = maximal_rectangles(matrix, limit=limit)
+    if not rectangles:  # pragma: no cover - nonzero matrix always has one
+        raise SolverError("no maximal rectangles for a nonzero matrix")
+
+    cell_index = {cell: t for t, cell in enumerate(cells)}
+    # Constraint matrix: A[t, r] = 1 iff rectangle r covers cell t.
+    coverage = np.zeros((len(cells), len(rectangles)))
+    for r, rectangle in enumerate(rectangles):
+        for i in rectangle.rows:
+            for j in rectangle.cols:
+                coverage[cell_index[(i, j)], r] = 1.0
+
+    # linprog solves min c x s.t. A_ub x <= b_ub; flip the >= 1 rows.
+    result = linprog(
+        c=np.ones(len(rectangles)),
+        A_ub=-coverage,
+        b_ub=-np.ones(len(cells)),
+        bounds=(0, None),
+        method="highs",
+    )
+    if not result.success:  # pragma: no cover - LP is always feasible
+        raise SolverError(f"fractional cover LP failed: {result.message}")
+    weights = [
+        (rectangles[r], float(result.x[r]))
+        for r in range(len(rectangles))
+        if result.x[r] > _EPSILON
+    ]
+    return FractionalCoverResult(
+        value=float(result.fun),
+        weights=weights,
+        num_rectangles=len(rectangles),
+    )
+
+
+def lp_lower_bound(matrix: BinaryMatrix, *, limit: int = 100_000) -> int:
+    """Ceiling of the fractional cover number: a lower bound on r_B."""
+    result = fractional_cover(matrix, limit=limit)
+    if result is None:
+        return 0
+    return result.lower_bound

@@ -1,0 +1,43 @@
+"""Validation for rectangle covers (non-disjoint).
+
+A *cover* drops the disjointness requirement of a partition: rectangles
+may overlap, every 1 must be covered at least once, and no rectangle may
+touch a 0.  The minimum number of rectangles is the **boolean rank**
+(minimum biclique *cover*), always <= the binary rank.  The paper's
+addressing semantics (Rz phase accumulates) require partitions; covers
+matter for idempotent effects and as the classical point of comparison
+in the communication-complexity literature the paper cites.
+"""
+
+from __future__ import annotations
+
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.exceptions import InvalidPartitionError
+from repro.core.partition import Partition
+
+
+def validate_cover(matrix: BinaryMatrix, cover: Partition) -> None:
+    """Raise unless ``cover`` covers exactly the 1s (overlaps allowed)."""
+    if cover.shape != matrix.shape:
+        raise InvalidPartitionError(
+            f"cover shape {cover.shape} != matrix shape {matrix.shape}"
+        )
+    for index, rect in enumerate(cover):
+        if not rect.within(matrix):
+            raise InvalidPartitionError(
+                f"rectangle #{index} {rect!r} covers a 0 of the matrix"
+            )
+    if cover.covered_matrix() != matrix:
+        missing = matrix.elementwise_and(
+            cover.covered_matrix().complement()
+        )
+        cell = next(missing.ones())
+        raise InvalidPartitionError(f"cell {cell} is not covered")
+
+
+def is_valid_cover(matrix: BinaryMatrix, cover: Partition) -> bool:
+    try:
+        validate_cover(matrix, cover)
+    except InvalidPartitionError:
+        return False
+    return True

@@ -1,0 +1,5 @@
+"""Exact cover via Knuth's Algorithm X / dancing links."""
+
+from repro.exact_cover.dlx import DancingLinks, exact_cover_masks
+
+__all__ = ["DancingLinks", "exact_cover_masks"]

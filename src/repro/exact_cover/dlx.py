@@ -1,0 +1,197 @@
+"""Knuth's Algorithm X with dancing links (DLX).
+
+Section VI of the paper suggests replacing row packing's greedy, shuffle-
+driven decomposition with an exact-cover search "such as Knuth's
+Algorithm X"; :mod:`repro.solvers.row_packing_x` does exactly that, with
+this module as the substrate.  The implementation is the classic toroidal
+doubly-linked node structure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, List, Optional, Sequence
+
+from repro.core.exceptions import SolverError
+
+
+class DancingLinks:
+    """Exact cover: select rows covering every universe column exactly once.
+
+    Columns are integers ``0..universe_size-1``; rows are added with
+    arbitrary hashable names.  ``solve`` yields solutions lazily as lists
+    of row names.
+    """
+
+    _HEADER = 0
+
+    def __init__(self, universe_size: int) -> None:
+        if universe_size < 0:
+            raise SolverError(f"universe size must be >= 0, got {universe_size}")
+        self.universe_size = universe_size
+        # Node arrays; index 0 is the root header.
+        size = universe_size + 1
+        self._left = list(range(-1, size - 1))
+        self._right = list(range(1, size + 1))
+        self._left[0] = size - 1
+        self._right[size - 1] = 0
+        self._up = list(range(size))
+        self._down = list(range(size))
+        self._column: List[int] = list(range(size))  # column header index
+        self._row_name: List[Optional[Hashable]] = [None] * size
+        self._col_size = [0] * size  # counts per column header
+        self._row_names_seen: set = set()
+
+    def _new_node(self) -> int:
+        self._left.append(0)
+        self._right.append(0)
+        self._up.append(0)
+        self._down.append(0)
+        self._column.append(0)
+        self._row_name.append(None)
+        return len(self._left) - 1
+
+    def add_row(self, name: Hashable, columns: Sequence[int]) -> None:
+        """Add a candidate row covering ``columns``."""
+        cols = sorted(set(columns))
+        if not cols:
+            raise SolverError(f"row {name!r} covers no columns")
+        for col in cols:
+            if not 0 <= col < self.universe_size:
+                raise SolverError(
+                    f"row {name!r}: column {col} outside universe "
+                    f"[0, {self.universe_size})"
+                )
+        if name in self._row_names_seen:
+            raise SolverError(f"duplicate row name {name!r}")
+        self._row_names_seen.add(name)
+
+        first: Optional[int] = None
+        for col in cols:
+            header = col + 1  # headers occupy indices 1..universe_size
+            node = self._new_node()
+            self._row_name[node] = name
+            self._column[node] = header
+            # Vertical splice above the header (end of the column list).
+            self._down[node] = header
+            self._up[node] = self._up[header]
+            self._down[self._up[header]] = node
+            self._up[header] = node
+            self._col_size[header] += 1
+            # Horizontal splice into the row's circular list.
+            if first is None:
+                first = node
+                self._left[node] = node
+                self._right[node] = node
+            else:
+                self._left[node] = self._left[first]
+                self._right[node] = first
+                self._right[self._left[first]] = node
+                self._left[first] = node
+
+    # ------------------------------------------------------------------
+    def _cover(self, header: int) -> None:
+        self._right[self._left[header]] = self._right[header]
+        self._left[self._right[header]] = self._left[header]
+        row = self._down[header]
+        while row != header:
+            node = self._right[row]
+            while node != row:
+                self._down[self._up[node]] = self._down[node]
+                self._up[self._down[node]] = self._up[node]
+                self._col_size[self._column[node]] -= 1
+                node = self._right[node]
+            row = self._down[row]
+
+    def _uncover(self, header: int) -> None:
+        row = self._up[header]
+        while row != header:
+            node = self._left[row]
+            while node != row:
+                self._col_size[self._column[node]] += 1
+                self._down[self._up[node]] = node
+                self._up[self._down[node]] = node
+                node = self._left[node]
+            row = self._up[row]
+        self._right[self._left[header]] = header
+        self._left[self._right[header]] = header
+
+    def solutions(self) -> Iterator[List[Hashable]]:
+        """Yield every exact cover (as a list of row names)."""
+        stack: List[int] = []
+
+        def search() -> Iterator[List[Hashable]]:
+            root = self._HEADER
+            if self._right[root] == root:
+                yield [self._row_name[node] for node in stack]
+                return
+            # Choose the smallest column (Knuth's S heuristic).
+            best = self._right[root]
+            header = self._right[root]
+            while header != root:
+                if self._col_size[header] < self._col_size[best]:
+                    best = header
+                header = self._right[header]
+            if self._col_size[best] == 0:
+                return
+            self._cover(best)
+            row = self._down[best]
+            while row != best:
+                stack.append(row)
+                node = self._right[row]
+                while node != row:
+                    self._cover(self._column[node])
+                    node = self._right[node]
+                yield from search()
+                node = self._left[row]
+                while node != row:
+                    self._uncover(self._column[node])
+                    node = self._left[node]
+                stack.pop()
+                row = self._down[row]
+            self._uncover(best)
+
+        yield from search()
+
+    def solve(self) -> Optional[List[Hashable]]:
+        """First exact cover, or ``None``."""
+        for solution in self.solutions():
+            return solution
+        return None
+
+    def count_solutions(self, limit: int = 1_000_000) -> int:
+        count = 0
+        for _ in self.solutions():
+            count += 1
+            if count >= limit:
+                break
+        return count
+
+
+def exact_cover_masks(
+    universe_mask: int, candidates: Dict[Hashable, int]
+) -> Optional[List[Hashable]]:
+    """Exact cover of a bit-mask universe by named candidate masks.
+
+    Convenience wrapper used by the row-packing-X heuristic: each
+    candidate must be a subset of ``universe_mask``; returns names whose
+    masks partition ``universe_mask``, or ``None``.
+    """
+    if universe_mask == 0:
+        return []
+    columns: Dict[int, int] = {}
+    for bit_position in range(universe_mask.bit_length()):
+        if (universe_mask >> bit_position) & 1:
+            columns[bit_position] = len(columns)
+    dlx = DancingLinks(len(columns))
+    usable = 0
+    for name, mask in candidates.items():
+        if mask == 0 or mask & ~universe_mask:
+            continue
+        dlx.add_row(
+            name,
+            [columns[p] for p in range(mask.bit_length()) if (mask >> p) & 1],
+        )
+        usable += 1
+    if usable == 0:
+        return None
+    return dlx.solve()

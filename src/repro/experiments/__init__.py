@@ -1,0 +1,41 @@
+"""Experiment runners regenerating every table and figure of the paper."""
+
+from repro.experiments.ablation import (
+    AblationConfig,
+    AblationResult,
+    run_ablation,
+)
+from repro.experiments.common import resolve_scale
+from repro.experiments.figure4 import Figure4Config, Figure4Result, run_figure4
+from repro.experiments.ftqc_experiment import FtqcConfig, FtqcResult, run_ftqc
+from repro.experiments.qldpc_experiment import (
+    QldpcConfig,
+    QldpcResult,
+    run_qldpc,
+)
+from repro.experiments.table1 import (
+    Table1Config,
+    Table1Result,
+    evaluate_case,
+    run_table1,
+)
+
+__all__ = [
+    "AblationConfig",
+    "AblationResult",
+    "Figure4Config",
+    "Figure4Result",
+    "FtqcConfig",
+    "FtqcResult",
+    "QldpcConfig",
+    "QldpcResult",
+    "Table1Config",
+    "Table1Result",
+    "evaluate_case",
+    "resolve_scale",
+    "run_ablation",
+    "run_figure4",
+    "run_ftqc",
+    "run_qldpc",
+    "run_table1",
+]

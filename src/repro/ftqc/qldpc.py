@@ -1,0 +1,125 @@
+"""qLDPC memory blocks in 1D layout (Figure 5b, Section V conjecture).
+
+Quantum LDPC codes store several logical qubits per block; blocks sit in
+a 1D row because they are memory, and logical single-qubit operations
+hit per-block offset patterns that differ block to block.  The paper
+conjectures that *row-by-row* addressing (one AOD configuration per
+distinct block pattern) is usually already optimal, supported by the
+observation that wide random matrices (10x20, 10x30) are full rank far
+more often than square ones at equal occupancy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.exceptions import InvalidMatrixError
+from repro.core.reductions import distinct_nonzero_rows
+from repro.linalg.exact_rank import real_rank
+from repro.solvers.sap import SapOptions, sap_solve
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class BlockLayout:
+    """1D arrangement of memory blocks, each holding ``block_size`` sites."""
+
+    num_blocks: int
+    block_size: int
+
+    def __post_init__(self) -> None:
+        if self.num_blocks < 1 or self.block_size < 1:
+            raise InvalidMatrixError(
+                f"invalid layout {self.num_blocks} x {self.block_size}"
+            )
+
+    def pattern_from_offsets(
+        self, offsets_per_block: Sequence[Sequence[int]]
+    ) -> BinaryMatrix:
+        """Addressing matrix: row = block, column = offset inside block."""
+        if len(offsets_per_block) != self.num_blocks:
+            raise InvalidMatrixError(
+                f"expected offsets for {self.num_blocks} blocks, "
+                f"got {len(offsets_per_block)}"
+            )
+        masks = []
+        for block, offsets in enumerate(offsets_per_block):
+            mask = 0
+            for offset in offsets:
+                if not 0 <= offset < self.block_size:
+                    raise InvalidMatrixError(
+                        f"block {block}: offset {offset} outside "
+                        f"[0, {self.block_size})"
+                    )
+                mask |= 1 << offset
+            masks.append(mask)
+        return BinaryMatrix(masks, self.block_size)
+
+    def random_pattern(
+        self,
+        qubits_per_block: int,
+        *,
+        seed: RngLike = None,
+    ) -> BinaryMatrix:
+        """Each block addresses ``qubits_per_block`` uniform random offsets."""
+        if not 0 <= qubits_per_block <= self.block_size:
+            raise InvalidMatrixError(
+                f"qubits_per_block must be in [0, {self.block_size}]"
+            )
+        rng = ensure_rng(seed)
+        offsets = [
+            rng.sample(range(self.block_size), qubits_per_block)
+            for _ in range(self.num_blocks)
+        ]
+        return self.pattern_from_offsets(offsets)
+
+
+def row_addressing_depth(matrix: BinaryMatrix) -> int:
+    """Depth of the naive row-by-row schedule: one configuration per
+    distinct non-empty row (identical block patterns share a shot)."""
+    return distinct_nonzero_rows(matrix)
+
+
+def row_addressing_sufficient(
+    matrix: BinaryMatrix,
+    *,
+    seed: RngLike = None,
+    time_budget: Optional[float] = None,
+) -> Optional[bool]:
+    """Is row-by-row addressing depth-optimal for ``matrix``?
+
+    Returns ``None`` when SAP cannot prove the binary rank in budget.
+    """
+    result = sap_solve(
+        matrix,
+        options=SapOptions(trials=32, seed=seed, time_budget=time_budget),
+    )
+    if not result.proved_optimal:
+        return None
+    return result.depth == row_addressing_depth(matrix)
+
+
+def full_rank_fraction(
+    num_rows: int,
+    num_cols: int,
+    occupancy: float,
+    samples: int,
+    *,
+    seed: RngLike = None,
+) -> float:
+    """Fraction of random ``num_rows x num_cols`` matrices at the given
+    occupancy whose real rank equals ``num_rows`` (Section V evidence:
+    wider is easier)."""
+    from repro.benchgen.random_matrices import random_matrix
+
+    if samples < 1:
+        raise InvalidMatrixError(f"samples must be >= 1, got {samples}")
+    rng = ensure_rng(seed)
+    hits = 0
+    for _ in range(samples):
+        matrix = random_matrix(num_rows, num_cols, occupancy, seed=rng)
+        if real_rank(matrix) == num_rows:
+            hits += 1
+    return hits / samples

@@ -1,0 +1,97 @@
+"""Detecting Kronecker (two-level) structure in a pattern.
+
+The FTQC setting *produces* patterns as ``M^ (x) M``; when a compiler
+receives only the flat physical pattern, this module recovers the
+factors for a given block size (exact for binary matrices: every block
+must be all-zero or equal to one common block).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.exceptions import InvalidMatrixError
+
+
+def possible_inner_shapes(shape: Tuple[int, int]) -> Iterator[Tuple[int, int]]:
+    """All block shapes that divide ``shape`` (excluding the trivial 1x1
+    and the full shape itself)."""
+    num_rows, num_cols = shape
+    for block_rows in range(1, num_rows + 1):
+        if num_rows % block_rows:
+            continue
+        for block_cols in range(1, num_cols + 1):
+            if num_cols % block_cols:
+                continue
+            if (block_rows, block_cols) == (1, 1):
+                continue
+            if (block_rows, block_cols) == (num_rows, num_cols):
+                continue
+            yield (block_rows, block_cols)
+
+
+def _extract_block(
+    matrix: BinaryMatrix,
+    block_row: int,
+    block_col: int,
+    inner_shape: Tuple[int, int],
+) -> BinaryMatrix:
+    inner_rows, inner_cols = inner_shape
+    rows = range(block_row * inner_rows, (block_row + 1) * inner_rows)
+    cols = range(block_col * inner_cols, (block_col + 1) * inner_cols)
+    return matrix.submatrix(list(rows), list(cols))
+
+
+def detect_kron(
+    matrix: BinaryMatrix, inner_shape: Tuple[int, int]
+) -> Optional[Tuple[BinaryMatrix, BinaryMatrix]]:
+    """Factor ``matrix = outer (x) inner`` with ``inner`` of the given
+    shape, or return ``None`` when no such factorization exists.
+
+    A binary matrix factors over a block grid iff every block is either
+    all-zero or identical to one common non-zero block.
+    """
+    inner_rows, inner_cols = inner_shape
+    num_rows, num_cols = matrix.shape
+    if inner_rows <= 0 or inner_cols <= 0:
+        raise InvalidMatrixError(f"bad inner shape {inner_shape}")
+    if num_rows % inner_rows or num_cols % inner_cols:
+        return None
+    outer_rows = num_rows // inner_rows
+    outer_cols = num_cols // inner_cols
+
+    reference: Optional[BinaryMatrix] = None
+    outer_cells: List[Tuple[int, int]] = []
+    for block_row in range(outer_rows):
+        for block_col in range(outer_cols):
+            block = _extract_block(matrix, block_row, block_col, inner_shape)
+            if block.is_zero():
+                continue
+            if reference is None:
+                reference = block
+            elif block != reference:
+                return None
+            outer_cells.append((block_row, block_col))
+
+    if reference is None:
+        # Zero matrix: represent as zero outer with a zero inner block.
+        return (
+            BinaryMatrix.zeros(outer_rows, outer_cols),
+            BinaryMatrix.zeros(inner_rows, inner_cols),
+        )
+    outer = BinaryMatrix.from_cells(outer_cells, (outer_rows, outer_cols))
+    return outer, reference
+
+
+def find_kron_factorizations(
+    matrix: BinaryMatrix,
+) -> List[Tuple[Tuple[int, int], BinaryMatrix, BinaryMatrix]]:
+    """All non-trivial Kronecker factorizations, as
+    ``(inner_shape, outer, inner)`` triples."""
+    found = []
+    for inner_shape in possible_inner_shapes(matrix.shape):
+        factors = detect_kron(matrix, inner_shape)
+        if factors is not None:
+            found.append((inner_shape, factors[0], factors[1]))
+    return found

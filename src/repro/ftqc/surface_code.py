@@ -1,0 +1,95 @@
+"""Surface-code patch layouts (Figure 5a).
+
+Each logical qubit is a ``distance x distance`` patch of data qubits
+(check qubits are not addressed by the single-qubit-gate schedules this
+library targets, matching the paper's figure).  A logical operation
+``U`` applied to a 2D pattern of patches expands to the tensor product
+of the logical mask and the per-patch physical mask.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.exceptions import InvalidMatrixError
+
+
+def transversal_patch_mask(distance: int) -> BinaryMatrix:
+    """Physical mask of a transversal single-qubit gate (X/Z/H...): every
+    data qubit of the patch — the all-ones matrix, with
+    ``phi = r_B = 1``."""
+    if distance < 1:
+        raise InvalidMatrixError(f"distance must be >= 1, got {distance}")
+    return BinaryMatrix.all_ones(distance, distance)
+
+
+def boundary_row_patch_mask(distance: int, row: int = 0) -> BinaryMatrix:
+    """Physical mask touching one row of the patch (e.g. a lattice-surgery
+    boundary preparation)."""
+    if not 0 <= row < distance:
+        raise InvalidMatrixError(f"row {row} outside patch of distance {distance}")
+    masks = [0] * distance
+    masks[row] = (1 << distance) - 1
+    return BinaryMatrix(masks, distance)
+
+
+def corner_patch_mask(distance: int) -> BinaryMatrix:
+    """Physical mask addressing a single corner data qubit (e.g. a
+    twist-defect / injection site)."""
+    if distance < 1:
+        raise InvalidMatrixError(f"distance must be >= 1, got {distance}")
+    masks = [0] * distance
+    masks[0] = 1
+    return BinaryMatrix(masks, distance)
+
+
+@dataclass(frozen=True)
+class SurfaceCodeGrid:
+    """A 2D grid of surface-code patches."""
+
+    patch_rows: int
+    patch_cols: int
+    distance: int
+
+    def __post_init__(self) -> None:
+        if self.patch_rows < 1 or self.patch_cols < 1 or self.distance < 1:
+            raise InvalidMatrixError(
+                f"invalid grid {self.patch_rows}x{self.patch_cols} "
+                f"at distance {self.distance}"
+            )
+
+    @property
+    def logical_shape(self) -> Tuple[int, int]:
+        return (self.patch_rows, self.patch_cols)
+
+    @property
+    def physical_shape(self) -> Tuple[int, int]:
+        return (
+            self.patch_rows * self.distance,
+            self.patch_cols * self.distance,
+        )
+
+    def physical_pattern(
+        self,
+        logical_mask: BinaryMatrix,
+        patch_mask: BinaryMatrix = None,
+    ) -> BinaryMatrix:
+        """Expand a logical mask to the physical data-qubit pattern.
+
+        ``patch_mask`` defaults to the transversal all-ones mask.
+        """
+        if logical_mask.shape != self.logical_shape:
+            raise InvalidMatrixError(
+                f"logical mask shape {logical_mask.shape} != grid "
+                f"{self.logical_shape}"
+            )
+        if patch_mask is None:
+            patch_mask = transversal_patch_mask(self.distance)
+        if patch_mask.shape != (self.distance, self.distance):
+            raise InvalidMatrixError(
+                f"patch mask shape {patch_mask.shape} != "
+                f"({self.distance}, {self.distance})"
+            )
+        return logical_mask.tensor(patch_mask)

@@ -1,0 +1,113 @@
+"""Tensor products of partitions and the Eq. 5 bounds.
+
+Section V: a logical-level pattern ``M^`` (which patches get the
+operation) combines with a physical-level pattern ``M`` (which data
+qubits inside a patch) into the overall pattern ``M^ (x) M``.  Partition
+each level independently and take the tensor product of the partitions:
+``r_B(M^ (x) M) <= r_B(M^) * r_B(M)``.  Whether binary rank is
+multiplicative is open; Watson's fooling-set bound gives
+
+    max(r_B(M^) * phi(M), r_B(M) * phi(M^)) <= r_B(M^ (x) M).     (Eq. 5)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.exceptions import InvalidPartitionError
+from repro.core.fooling import fooling_number
+from repro.core.partition import Partition
+from repro.core.rectangle import Rectangle
+from repro.solvers.sap import SapOptions, sap_solve
+from repro.utils.rng import RngLike
+
+
+def tensor_rectangle(
+    outer: Rectangle, inner: Rectangle, inner_shape
+) -> Rectangle:
+    """The Kronecker product of two rectangles."""
+    inner_rows, inner_cols = inner_shape
+    rows = [
+        outer_row * inner_rows + inner_row
+        for outer_row in outer.rows
+        for inner_row in inner.rows
+    ]
+    cols = [
+        outer_col * inner_cols + inner_col
+        for outer_col in outer.cols
+        for inner_col in inner.cols
+    ]
+    return Rectangle.from_sets(rows, cols)
+
+
+def tensor_partition(outer: Partition, inner: Partition) -> Partition:
+    """Tensor product of two partitions: partitions ``M^ (x) M``.
+
+    If ``outer`` partitions ``M^`` and ``inner`` partitions ``M``, the
+    result partitions their Kronecker product with
+    ``len(outer) * len(inner)`` rectangles.
+    """
+    inner_shape = inner.shape
+    rects = [
+        tensor_rectangle(outer_rect, inner_rect, inner_shape)
+        for outer_rect in outer
+        for inner_rect in inner
+    ]
+    shape = (
+        outer.shape[0] * inner_shape[0],
+        outer.shape[1] * inner_shape[1],
+    )
+    return Partition(rects, shape)
+
+
+@dataclass(frozen=True)
+class TensorBounds:
+    """Eq. 5 bracket for ``r_B(M^ (x) M)``."""
+
+    upper: int  # r_B(M^) * r_B(M)
+    lower: int  # max(r_B(M^)*phi(M), r_B(M)*phi(M^))
+    outer_rank: int
+    inner_rank: int
+    outer_fooling: int
+    inner_fooling: int
+
+    @property
+    def is_tight(self) -> bool:
+        return self.upper == self.lower
+
+
+def tensor_rank_bounds(
+    outer_matrix: BinaryMatrix,
+    inner_matrix: BinaryMatrix,
+    *,
+    seed: RngLike = None,
+    time_budget: Optional[float] = None,
+) -> TensorBounds:
+    """Compute Eq. 5's bracket, solving each factor exactly via SAP."""
+    outer_result = sap_solve(
+        outer_matrix, options=SapOptions(trials=32, seed=seed, time_budget=time_budget)
+    )
+    inner_result = sap_solve(
+        inner_matrix, options=SapOptions(trials=32, seed=seed, time_budget=time_budget)
+    )
+    if not (outer_result.proved_optimal and inner_result.proved_optimal):
+        raise InvalidPartitionError(
+            "factor binary ranks not proven within budget; "
+            "increase time_budget"
+        )
+    outer_rank = outer_result.depth
+    inner_rank = inner_result.depth
+    outer_fooling = fooling_number(outer_matrix, seed=seed)
+    inner_fooling = fooling_number(inner_matrix, seed=seed)
+    return TensorBounds(
+        upper=outer_rank * inner_rank,
+        lower=max(
+            outer_rank * inner_fooling, inner_rank * outer_fooling
+        ),
+        outer_rank=outer_rank,
+        inner_rank=inner_rank,
+        outer_fooling=outer_fooling,
+        inner_fooling=inner_fooling,
+    )

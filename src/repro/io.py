@@ -1,0 +1,172 @@
+"""JSON (de)serialization of matrices, partitions, and schedules.
+
+Lets solve results move between processes/toolchains: a compiled
+schedule can be exported for a control-stack consumer, and regression
+baselines can be stored next to benchmarks.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.atoms.aod import AodConfiguration
+from repro.atoms.schedule import (
+    AddressingOperation,
+    AddressingSchedule,
+    RzPulse,
+)
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.exceptions import ReproError
+from repro.core.partition import Partition
+from repro.core.rectangle import Rectangle
+
+FORMAT_VERSION = 1
+
+
+class SerializationError(ReproError):
+    """Raised on malformed serialized payloads."""
+
+
+# ----------------------------------------------------------------------
+# Matrices
+# ----------------------------------------------------------------------
+def matrix_to_dict(matrix: BinaryMatrix) -> Dict[str, Any]:
+    return {
+        "version": FORMAT_VERSION,
+        "type": "binary_matrix",
+        "shape": list(matrix.shape),
+        "rows": matrix.to_strings(),
+    }
+
+
+def matrix_from_dict(payload: Dict[str, Any]) -> BinaryMatrix:
+    _expect(payload, "binary_matrix")
+    matrix = BinaryMatrix.from_strings(payload["rows"])
+    if list(matrix.shape) != list(payload["shape"]):
+        raise SerializationError(
+            f"shape field {payload['shape']} does not match rows "
+            f"{list(matrix.shape)}"
+        )
+    return matrix
+
+
+# ----------------------------------------------------------------------
+# Partitions
+# ----------------------------------------------------------------------
+def partition_to_dict(partition: Partition) -> Dict[str, Any]:
+    return {
+        "version": FORMAT_VERSION,
+        "type": "partition",
+        "shape": list(partition.shape),
+        "rectangles": [
+            {"rows": list(rect.rows), "cols": list(rect.cols)}
+            for rect in partition
+        ],
+    }
+
+
+def partition_from_dict(payload: Dict[str, Any]) -> Partition:
+    _expect(payload, "partition")
+    shape = tuple(payload["shape"])
+    if len(shape) != 2:
+        raise SerializationError(f"bad shape {payload['shape']}")
+    rects = [
+        Rectangle.from_sets(entry["rows"], entry["cols"])
+        for entry in payload["rectangles"]
+    ]
+    return Partition(rects, shape)  # type: ignore[arg-type]
+
+
+# ----------------------------------------------------------------------
+# Schedules
+# ----------------------------------------------------------------------
+def schedule_to_dict(schedule: AddressingSchedule) -> Dict[str, Any]:
+    return {
+        "version": FORMAT_VERSION,
+        "type": "schedule",
+        "shape": list(schedule.shape),
+        "operations": [
+            {
+                "rows": sorted(op.configuration.rows),
+                "cols": sorted(op.configuration.cols),
+                "theta": op.pulse.theta,
+            }
+            for op in schedule
+        ],
+    }
+
+
+def schedule_from_dict(payload: Dict[str, Any]) -> AddressingSchedule:
+    _expect(payload, "schedule")
+    shape = tuple(payload["shape"])
+    if len(shape) != 2:
+        raise SerializationError(f"bad shape {payload['shape']}")
+    operations = [
+        AddressingOperation(
+            AodConfiguration(entry["rows"], entry["cols"]),
+            RzPulse(entry["theta"]),
+        )
+        for entry in payload["operations"]
+    ]
+    return AddressingSchedule(operations, shape)  # type: ignore[arg-type]
+
+
+# ----------------------------------------------------------------------
+# File helpers
+# ----------------------------------------------------------------------
+_SERIALIZERS = {
+    BinaryMatrix: matrix_to_dict,
+    Partition: partition_to_dict,
+    AddressingSchedule: schedule_to_dict,
+}
+
+_DESERIALIZERS = {
+    "binary_matrix": matrix_from_dict,
+    "partition": partition_from_dict,
+    "schedule": schedule_from_dict,
+}
+
+
+def dumps(obj: Any) -> str:
+    serializer = _SERIALIZERS.get(type(obj))
+    if serializer is None:
+        raise SerializationError(f"cannot serialize {type(obj).__name__}")
+    return json.dumps(serializer(obj), indent=2)
+
+
+def loads(text: str) -> Any:
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise SerializationError(f"invalid JSON: {error}") from error
+    if not isinstance(payload, dict) or "type" not in payload:
+        raise SerializationError("payload is not a tagged object")
+    deserializer = _DESERIALIZERS.get(payload["type"])
+    if deserializer is None:
+        raise SerializationError(f"unknown type {payload['type']!r}")
+    return deserializer(payload)
+
+
+def save(obj: Any, path: str) -> None:
+    with open(path, "w") as stream:
+        stream.write(dumps(obj))
+        stream.write("\n")
+
+
+def load(path: str) -> Any:
+    with open(path) as stream:
+        return loads(stream.read())
+
+
+def _expect(payload: Dict[str, Any], expected_type: str) -> None:
+    if payload.get("type") != expected_type:
+        raise SerializationError(
+            f"expected type {expected_type!r}, got {payload.get('type')!r}"
+        )
+    version = payload.get("version", FORMAT_VERSION)
+    if version > FORMAT_VERSION:
+        raise SerializationError(
+            f"payload version {version} newer than supported "
+            f"{FORMAT_VERSION}"
+        )

@@ -1,0 +1,23 @@
+"""Exact linear algebra substrates (rank over Q, GF(2) tools)."""
+
+from repro.linalg.exact_rank import determinant, rank_over_q, real_rank
+from repro.linalg.gf2 import (
+    gf2_in_row_space,
+    gf2_nullspace,
+    gf2_rank,
+    gf2_row_basis,
+    gf2_row_reduce,
+    gf2_solve,
+)
+
+__all__ = [
+    "determinant",
+    "gf2_in_row_space",
+    "gf2_nullspace",
+    "gf2_rank",
+    "gf2_row_basis",
+    "gf2_row_reduce",
+    "gf2_solve",
+    "rank_over_q",
+    "real_rank",
+]

@@ -1,0 +1,60 @@
+"""Brute-force SAT solving over small variable counts.
+
+A ground-truth oracle for testing the CDCL solver: enumerates all
+assignments, so strictly limited to ~25 variables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.exceptions import SolverError
+from repro.sat.formula import CnfFormula
+
+_MAX_BRUTE_VARS = 25
+
+
+def brute_force_model(formula: CnfFormula) -> Optional[Dict[int, bool]]:
+    """Return some satisfying assignment, or ``None`` if unsatisfiable."""
+    n = formula.num_vars
+    if n > _MAX_BRUTE_VARS:
+        raise SolverError(
+            f"brute force limited to {_MAX_BRUTE_VARS} vars, got {n}"
+        )
+    clauses = [
+        [(abs(lit) - 1, lit > 0) for lit in clause]
+        for clause in formula.clauses
+    ]
+    for bits in range(1 << n):
+        satisfied = True
+        for clause in clauses:
+            if not any(
+                bool((bits >> var) & 1) == positive
+                for var, positive in clause
+            ):
+                satisfied = False
+                break
+        if satisfied:
+            return {v + 1: bool((bits >> v) & 1) for v in range(n)}
+    return None
+
+
+def brute_force_count(formula: CnfFormula) -> int:
+    """Count satisfying assignments (model counting for tiny formulas)."""
+    n = formula.num_vars
+    if n > _MAX_BRUTE_VARS:
+        raise SolverError(
+            f"brute force limited to {_MAX_BRUTE_VARS} vars, got {n}"
+        )
+    clauses = [
+        [(abs(lit) - 1, lit > 0) for lit in clause]
+        for clause in formula.clauses
+    ]
+    count = 0
+    for bits in range(1 << n):
+        if all(
+            any(bool((bits >> var) & 1) == positive for var, positive in clause)
+            for clause in clauses
+        ):
+            count += 1
+    return count

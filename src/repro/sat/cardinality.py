@@ -1,0 +1,132 @@
+"""Cardinality constraint encodings.
+
+The EBMF encoder needs exactly-one constraints (each 1-cell belongs to
+exactly one rectangle).  Three at-most-one encodings are provided; the
+sequential (ladder) encoding is the default for larger groups, pairwise
+for small ones.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.exceptions import EncodingError
+from repro.sat.formula import ClauseSink
+
+
+def at_least_one(sink: ClauseSink, literals: Sequence[int]) -> None:
+    if not literals:
+        raise EncodingError("at_least_one of an empty set is unsatisfiable")
+    sink.add_clause(list(literals))
+
+
+def at_most_one_pairwise(sink: ClauseSink, literals: Sequence[int]) -> None:
+    """O(n^2) binomial encoding; best for n <= ~6."""
+    for a in range(len(literals)):
+        for b in range(a + 1, len(literals)):
+            sink.add_clause([-literals[a], -literals[b]])
+
+
+def at_most_one_sequential(sink: ClauseSink, literals: Sequence[int]) -> None:
+    """Sinz's sequential (ladder) encoding: O(n) clauses, n-1 aux vars.
+
+    ``s_i`` means "some literal among the first i+1 is true".
+    """
+    n = len(literals)
+    if n <= 1:
+        return
+    registers = [sink.new_var() for _ in range(n - 1)]
+    sink.add_clause([-literals[0], registers[0]])
+    for i in range(1, n - 1):
+        sink.add_clause([-literals[i], registers[i]])
+        sink.add_clause([-registers[i - 1], registers[i]])
+        sink.add_clause([-literals[i], -registers[i - 1]])
+    sink.add_clause([-literals[n - 1], -registers[n - 2]])
+
+
+def at_most_one_commander(
+    sink: ClauseSink, literals: Sequence[int], *, group_size: int = 3
+) -> None:
+    """Commander encoding: recursive grouping with commander variables."""
+    if group_size < 2:
+        raise EncodingError("commander group size must be >= 2")
+    literals = list(literals)
+    if len(literals) <= group_size + 1:
+        at_most_one_pairwise(sink, literals)
+        return
+    commanders: List[int] = []
+    for start in range(0, len(literals), group_size):
+        group = literals[start : start + group_size]
+        if len(group) == 1:
+            commanders.append(group[0])
+            continue
+        commander = sink.new_var()
+        commanders.append(commander)
+        at_most_one_pairwise(sink, group)
+        # commander is true iff some group member is true (-> suffices
+        # for at-most-one; <- keeps the commander meaningful).
+        for lit in group:
+            sink.add_clause([-lit, commander])
+        sink.add_clause([-commander] + group)
+    at_most_one_commander(sink, commanders, group_size=group_size)
+
+
+def at_most_one(
+    sink: ClauseSink,
+    literals: Sequence[int],
+    *,
+    encoding: str = "auto",
+) -> None:
+    """Dispatch on ``encoding``: pairwise | sequential | commander | auto."""
+    literals = list(literals)
+    if len(literals) <= 1:
+        return
+    if encoding == "auto":
+        encoding = "pairwise" if len(literals) <= 6 else "sequential"
+    if encoding == "pairwise":
+        at_most_one_pairwise(sink, literals)
+    elif encoding == "sequential":
+        at_most_one_sequential(sink, literals)
+    elif encoding == "commander":
+        at_most_one_commander(sink, literals)
+    else:
+        raise EncodingError(f"unknown at-most-one encoding {encoding!r}")
+
+
+def exactly_one(
+    sink: ClauseSink,
+    literals: Sequence[int],
+    *,
+    encoding: str = "auto",
+) -> None:
+    at_least_one(sink, literals)
+    at_most_one(sink, literals, encoding=encoding)
+
+
+def at_most_k_sequential(
+    sink: ClauseSink, literals: Sequence[int], k: int
+) -> None:
+    """Sinz's sequential counter generalized to at-most-k."""
+    n = len(literals)
+    if k < 0:
+        raise EncodingError(f"k must be >= 0, got {k}")
+    if k == 0:
+        for lit in literals:
+            sink.add_clause([-lit])
+        return
+    if n <= k:
+        return
+    # registers[i][j]: among literals[0..i], at least j+1 are true.
+    registers = [[sink.new_var() for _ in range(k)] for _ in range(n)]
+    sink.add_clause([-literals[0], registers[0][0]])
+    for j in range(1, k):
+        sink.add_clause([-registers[0][j]])
+    for i in range(1, n):
+        sink.add_clause([-literals[i], registers[i][0]])
+        sink.add_clause([-registers[i - 1][0], registers[i][0]])
+        for j in range(1, k):
+            sink.add_clause(
+                [-literals[i], -registers[i - 1][j - 1], registers[i][j]]
+            )
+            sink.add_clause([-registers[i - 1][j], registers[i][j]])
+        sink.add_clause([-literals[i], -registers[i - 1][k - 1]])

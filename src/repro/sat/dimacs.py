@@ -1,0 +1,60 @@
+"""DIMACS CNF serialization, for interoperability and debugging."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, TextIO
+
+from repro.core.exceptions import SolverError
+from repro.sat.formula import CnfFormula
+
+
+def to_dimacs(formula: CnfFormula, *, comments: Iterable[str] = ()) -> str:
+    """Render a formula in DIMACS CNF format."""
+    lines: List[str] = [f"c {comment}" for comment in comments]
+    lines.append(f"p cnf {formula.num_vars} {formula.num_clauses}")
+    for clause in formula.clauses:
+        lines.append(" ".join(str(lit) for lit in clause) + " 0")
+    return "\n".join(lines) + "\n"
+
+
+def write_dimacs(formula: CnfFormula, stream: TextIO) -> None:
+    stream.write(to_dimacs(formula))
+
+
+def parse_dimacs(text: str) -> CnfFormula:
+    """Parse DIMACS CNF text into a :class:`CnfFormula`.
+
+    Tolerates comments anywhere and clauses spanning multiple lines.
+    """
+    formula = CnfFormula()
+    declared_vars = None
+    declared_clauses = None
+    pending: List[int] = []
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise SolverError(f"malformed problem line: {line!r}")
+            declared_vars = int(parts[2])
+            declared_clauses = int(parts[3])
+            formula.new_vars(declared_vars)
+            continue
+        for token in line.split():
+            lit = int(token)
+            if lit == 0:
+                formula.add_clause(pending)
+                pending = []
+            else:
+                if declared_vars is None:
+                    raise SolverError("clause before problem line")
+                pending.append(lit)
+    if pending:
+        raise SolverError("final clause not terminated with 0")
+    if declared_clauses is not None and formula.num_clauses != declared_clauses:
+        raise SolverError(
+            f"expected {declared_clauses} clauses, parsed {formula.num_clauses}"
+        )
+    return formula

@@ -1,0 +1,64 @@
+"""CNF formula container and the clause-sink protocol.
+
+Encoders (cardinality constraints, Tseitin gates, the EBMF encoder) write
+into anything exposing ``new_var``/``add_clause`` — either a
+:class:`CnfFormula` for inspection/DIMACS export or a live
+:class:`~repro.sat.solver.CdclSolver` for incremental solving.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Protocol, Sequence, runtime_checkable
+
+from repro.core.exceptions import EncodingError
+
+
+@runtime_checkable
+class ClauseSink(Protocol):
+    """Anything that can receive fresh variables and clauses."""
+
+    def new_var(self) -> int: ...
+
+    def add_clause(self, literals: Sequence[int]) -> None: ...
+
+
+class CnfFormula:
+    """A plain CNF formula in DIMACS literal convention.
+
+    Variables are positive integers ``1..num_vars``; a literal is ``+v``
+    or ``-v``.
+    """
+
+    def __init__(self) -> None:
+        self.num_vars = 0
+        self.clauses: List[List[int]] = []
+
+    def new_var(self) -> int:
+        self.num_vars += 1
+        return self.num_vars
+
+    def new_vars(self, count: int) -> List[int]:
+        return [self.new_var() for _ in range(count)]
+
+    def add_clause(self, literals: Sequence[int]) -> None:
+        clause = list(literals)
+        for lit in clause:
+            if lit == 0:
+                raise EncodingError("literal 0 is reserved in DIMACS")
+            if abs(lit) > self.num_vars:
+                raise EncodingError(
+                    f"literal {lit} references unknown variable "
+                    f"(num_vars={self.num_vars})"
+                )
+        self.clauses.append(clause)
+
+    def add_clauses(self, clauses: Iterable[Sequence[int]]) -> None:
+        for clause in clauses:
+            self.add_clause(clause)
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self.clauses)
+
+    def __repr__(self) -> str:
+        return f"CnfFormula(vars={self.num_vars}, clauses={len(self.clauses)})"

@@ -1,0 +1,92 @@
+"""Canonical CNF instance generators.
+
+Small, well-understood formula families used to exercise the SAT
+substrate and the proof checker: pigeonhole (classically hard UNSAT),
+parity/XOR chains (UNSAT with an odd parity mismatch), and uniform
+random k-SAT around the satisfiability threshold.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.exceptions import EncodingError
+from repro.sat.formula import CnfFormula
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def pigeonhole(holes: int, pigeons: Optional[int] = None) -> CnfFormula:
+    """PHP(pigeons, holes): every pigeon in a hole, no hole shared.
+
+    With the default ``pigeons = holes + 1`` the formula is UNSAT and
+    requires exponentially long resolution proofs — a worst case for
+    clause learning and a stress test for proof logging.
+    """
+    if holes < 1:
+        raise EncodingError(f"holes must be >= 1, got {holes}")
+    if pigeons is None:
+        pigeons = holes + 1
+    formula = CnfFormula()
+    # var(p, h): pigeon p sits in hole h.
+    grid = [[formula.new_var() for _ in range(holes)] for _ in range(pigeons)]
+    for p in range(pigeons):
+        formula.add_clause(grid[p])
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                formula.add_clause([-grid[p1][h], -grid[p2][h]])
+    return formula
+
+
+def xor_chain(length: int, *, parity: int = 1) -> CnfFormula:
+    """A chain of XOR constraints ``x_i ^ x_{i+1} = 0`` with the two
+    chain ends forced to differ by ``parity``.
+
+    ``parity = 1`` makes the formula UNSAT (the chain forces equality
+    end to end); ``parity = 0`` makes it SAT.
+    """
+    if length < 2:
+        raise EncodingError(f"length must be >= 2, got {length}")
+    if parity not in (0, 1):
+        raise EncodingError(f"parity must be 0 or 1, got {parity}")
+    formula = CnfFormula()
+    xs = formula.new_vars(length)
+    for a, b in zip(xs, xs[1:]):
+        # a == b, clause form.
+        formula.add_clause([-a, b])
+        formula.add_clause([a, -b])
+    if parity == 1:
+        # Ends must differ: contradiction with the chain.
+        formula.add_clause([xs[0], xs[-1]])
+        formula.add_clause([-xs[0], -xs[-1]])
+    else:
+        formula.add_clause([xs[0], -xs[-1]])
+        formula.add_clause([-xs[0], xs[-1]])
+    return formula
+
+
+def random_ksat(
+    num_vars: int,
+    num_clauses: int,
+    *,
+    k: int = 3,
+    seed: RngLike = None,
+) -> CnfFormula:
+    """Uniform random k-SAT (distinct variables per clause).
+
+    Around ``num_clauses / num_vars ~ 4.27`` (for k=3) instances sit at
+    the SAT/UNSAT phase transition, giving a balanced diet of both
+    answers for differential testing.
+    """
+    if num_vars < k:
+        raise EncodingError(f"need at least k={k} variables, got {num_vars}")
+    rng = ensure_rng(seed)
+    formula = CnfFormula()
+    formula.new_vars(num_vars)
+    for _ in range(num_clauses):
+        chosen = rng.sample(range(1, num_vars + 1), k)
+        clause: List[int] = [
+            var if rng.random() < 0.5 else -var for var in chosen
+        ]
+        formula.add_clause(clause)
+    return formula

@@ -1,0 +1,151 @@
+"""CNF preprocessing: subsumption and self-subsuming resolution.
+
+Classic SatELite-style simplifications (without variable elimination):
+
+* **subsumption** — a clause ``C`` subsumes ``D`` when ``C ⊆ D``; ``D``
+  is redundant and removed;
+* **self-subsuming resolution (strengthening)** — when ``C \\ {l} ⊆ D``
+  and ``¬l ∈ D``, resolving on ``l`` shows ``D`` can drop ``¬l``.
+
+Both preserve equivalence (not just equisatisfiability), so models of
+the reduced formula are models of the original.  The EBMF encodings
+generate families of structurally similar clauses where these rules
+fire often; preprocessing is optional and off by default (the CDCL
+solver is fast enough for paper-scale instances either way).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.sat.formula import CnfFormula
+
+
+def _signature(clause: FrozenSet[int]) -> int:
+    """Cheap subset filter: bitwise-or of per-literal hashes."""
+    sig = 0
+    for lit in clause:
+        sig |= 1 << (hash(lit) & 63)
+    return sig
+
+
+class _ClauseDb:
+    def __init__(self, clauses: List[FrozenSet[int]]) -> None:
+        self.clauses: Dict[int, FrozenSet[int]] = dict(enumerate(clauses))
+        self.signatures: Dict[int, int] = {
+            index: _signature(clause)
+            for index, clause in self.clauses.items()
+        }
+        self.occurrences: Dict[int, Set[int]] = {}
+        for index, clause in self.clauses.items():
+            for lit in clause:
+                self.occurrences.setdefault(lit, set()).add(index)
+
+    def remove(self, index: int) -> None:
+        for lit in self.clauses[index]:
+            self.occurrences.get(lit, set()).discard(index)
+        del self.clauses[index]
+        del self.signatures[index]
+
+    def replace(self, index: int, new_clause: FrozenSet[int]) -> None:
+        for lit in self.clauses[index]:
+            self.occurrences.get(lit, set()).discard(index)
+        self.clauses[index] = new_clause
+        self.signatures[index] = _signature(new_clause)
+        for lit in new_clause:
+            self.occurrences.setdefault(lit, set()).add(index)
+
+    def candidates_superset(self, clause: FrozenSet[int]) -> Set[int]:
+        """Indices of clauses that could be supersets of ``clause``:
+        those containing its rarest literal."""
+        rarest = min(
+            clause,
+            key=lambda lit: len(self.occurrences.get(lit, ())),
+        )
+        return set(self.occurrences.get(rarest, ()))
+
+
+def preprocess(
+    formula: CnfFormula, *, strengthen: bool = True, max_rounds: int = 10
+) -> Tuple[CnfFormula, Dict[str, int]]:
+    """Subsumption (+ optional strengthening) to a fixed point.
+
+    Returns ``(reduced_formula, stats)`` with counters ``subsumed`` and
+    ``strengthened``.  Tautologies and duplicate clauses are always
+    removed.  The variable count is preserved.
+    """
+    seen: Set[FrozenSet[int]] = set()
+    unique: List[FrozenSet[int]] = []
+    for clause in formula.clauses:
+        frozen = frozenset(clause)
+        if any(-lit in frozen for lit in frozen):
+            continue  # tautology
+        if frozen in seen:
+            continue
+        seen.add(frozen)
+        unique.append(frozen)
+
+    db = _ClauseDb(unique)
+    stats = {"subsumed": len(formula.clauses) - len(unique), "strengthened": 0}
+
+    changed = True
+    rounds = 0
+    while changed and rounds < max_rounds:
+        changed = False
+        rounds += 1
+        for index in sorted(
+            db.clauses, key=lambda k: len(db.clauses[k])
+        ):
+            if index not in db.clauses:
+                continue
+            clause = db.clauses[index]
+            if not clause:
+                # Empty clause derived: the formula is unsatisfiable.
+                result = CnfFormula()
+                result.new_vars(formula.num_vars)
+                result.add_clause([])
+                return result, stats
+            signature = db.signatures[index]
+            # --- subsumption: remove supersets of `clause`.
+            for other_index in db.candidates_superset(clause):
+                if other_index == index or other_index not in db.clauses:
+                    continue
+                other = db.clauses[other_index]
+                if len(other) <= len(clause):
+                    continue
+                if signature & ~db.signatures[other_index]:
+                    continue
+                if clause <= other:
+                    db.remove(other_index)
+                    stats["subsumed"] += 1
+                    changed = True
+            if not strengthen:
+                continue
+            # --- self-subsuming resolution: for each literal l of the
+            # clause, find D with (clause - l) subset of D and -l in D.
+            for lit in list(clause):
+                reduced = clause - {lit}
+                for other_index in list(
+                    db.occurrences.get(-lit, ())
+                ):
+                    if other_index not in db.clauses:
+                        continue
+                    other = db.clauses[other_index]
+                    if len(other) < len(clause):
+                        continue
+                    if reduced <= other:
+                        strengthened = other - {-lit}
+                        if strengthened in seen and strengthened != other:
+                            db.remove(other_index)
+                            stats["subsumed"] += 1
+                        else:
+                            seen.add(strengthened)
+                            db.replace(other_index, strengthened)
+                            stats["strengthened"] += 1
+                        changed = True
+
+    result = CnfFormula()
+    result.new_vars(formula.num_vars)
+    for clause in db.clauses.values():
+        result.add_clause(sorted(clause, key=abs))
+    return result, stats

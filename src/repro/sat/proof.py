@@ -1,0 +1,376 @@
+"""Clausal (DRUP-style) proof logging and independent verification.
+
+The paper's Observation 5 notes that the dominant SAP cost is *proving
+UNSAT* — the step that certifies a partition optimal.  An optimality
+claim is therefore only as trustworthy as the solver's UNSAT answers.
+This module lets :class:`~repro.sat.solver.CdclSolver` emit a clausal
+proof while it runs, and re-checks that proof with a small, independent
+reverse-unit-propagation (RUP) verifier that shares no code with the
+solver's search loop.
+
+A proof log is an ordered event stream:
+
+* ``axiom`` — a clause handed to the solver via ``add_clause`` (logged
+  verbatim, before any internal simplification), including the
+  incremental narrowing clauses SAP adds between queries;
+* ``learn`` — a clause the solver derived by conflict analysis; every
+  first-UIP learned clause (after minimization) is RUP with respect to
+  the clauses logged before it;
+* ``delete`` — a learned clause dropped by database reduction (kept for
+  export symmetry; ignoring deletions is sound for verification since
+  every database clause is entailed by the axioms);
+* ``empty`` — the top-level refutation.
+
+``check_refutation`` replays the stream: axioms are admitted, learned
+clauses must pass the RUP test against everything admitted so far, and
+the final ``empty`` event must follow from unit propagation alone.  On
+success the UNSAT claim holds for the axioms regardless of any bug in
+the CDCL search itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.exceptions import ProofError
+
+AXIOM = "axiom"
+LEARN = "learn"
+DELETE = "delete"
+EMPTY = "empty"
+
+
+@dataclass(frozen=True)
+class ProofEvent:
+    """One step of a clausal proof (external DIMACS literals)."""
+
+    kind: str
+    literals: Tuple[int, ...]
+
+    def __str__(self) -> str:
+        body = " ".join(str(lit) for lit in self.literals) + " 0"
+        if self.kind == AXIOM:
+            return f"i {body}"
+        if self.kind == DELETE:
+            return f"d {body}"
+        if self.kind == EMPTY:
+            return "0"
+        return body
+
+
+class ProofLog:
+    """Ordered clausal proof trace produced by a solver run.
+
+    Pass an instance to ``CdclSolver(proof=log)``; after an unconditional
+    UNSAT answer, ``log.refuted`` is true and :func:`check_refutation`
+    can validate the derivation independently.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[ProofEvent] = []
+        self.refuted = False
+
+    # ------------------------------------------------------------------
+    # Recording (called by the solver)
+    # ------------------------------------------------------------------
+    def axiom(self, literals: Sequence[int]) -> None:
+        self.events.append(ProofEvent(AXIOM, tuple(literals)))
+
+    def learn(self, literals: Sequence[int]) -> None:
+        self.events.append(ProofEvent(LEARN, tuple(literals)))
+
+    def delete(self, literals: Sequence[int]) -> None:
+        self.events.append(ProofEvent(DELETE, tuple(literals)))
+
+    def empty(self) -> None:
+        if not self.refuted:
+            self.events.append(ProofEvent(EMPTY, ()))
+            self.refuted = True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[ProofEvent]:
+        return iter(self.events)
+
+    def axioms(self) -> List[Tuple[int, ...]]:
+        return [e.literals for e in self.events if e.kind == AXIOM]
+
+    def learned(self) -> List[Tuple[int, ...]]:
+        return [e.literals for e in self.events if e.kind == LEARN]
+
+    @property
+    def num_axioms(self) -> int:
+        return sum(1 for e in self.events if e.kind == AXIOM)
+
+    @property
+    def num_learned(self) -> int:
+        return sum(1 for e in self.events if e.kind == LEARN)
+
+    def to_drup(self) -> str:
+        """The derivation part (learn/delete/empty) in DRUP text format.
+
+        Axiom events are omitted — a DRUP file accompanies a DIMACS CNF
+        that already lists the axioms.  Use :meth:`axioms` (or DIMACS
+        export of the original formula) alongside this.
+        """
+        lines = [
+            str(event)
+            for event in self.events
+            if event.kind in (LEARN, DELETE, EMPTY)
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_dimacs(self) -> str:
+        """The axioms as a standalone DIMACS CNF file.
+
+        Together with :meth:`to_drup` this forms the standard
+        (formula, proof) pair consumed by external checkers such as
+        ``drat-trim`` — every DRUP proof is also a valid DRAT proof.
+        Axioms added incrementally (after earlier solve calls) are
+        hoisted to the front; that only enlarges the clause set each
+        lemma is checked against, so refutation validity is preserved
+        (all hoisted clauses are axioms, not derived).
+        """
+        axioms = self.axioms()
+        num_vars = max(
+            (abs(lit) for clause in axioms for lit in clause), default=0
+        )
+        lines = [
+            "c axioms exported from repro.sat.proof.ProofLog",
+            f"p cnf {num_vars} {len(axioms)}",
+        ]
+        lines.extend(
+            " ".join(str(lit) for lit in clause) + " 0" for clause in axioms
+        )
+        return "\n".join(lines) + "\n"
+
+    def write_files(self, cnf_path: str, drup_path: str) -> None:
+        """Write the (DIMACS, DRUP) pair for external verification."""
+        with open(cnf_path, "w", encoding="utf-8") as stream:
+            stream.write(self.to_dimacs())
+        with open(drup_path, "w", encoding="utf-8") as stream:
+            stream.write(self.to_drup())
+
+    def __repr__(self) -> str:
+        return (
+            f"ProofLog(axioms={self.num_axioms}, "
+            f"learned={self.num_learned}, refuted={self.refuted})"
+        )
+
+
+class RupChecker:
+    """Incremental reverse-unit-propagation clause checker.
+
+    Maintains a clause database with two-watched-literal propagation, a
+    *persistent* root-level assignment (literals forced by unit clauses
+    and their closure), and a scratch trail for per-clause RUP tests.
+    Deliberately independent of :class:`~repro.sat.solver.CdclSolver`:
+    no activities, no learning, no restarts — just propagation.
+    """
+
+    def __init__(self) -> None:
+        self._num_vars = 0
+        self._assigns: List[int] = [0]  # +1 true, -1 false, 0 unassigned
+        self._watches: List[List[List[int]]] = [[], []]
+        self._trail: List[int] = []  # root assignments, in order
+        self._root_conflict = False
+
+    # -- literals ------------------------------------------------------
+    def _ensure_var(self, var: int) -> None:
+        while self._num_vars < var:
+            self._num_vars += 1
+            self._assigns.append(0)
+            self._watches.append([])
+            self._watches.append([])
+
+    @staticmethod
+    def _internal(lit: int) -> int:
+        return (lit << 1) if lit > 0 else ((-lit) << 1 | 1)
+
+    def _value(self, ilit: int) -> int:
+        value = self._assigns[ilit >> 1]
+        return -value if ilit & 1 else value
+
+    def _assign(self, ilit: int) -> None:
+        self._assigns[ilit >> 1] = -1 if ilit & 1 else 1
+        self._trail.append(ilit)
+
+    # -- database ------------------------------------------------------
+    def add_clause(self, literals: Sequence[int]) -> None:
+        """Admit a clause (axiom or verified lemma) into the database."""
+        if self._root_conflict:
+            return
+        seen = set()
+        clause: List[int] = []
+        for lit in literals:
+            if lit == 0:
+                raise ProofError("literal 0 in proof clause")
+            self._ensure_var(abs(lit))
+            ilit = self._internal(lit)
+            if ilit ^ 1 in seen:
+                return  # tautology: never propagates, safe to drop
+            if ilit in seen:
+                continue
+            seen.add(ilit)
+            clause.append(ilit)
+        if any(self._value(ilit) > 0 for ilit in clause):
+            return  # satisfied at the root forever: never propagates
+        # Keep root-false literals out of the watch slots but in the
+        # clause (root assignments are permanent, so they stay false).
+        clause.sort(key=lambda l: self._value(l) < 0)
+        if not clause:
+            self._root_conflict = True
+            return
+        if self._value(clause[0]) < 0:  # all literals root-false
+            self._root_conflict = True
+            return
+        if len(clause) == 1 or self._value(clause[1]) < 0:
+            # Unit at the root (outright or after the sort): propagate
+            # permanently.
+            if self._value(clause[0]) == 0:
+                self._assign(clause[0])
+                if self._propagate(len(self._trail) - 1) is not None:
+                    self._root_conflict = True
+            if len(clause) >= 2:
+                self._attach(clause)
+            return
+        self._attach(clause)
+
+    def _attach(self, clause: List[int]) -> None:
+        self._watches[clause[0]].append(clause)
+        self._watches[clause[1]].append(clause)
+
+    # -- propagation ---------------------------------------------------
+    def _propagate(self, qhead: int) -> Optional[List[int]]:
+        """Unit propagation from trail position ``qhead``; returns the
+        conflicting clause or ``None``."""
+        while qhead < len(self._trail):
+            false_lit = self._trail[qhead] ^ 1
+            qhead += 1
+            watchers = self._watches[false_lit]
+            kept: List[List[int]] = []
+            index = 0
+            total = len(watchers)
+            while index < total:
+                clause = watchers[index]
+                index += 1
+                if clause[0] == false_lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._value(first) > 0:
+                    kept.append(clause)
+                    continue
+                moved = False
+                for k in range(2, len(clause)):
+                    if self._value(clause[k]) >= 0:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self._watches[clause[1]].append(clause)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                kept.append(clause)
+                if self._value(first) < 0:
+                    kept.extend(watchers[index:])
+                    self._watches[false_lit] = kept
+                    return clause
+                self._assign(first)
+            self._watches[false_lit] = kept
+        return None
+
+    def _undo_to(self, mark: int) -> None:
+        for index in range(len(self._trail) - 1, mark - 1, -1):
+            self._assigns[self._trail[index] >> 1] = 0
+        del self._trail[mark:]
+
+    # -- RUP test ------------------------------------------------------
+    def check_rup(self, literals: Sequence[int]) -> bool:
+        """Does unit propagation refute the negation of this clause?"""
+        if self._root_conflict:
+            return True
+        mark = len(self._trail)
+        for lit in literals:
+            self._ensure_var(abs(lit))
+            ilit = self._internal(lit)
+            value = self._value(ilit)
+            if value > 0:
+                # Some literal of the clause already holds at the root:
+                # the negation is immediately contradictory.
+                self._undo_to(mark)
+                return True
+            if value == 0:
+                self._assign(ilit ^ 1)
+        conflict = self._propagate(mark)
+        self._undo_to(mark)
+        return conflict is not None
+
+    def admit_checked(self, literals: Sequence[int]) -> bool:
+        """RUP-check a lemma and, if valid, add it to the database."""
+        if not self.check_rup(literals):
+            return False
+        self.add_clause(literals)
+        return True
+
+    @property
+    def refuted(self) -> bool:
+        return self._root_conflict
+
+
+def check_refutation(log: ProofLog) -> None:
+    """Verify that ``log`` is a valid refutation of its axioms.
+
+    Raises :class:`~repro.core.exceptions.ProofError` on the first event
+    that fails; returns normally when the stream ends in a justified
+    ``empty`` event.
+    """
+    if not log.refuted:
+        raise ProofError("proof log does not claim a refutation")
+    checker = RupChecker()
+    for position, event in enumerate(log.events):
+        if event.kind == AXIOM:
+            checker.add_clause(event.literals)
+        elif event.kind == LEARN:
+            if not checker.admit_checked(event.literals):
+                raise ProofError(
+                    f"event {position}: learned clause "
+                    f"{list(event.literals)} is not RUP"
+                )
+        elif event.kind == DELETE:
+            continue  # sound to ignore (database stays a superset)
+        elif event.kind == EMPTY:
+            if not checker.refuted and not checker.check_rup(()):
+                raise ProofError(
+                    f"event {position}: empty clause does not follow "
+                    "by unit propagation"
+                )
+            return
+        else:  # pragma: no cover - defensive
+            raise ProofError(f"unknown proof event kind {event.kind!r}")
+    raise ProofError("proof log ended without an empty-clause event")
+
+
+def is_valid_refutation(log: ProofLog) -> bool:
+    """Boolean convenience wrapper around :func:`check_refutation`."""
+    try:
+        check_refutation(log)
+    except ProofError:
+        return False
+    return True
+
+
+def proof_stats(log: ProofLog) -> Dict[str, int]:
+    """Summary counters for reporting (axioms/learned/deleted sizes)."""
+    deleted = sum(1 for e in log.events if e.kind == DELETE)
+    literals = sum(len(e.literals) for e in log.events if e.kind == LEARN)
+    return {
+        "axioms": log.num_axioms,
+        "learned": log.num_learned,
+        "deleted": deleted,
+        "learned_literals": literals,
+        "refuted": int(log.refuted),
+    }

@@ -1,0 +1,97 @@
+"""Tseitin gate encodings: fresh variables defined as boolean functions.
+
+Used by the binary-label EBMF encoder, where per-cell labels are
+bit-vectors and rectangle-sharing is an equality circuit — the same shape
+z3 would build internally for the paper's bit-vector formulation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.exceptions import EncodingError
+from repro.sat.formula import ClauseSink
+
+
+def gate_and(sink: ClauseSink, inputs: Sequence[int]) -> int:
+    """Fresh g with ``g <-> AND(inputs)``."""
+    if not inputs:
+        raise EncodingError("AND of zero inputs (use a constant instead)")
+    g = sink.new_var()
+    for lit in inputs:
+        sink.add_clause([-g, lit])
+    sink.add_clause([g] + [-lit for lit in inputs])
+    return g
+
+
+def gate_or(sink: ClauseSink, inputs: Sequence[int]) -> int:
+    """Fresh g with ``g <-> OR(inputs)``."""
+    if not inputs:
+        raise EncodingError("OR of zero inputs (use a constant instead)")
+    g = sink.new_var()
+    for lit in inputs:
+        sink.add_clause([g, -lit])
+    sink.add_clause([-g] + list(inputs))
+    return g
+
+
+def gate_xor(sink: ClauseSink, a: int, b: int) -> int:
+    """Fresh g with ``g <-> a XOR b``."""
+    g = sink.new_var()
+    sink.add_clause([-g, a, b])
+    sink.add_clause([-g, -a, -b])
+    sink.add_clause([g, -a, b])
+    sink.add_clause([g, a, -b])
+    return g
+
+
+def gate_iff(sink: ClauseSink, a: int, b: int) -> int:
+    """Fresh g with ``g <-> (a <-> b)``."""
+    g = sink.new_var()
+    sink.add_clause([-g, -a, b])
+    sink.add_clause([-g, a, -b])
+    sink.add_clause([g, a, b])
+    sink.add_clause([g, -a, -b])
+    return g
+
+
+def gate_equals(sink: ClauseSink, xs: Sequence[int], ys: Sequence[int]) -> int:
+    """Fresh g with ``g <-> (bit-vector xs == bit-vector ys)``."""
+    if len(xs) != len(ys):
+        raise EncodingError(
+            f"bit-vector width mismatch: {len(xs)} vs {len(ys)}"
+        )
+    if not xs:
+        raise EncodingError("equality of zero-width bit-vectors")
+    bit_eqs = [gate_iff(sink, x, y) for x, y in zip(xs, ys)]
+    if len(bit_eqs) == 1:
+        return bit_eqs[0]
+    return gate_and(sink, bit_eqs)
+
+
+def implies(sink: ClauseSink, antecedents: Sequence[int], consequent: int) -> None:
+    """Clause form of ``AND(antecedents) -> consequent``."""
+    sink.add_clause([-lit for lit in antecedents] + [consequent])
+
+
+def encode_less_than_constant(
+    sink: ClauseSink, bits: Sequence[int], constant: int
+) -> None:
+    """Constrain bit-vector ``bits`` (LSB first) to be ``< constant``.
+
+    Used to forbid label values >= b in the binary-label encoding.
+    """
+    width = len(bits)
+    if constant >= (1 << width):
+        return
+    if constant <= 0:
+        raise EncodingError("cannot force a bit-vector below 0")
+    bound = constant - 1  # encode bits <= bound
+    # For every position where the bound has a 0 bit: if all higher 1-bits
+    # of the bound are set in the vector, this bit must be 0.
+    prefix: list = []
+    for position in range(width - 1, -1, -1):
+        if (bound >> position) & 1:
+            prefix.append(bits[position])
+        else:
+            sink.add_clause([-lit for lit in prefix] + [-bits[position]])

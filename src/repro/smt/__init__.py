@@ -1,0 +1,21 @@
+"""SMT-style encodings of the EBMF decision problem (paper Section III-A)."""
+
+from repro.smt.encoder import (
+    SYMMETRY_MODES,
+    BinaryLabelEncoder,
+    DirectEncoder,
+    make_encoder,
+)
+from repro.smt.enumerate import count_optimal_partitions, enumerate_partitions
+from repro.smt.oracle import OracleQuery, RankDecisionOracle
+
+__all__ = [
+    "SYMMETRY_MODES",
+    "BinaryLabelEncoder",
+    "DirectEncoder",
+    "OracleQuery",
+    "RankDecisionOracle",
+    "count_optimal_partitions",
+    "enumerate_partitions",
+    "make_encoder",
+]

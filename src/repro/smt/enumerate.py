@@ -1,0 +1,95 @@
+"""Enumerating rectangle partitions via blocking clauses.
+
+Beyond deciding ``r_B(M) <= b``, the SAT oracle can enumerate *all*
+partitions at a given depth: after each model, a blocking clause forbids
+that exact cell-labelling up to label renaming (the canonical
+first-occurrence labelling the symmetry breaking already enforces), and
+the solver is asked again.  Useful for studying solution diversity and
+for control-stack co-optimization (pick the partition with the best
+schedule cost, not just the best depth).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.exceptions import EncodingError
+from repro.core.partition import Partition
+from repro.sat.solver import SolveStatus
+from repro.smt.encoder import DirectEncoder
+
+
+def enumerate_partitions(
+    matrix: BinaryMatrix,
+    depth: int,
+    *,
+    limit: Optional[int] = None,
+    time_budget_per_model: Optional[float] = None,
+) -> Iterator[Partition]:
+    """Yield distinct partitions of ``matrix`` with at most ``depth``
+    rectangles (distinct as *sets of rectangles*, label order ignored).
+
+    Uses the precedence-symmetry encoder, so each distinct partition
+    corresponds to exactly one canonical labelling; blocking that
+    labelling blocks exactly that partition.
+    """
+    if depth < 0:
+        raise EncodingError(f"depth must be >= 0, got {depth}")
+    if matrix.is_zero():
+        if depth >= 0:
+            yield Partition([], matrix.shape)
+        return
+
+    encoder = DirectEncoder(matrix, depth, symmetry="precedence")
+    produced = 0
+    while limit is None or produced < limit:
+        status = encoder.solve(time_budget=time_budget_per_model)
+        if status is not SolveStatus.SAT:
+            return
+        partition = encoder.extract_partition()
+        yield partition
+        produced += 1
+        # Block this exact canonical labelling.
+        blocking: List[int] = []
+        for t, cell in enumerate(encoder.cells):
+            for k in range(encoder.bound):
+                var = encoder._vars[t][k]
+                if encoder.solver.model_value(var):
+                    blocking.append(-var)
+        encoder.solver.add_clause(blocking)
+
+
+def count_optimal_partitions(
+    matrix: BinaryMatrix,
+    *,
+    binary_rank: Optional[int] = None,
+    limit: int = 10_000,
+    time_budget: Optional[float] = None,
+) -> int:
+    """Number of distinct optimal partitions (up to ``limit``).
+
+    ``binary_rank`` may be passed if already known; otherwise SAP
+    computes it first.
+    """
+    if binary_rank is None:
+        from repro.solvers.sap import SapOptions, sap_solve
+
+        result = sap_solve(
+            matrix,
+            options=SapOptions(trials=16, seed=0, time_budget=time_budget),
+        )
+        if not result.proved_optimal:
+            raise EncodingError(
+                "binary rank not proven within budget; pass binary_rank="
+            )
+        binary_rank = result.depth
+    count = 0
+    for _ in enumerate_partitions(
+        matrix,
+        binary_rank,
+        limit=limit,
+        time_budget_per_model=time_budget,
+    ):
+        count += 1
+    return count

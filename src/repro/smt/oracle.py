@@ -1,0 +1,175 @@
+"""The decision oracle SAP drives: incremental ``r_B(M) <= b`` queries.
+
+Wraps an encoder so that Algorithm 1's descending-bound loop maps onto
+one long-lived solver.  Two query mechanisms are supported:
+
+* ``query_mode='narrow'`` (the paper's): the first query builds the
+  formula at the packing upper bound; each subsequent *strictly
+  smaller* bound adds the ``f(e) != b`` narrowing clauses while keeping
+  all learned clauses.
+* ``query_mode='assumption'``: the formula is built once with monotone
+  label-usage indicators and every bound becomes a one-literal
+  assumption, so queries may move the bound in either direction — this
+  is what lets SAP bisect on a single incremental solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.exceptions import EncodingError
+from repro.core.partition import Partition
+from repro.sat.proof import ProofLog
+from repro.sat.solver import SolveStatus
+from repro.smt.encoder import make_encoder
+
+QUERY_MODES = ("narrow", "assumption")
+
+
+@dataclass
+class OracleQuery:
+    """Record of one decision query (feeds the Figure 4 analysis)."""
+
+    bound: int
+    status: SolveStatus
+    seconds: float
+    conflicts: int
+
+
+@dataclass
+class RankDecisionOracle:
+    """Answers a sequence of ``r_B(M) <= b`` questions.
+
+    Parameters mirror :func:`repro.smt.encoder.make_encoder`; with
+    ``incremental=False`` every query rebuilds a fresh solver (ablation
+    A2 compares the two modes).  ``proof=True`` attaches a clausal proof
+    log to each underlying solver so UNSAT answers can be audited with
+    :func:`repro.sat.proof.check_refutation` (narrow mode only — an
+    assumption-mode UNSAT is conditional, not a refutation).
+    """
+
+    matrix: BinaryMatrix
+    encoding: str = "direct"
+    symmetry: str = "precedence"
+    amo_encoding: str = "auto"
+    incremental: bool = True
+    query_mode: str = "narrow"
+    proof: bool = False
+    queries: List[OracleQuery] = field(default_factory=list)
+    proof_log: Optional[ProofLog] = None
+    _encoder: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        if self.query_mode not in QUERY_MODES:
+            raise EncodingError(
+                f"query_mode must be one of {QUERY_MODES}, "
+                f"got {self.query_mode!r}"
+            )
+        if self.query_mode == "assumption":
+            if self.encoding != "direct":
+                raise EncodingError(
+                    "assumption queries require the direct encoding"
+                )
+            if not self.incremental:
+                raise EncodingError(
+                    "assumption queries are inherently incremental; "
+                    "pass incremental=True"
+                )
+
+    def check_at_most(
+        self,
+        bound: int,
+        *,
+        conflict_budget: Optional[int] = None,
+        time_budget: Optional[float] = None,
+    ) -> Tuple[SolveStatus, Optional[Partition]]:
+        """Is there an EBMF of size <= ``bound``?  Returns the partition
+        on SAT.  In narrow mode bounds must not increase across calls;
+        assumption mode accepts any bound at or below the first one.
+        """
+        import time
+
+        started = time.perf_counter()
+        encoder, assumptions = self._prepare(bound)
+        conflicts_before = encoder.solver.stats.conflicts
+        status = encoder.solve(
+            assumptions=assumptions,
+            conflict_budget=conflict_budget,
+            time_budget=time_budget,
+        )
+        partition = None
+        if status is SolveStatus.SAT:
+            partition = encoder.extract_partition()
+        self.queries.append(
+            OracleQuery(
+                bound=bound,
+                status=status,
+                seconds=time.perf_counter() - started,
+                conflicts=encoder.solver.stats.conflicts - conflicts_before,
+            )
+        )
+        return status, partition
+
+    def prime(self, bound: int) -> None:
+        """Pre-build the formula at ``bound`` without solving.
+
+        Assumption-mode bisection must prime at the largest bound it may
+        ever query, since the structural bound cannot widen later.
+        """
+        if self._encoder is None:
+            self._encoder = self._build(bound)
+
+    def _prepare(self, bound: int) -> Tuple[object, List[int]]:
+        if self.query_mode == "assumption":
+            if self._encoder is None:
+                self._encoder = self._build(bound)
+            if bound > self._encoder.bound:
+                raise EncodingError(
+                    f"assumption oracle built for bounds <= "
+                    f"{self._encoder.bound}, got {bound}"
+                )
+            return self._encoder, self._encoder.assumption_for(bound)
+        if not self.incremental or self._encoder is None:
+            self._encoder = self._build(bound)
+            return self._encoder, []
+        if bound > self._encoder.bound:
+            raise EncodingError(
+                f"incremental oracle cannot widen bound "
+                f"{self._encoder.bound} -> {bound}"
+            )
+        if bound < self._encoder.bound:
+            self._encoder.narrow_to(bound)
+        return self._encoder, []
+
+    def _build(self, bound: int):
+        if self.proof:
+            self.proof_log = ProofLog()
+        return make_encoder(
+            self.matrix,
+            bound,
+            encoding=self.encoding,
+            symmetry=self.symmetry,
+            amo_encoding=self.amo_encoding,
+            proof=self.proof_log,
+            indicators=self.query_mode == "assumption",
+        )
+
+    def verify_refutation(self) -> None:
+        """Independently check the UNSAT proof of the last descent.
+
+        Only meaningful after an unconditional UNSAT answer from a
+        proof-enabled, narrow-mode oracle; raises
+        :class:`~repro.core.exceptions.ProofError` otherwise.
+        """
+        from repro.core.exceptions import ProofError
+        from repro.sat.proof import check_refutation
+
+        if self.proof_log is None:
+            raise ProofError("oracle was not created with proof=True")
+        check_refutation(self.proof_log)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(query.seconds for query in self.queries)

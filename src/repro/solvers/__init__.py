@@ -1,0 +1,49 @@
+"""EBMF solvers: heuristics, the exact SAP pipeline, and cross-checks."""
+
+from repro.solvers.branch_bound import (
+    BranchBoundResult,
+    binary_rank_branch_bound,
+)
+from repro.solvers.greedy_rect import greedy_rectangle, greedy_rectangle_once
+from repro.solvers.postopt import improve_partition, merge_rectangles
+from repro.solvers.registry import TABLE1_HEURISTICS, make_heuristic
+from repro.solvers.row_packing import (
+    ORDERINGS,
+    PackingOptions,
+    PackingTrace,
+    pack_rows_once,
+    row_packing,
+)
+from repro.solvers.row_packing_x import pack_rows_once_x, row_packing_x
+from repro.solvers.sap import (
+    SapOptions,
+    SapResult,
+    SapStatus,
+    binary_rank,
+    sap_solve,
+)
+from repro.solvers.trivial import trivial_partition
+
+__all__ = [
+    "BranchBoundResult",
+    "ORDERINGS",
+    "PackingOptions",
+    "PackingTrace",
+    "SapOptions",
+    "SapResult",
+    "SapStatus",
+    "TABLE1_HEURISTICS",
+    "binary_rank",
+    "binary_rank_branch_bound",
+    "greedy_rectangle",
+    "greedy_rectangle_once",
+    "improve_partition",
+    "make_heuristic",
+    "merge_rectangles",
+    "pack_rows_once",
+    "pack_rows_once_x",
+    "row_packing",
+    "row_packing_x",
+    "sap_solve",
+    "trivial_partition",
+]

@@ -1,0 +1,68 @@
+"""Partition post-optimization: merging compatible rectangles.
+
+Two rectangles of a partition can be fused into one whenever they share
+their row set or their column set — the union is then itself a
+combinatorial rectangle covering exactly the union of their cells, so
+validity is preserved and the depth drops by one.  Heuristics sometimes
+emit such pairs (e.g. row packing after basis shrinks); this cheap pass
+cleans them up.  It runs to a fixed point, so the result has no two
+rectangles sharing a row set or a column set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.partition import Partition
+from repro.core.rectangle import Rectangle
+
+
+def merge_rectangles(partition: Partition) -> Partition:
+    """Fuse rectangles sharing a row mask or a column mask (fixed point)."""
+    rects = list(partition.rectangles)
+    changed = True
+    while changed:
+        changed = False
+        # Group by row mask: same rows -> union the columns.
+        by_rows: Dict[int, List[Rectangle]] = {}
+        for rect in rects:
+            by_rows.setdefault(rect.row_mask, []).append(rect)
+        merged: List[Rectangle] = []
+        for row_mask, group in by_rows.items():
+            if len(group) > 1:
+                changed = True
+                col_mask = 0
+                for rect in group:
+                    col_mask |= rect.col_mask
+                merged.append(Rectangle(row_mask, col_mask))
+            else:
+                merged.append(group[0])
+        rects = merged
+        # Group by column mask: same columns -> union the rows.
+        by_cols: Dict[int, List[Rectangle]] = {}
+        for rect in rects:
+            by_cols.setdefault(rect.col_mask, []).append(rect)
+        merged = []
+        for col_mask, group in by_cols.items():
+            if len(group) > 1:
+                changed = True
+                row_mask = 0
+                for rect in group:
+                    row_mask |= rect.row_mask
+                merged.append(Rectangle(row_mask, col_mask))
+            else:
+                merged.append(group[0])
+        rects = merged
+    return Partition(rects, partition.shape)
+
+
+def improve_partition(
+    partition: Partition, matrix: BinaryMatrix
+) -> Partition:
+    """Validated merge pass; returns the input if no merge applies."""
+    improved = merge_rectangles(partition)
+    if improved.depth == partition.depth:
+        return partition
+    improved.validate(matrix)
+    return improved

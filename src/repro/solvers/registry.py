@@ -1,0 +1,75 @@
+"""Name -> heuristic registry used by the experiment harnesses.
+
+Table I's columns are "trivial" and "row packing with k trials"; the
+registry lets the experiment code iterate them uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.exceptions import SolverError
+from repro.core.partition import Partition
+from repro.solvers.row_packing import PackingOptions, row_packing
+from repro.solvers.row_packing_x import row_packing_x
+from repro.solvers.trivial import trivial_partition
+from repro.utils.rng import RngLike
+
+Heuristic = Callable[..., Partition]
+
+
+def make_heuristic(name: str) -> Callable[[BinaryMatrix, RngLike], Partition]:
+    """Build a ``(matrix, seed) -> partition`` callable from a spec name.
+
+    Recognized names: ``trivial``, ``packing:K`` (K trials),
+    ``packing_x:K``, ``packing_noupdate:K`` (basis update disabled),
+    ``packing_sorted:K`` (sparse-first ordering).
+    """
+    if name == "trivial":
+        return lambda matrix, seed=None: trivial_partition(matrix)
+    if ":" in name:
+        kind, _, trials_text = name.partition(":")
+        try:
+            trials = int(trials_text)
+        except ValueError:
+            raise SolverError(f"bad trial count in heuristic spec {name!r}")
+        if kind == "packing":
+            return lambda matrix, seed=None: row_packing(
+                matrix, options=PackingOptions(trials=trials, seed=seed)
+            )
+        if kind == "packing_x":
+            return lambda matrix, seed=None: row_packing_x(
+                matrix, options=PackingOptions(trials=trials, seed=seed)
+            )
+        if kind == "packing_noupdate":
+            return lambda matrix, seed=None: row_packing(
+                matrix,
+                options=PackingOptions(
+                    trials=trials, seed=seed, basis_update=False
+                ),
+            )
+        if kind == "packing_sorted":
+            return lambda matrix, seed=None: row_packing(
+                matrix,
+                options=PackingOptions(
+                    trials=trials, seed=seed, ordering="sparse_first"
+                ),
+            )
+        if kind == "greedy":
+            from repro.solvers.greedy_rect import greedy_rectangle
+
+            return lambda matrix, seed=None: greedy_rectangle(
+                matrix, trials=trials, seed=seed
+            )
+    raise SolverError(f"unknown heuristic spec {name!r}")
+
+
+TABLE1_HEURISTICS = (
+    "trivial",
+    "packing:1",
+    "packing:10",
+    "packing:100",
+    "packing:1000",
+)
+"""The heuristic columns of Table I, in paper order."""

@@ -1,0 +1,234 @@
+"""Row packing — Algorithm 2 of the paper.
+
+The matrix is processed row by row, maintaining a *basis* of column sets:
+
+* decomposition (lines 4-7): every basis vector contained in the current
+  row is subtracted, and the corresponding rectangle grows vertically to
+  include this row;
+* basis update (lines 9-16): a non-zero residue becomes a new basis
+  vector; any existing basis vector *containing* the residue shrinks
+  horizontally (its rectangle gives up the residue's columns, which the
+  new rectangle takes over, spanning the shrunk rectangles' rows).
+
+Row order matters (Figure 3), so the heuristic reshuffles and retries;
+the best result over all trials — run on both the matrix and its
+transpose — is returned.  Each trial adds at most one rectangle per
+distinct non-empty row, so the result is never worse than the trivial
+heuristic's bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.exceptions import SolverError
+from repro.core.partition import Partition
+from repro.core.rectangle import Rectangle
+from repro.utils.bitops import popcount
+from repro.utils.rng import RngLike, ensure_rng
+
+TraceCallback = Callable[[str, dict], None]
+
+ORDERINGS = ("shuffle", "given", "sparse_first")
+
+
+@dataclass
+class PackingOptions:
+    """Knobs for :func:`row_packing`.
+
+    ``ordering='sparse_first'`` and ``basis_update=False`` are the two
+    "compromises" Section III-B discusses (and rejects); they are kept as
+    options for the ablation benchmarks.
+    """
+
+    trials: int = 10
+    seed: RngLike = None
+    use_transpose: bool = True
+    basis_update: bool = True
+    ordering: str = "shuffle"
+
+    def __post_init__(self) -> None:
+        if self.trials < 1:
+            raise SolverError(f"trials must be >= 1, got {self.trials}")
+        if self.ordering not in ORDERINGS:
+            raise SolverError(
+                f"unknown ordering {self.ordering!r}; expected {ORDERINGS}"
+            )
+
+
+def pack_rows_once(
+    matrix: BinaryMatrix,
+    order: Sequence[int],
+    *,
+    basis_update: bool = True,
+    trace: Optional[TraceCallback] = None,
+) -> Partition:
+    """One deterministic pass of Algorithm 2 over rows in ``order``.
+
+    ``order`` lists original row indices in processing sequence; the
+    resulting partition is expressed directly in original coordinates
+    (subsuming the paper's shuffle/undo-shuffle bookkeeping).
+    """
+    if sorted(order) != list(range(matrix.num_rows)):
+        raise SolverError(f"{order!r} is not a permutation of the rows")
+
+    basis: List[int] = []  # v_j: column mask of rectangle j
+    rect_rows: List[int] = []  # row mask of rectangle j
+
+    for i in order:
+        remaining = matrix.row_mask(i)
+        if remaining == 0:
+            continue
+        # Lines 4-7: decompose the row over the existing basis.
+        for j, vector in enumerate(basis):
+            if vector and vector & ~remaining == 0:
+                rect_rows[j] |= 1 << i
+                remaining &= ~vector
+                if trace:
+                    trace(
+                        "grow",
+                        {"row": i, "rectangle": j, "columns": vector},
+                    )
+        if remaining == 0:
+            continue
+        # Lines 9-16: the residue founds a new basis vector; basis
+        # vectors containing it shrink and cede their rows to it.
+        new_rows = 1 << i
+        if basis_update:
+            for k, vector in enumerate(basis):
+                if vector and remaining & ~vector == 0:
+                    if vector == remaining:
+                        raise SolverError(
+                            "residue equal to a basis vector should have "
+                            "been consumed during decomposition"
+                        )
+                    basis[k] = vector & ~remaining
+                    new_rows |= rect_rows[k]
+                    if trace:
+                        trace(
+                            "shrink",
+                            {
+                                "row": i,
+                                "rectangle": k,
+                                "removed_columns": remaining,
+                                "new_columns": basis[k],
+                            },
+                        )
+        basis.append(remaining)
+        rect_rows.append(new_rows)
+        if trace:
+            trace(
+                "new_rectangle",
+                {
+                    "row": i,
+                    "rectangle": len(basis) - 1,
+                    "columns": remaining,
+                    "rows": new_rows,
+                },
+            )
+
+    rects = [
+        Rectangle(rows, cols)
+        for rows, cols in zip(rect_rows, basis)
+        if rows and cols
+    ]
+    partition = Partition(rects, matrix.shape)
+    partition.validate(matrix)
+    return partition
+
+
+def _trial_orders(
+    matrix: BinaryMatrix, options: PackingOptions
+) -> List[List[int]]:
+    rng = ensure_rng(options.seed)
+    identity = list(range(matrix.num_rows))
+    orders: List[List[int]] = []
+    for trial in range(options.trials):
+        if options.ordering == "given":
+            orders.append(identity)
+        elif options.ordering == "sparse_first":
+            orders.append(
+                sorted(identity, key=lambda i: popcount(matrix.row_mask(i)))
+            )
+        else:
+            order = identity[:]
+            rng.shuffle(order)
+            orders.append(order)
+    return orders
+
+
+def row_packing(
+    matrix: BinaryMatrix,
+    *,
+    options: Optional[PackingOptions] = None,
+    **kwargs,
+) -> Partition:
+    """Best-of-``trials`` row packing on the matrix and its transpose."""
+    if options is None:
+        options = PackingOptions(**kwargs)
+    elif kwargs:
+        raise SolverError("pass either options or keyword arguments, not both")
+
+    best: Optional[Partition] = None
+    for candidate_matrix, transposed in _candidate_matrices(matrix, options):
+        for order in _trial_orders(candidate_matrix, options):
+            partition = pack_rows_once(
+                candidate_matrix, order, basis_update=options.basis_update
+            )
+            if transposed:
+                partition = partition.transpose()
+            if best is None or partition.depth < best.depth:
+                best = partition
+    assert best is not None
+    best.validate(matrix)
+    return best
+
+
+def _candidate_matrices(
+    matrix: BinaryMatrix, options: PackingOptions
+) -> List[Tuple[BinaryMatrix, bool]]:
+    candidates: List[Tuple[BinaryMatrix, bool]] = [(matrix, False)]
+    if options.use_transpose:
+        candidates.append((matrix.transpose(), True))
+    return candidates
+
+
+@dataclass
+class PackingTrace:
+    """Recorded events of one packing pass (drives the Figure 3 example)."""
+
+    events: List[Tuple[str, dict]] = field(default_factory=list)
+
+    def __call__(self, kind: str, payload: dict) -> None:
+        self.events.append((kind, payload))
+
+    def render(self, matrix: BinaryMatrix) -> str:
+        """Human-readable replay of the pass."""
+        lines: List[str] = []
+        for kind, payload in self.events:
+            if kind == "grow":
+                lines.append(
+                    f"row {payload['row']}: contains basis vector of "
+                    f"rectangle {payload['rectangle']} "
+                    f"(cols {_mask_str(payload['columns'], matrix.num_cols)}) "
+                    f"-> grow vertically"
+                )
+            elif kind == "shrink":
+                lines.append(
+                    f"row {payload['row']}: residue splits rectangle "
+                    f"{payload['rectangle']}; it keeps cols "
+                    f"{_mask_str(payload['new_columns'], matrix.num_cols)}"
+                )
+            elif kind == "new_rectangle":
+                lines.append(
+                    f"row {payload['row']}: new rectangle "
+                    f"{payload['rectangle']} on cols "
+                    f"{_mask_str(payload['columns'], matrix.num_cols)}"
+                )
+        return "\n".join(lines)
+
+
+def _mask_str(mask: int, width: int) -> str:
+    return "".join("1" if (mask >> j) & 1 else "0" for j in range(width))

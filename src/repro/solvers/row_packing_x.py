@@ -1,0 +1,111 @@
+"""Row packing with Algorithm X decomposition (paper future work).
+
+Section VI suggests the per-row decomposition step "might benefit from
+ideas in existing works such as Knuth's Algorithm X for exact cover
+instead of purely relying on shuffling".  This variant asks, for each
+row, whether the *exact* set of 1s can be partitioned by existing basis
+vectors (an exact-cover query over the subset-basis), and only falls
+back to the greedy first-fit subtraction when no exact cover exists.
+
+A perfect cover leaves no residue, so rectangles grow and the basis does
+not; rows that greedy ordering would have fragmented (Observation 4's
+failure mode is *not* addressed — only one new basis vector per row is
+ever introduced, as in the original algorithm).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.exceptions import SolverError
+from repro.core.partition import Partition
+from repro.core.rectangle import Rectangle
+from repro.exact_cover.dlx import exact_cover_masks
+from repro.solvers.row_packing import PackingOptions, _trial_orders
+from repro.utils.rng import ensure_rng
+
+
+def pack_rows_once_x(
+    matrix: BinaryMatrix,
+    order: Sequence[int],
+    *,
+    basis_update: bool = True,
+) -> Partition:
+    """One pass of Algorithm 2 with exact-cover decomposition."""
+    if sorted(order) != list(range(matrix.num_rows)):
+        raise SolverError(f"{order!r} is not a permutation of the rows")
+
+    basis: List[int] = []
+    rect_rows: List[int] = []
+
+    for i in order:
+        row = matrix.row_mask(i)
+        if row == 0:
+            continue
+        subset_basis = {
+            j: vector
+            for j, vector in enumerate(basis)
+            if vector and vector & ~row == 0
+        }
+        cover = exact_cover_masks(row, subset_basis) if subset_basis else None
+        if cover is not None:
+            for j in cover:
+                rect_rows[j] |= 1 << i
+            continue
+        # No exact cover: greedy subtraction as in the base algorithm.
+        remaining = row
+        for j, vector in sorted(subset_basis.items()):
+            if vector & ~remaining == 0:
+                rect_rows[j] |= 1 << i
+                remaining &= ~vector
+        if remaining == 0:
+            continue
+        new_rows = 1 << i
+        if basis_update:
+            for k, vector in enumerate(basis):
+                if vector and remaining & ~vector == 0:
+                    basis[k] = vector & ~remaining
+                    new_rows |= rect_rows[k]
+        basis.append(remaining)
+        rect_rows.append(new_rows)
+
+    rects = [
+        Rectangle(rows, cols)
+        for rows, cols in zip(rect_rows, basis)
+        if rows and cols
+    ]
+    partition = Partition(rects, matrix.shape)
+    partition.validate(matrix)
+    return partition
+
+
+def row_packing_x(
+    matrix: BinaryMatrix,
+    *,
+    options: Optional[PackingOptions] = None,
+    **kwargs,
+) -> Partition:
+    """Best-of-trials Algorithm X row packing (matrix and transpose)."""
+    if options is None:
+        options = PackingOptions(**kwargs)
+    elif kwargs:
+        raise SolverError("pass either options or keyword arguments, not both")
+
+    candidates = [(matrix, False)]
+    if options.use_transpose:
+        candidates.append((matrix.transpose(), True))
+
+    best: Optional[Partition] = None
+    for candidate_matrix, transposed in candidates:
+        for order in _trial_orders(candidate_matrix, options):
+            partition = pack_rows_once_x(
+                candidate_matrix, order, basis_update=options.basis_update
+            )
+            if transposed:
+                partition = partition.transpose()
+            if best is None or partition.depth < best.depth:
+                best = partition
+    assert best is not None
+    best.validate(matrix)
+    return best

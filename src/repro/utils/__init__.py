@@ -1,0 +1,30 @@
+"""Shared utilities: bit operations, RNG handling, timing, table rendering."""
+
+from repro.utils.bitops import (
+    bit_indices,
+    bits_from_indices,
+    is_subset,
+    iter_submasks,
+    lowest_set_bit,
+    mask_to_tuple,
+    popcount,
+)
+from repro.utils.rng import ensure_rng, spawn_seeds
+from repro.utils.tables import format_percent, format_table
+from repro.utils.timing import Deadline, Stopwatch
+
+__all__ = [
+    "Deadline",
+    "Stopwatch",
+    "bit_indices",
+    "bits_from_indices",
+    "ensure_rng",
+    "format_percent",
+    "format_table",
+    "is_subset",
+    "iter_submasks",
+    "lowest_set_bit",
+    "mask_to_tuple",
+    "popcount",
+    "spawn_seeds",
+]

@@ -1,0 +1,58 @@
+"""Plain-text table rendering for experiment reports (Table I et al.)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: Optional[str] = None,
+    align_right_from: int = 1,
+) -> str:
+    """Render ``rows`` under ``headers`` as a monospace table.
+
+    Columns from index ``align_right_from`` onward are right-aligned
+    (numeric columns); earlier columns are left-aligned (labels).
+    """
+    str_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    str_headers = [str(h) for h in headers]
+    width = len(str_headers)
+    for row in str_rows:
+        if len(row) != width:
+            raise ValueError(
+                f"row has {len(row)} cells, expected {width}: {row!r}"
+            )
+
+    col_widths = [
+        max(len(str_headers[c]), *(len(r[c]) for r in str_rows))
+        if str_rows
+        else len(str_headers[c])
+        for c in range(width)
+    ]
+
+    def render_row(cells: Sequence[str]) -> str:
+        parts = []
+        for c, cell in enumerate(cells):
+            if c >= align_right_from:
+                parts.append(cell.rjust(col_widths[c]))
+            else:
+                parts.append(cell.ljust(col_widths[c]))
+        return "  ".join(parts).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(str_headers))
+    lines.append("  ".join("-" * w for w in col_widths))
+    lines.extend(render_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def format_percent(numerator: int, denominator: int) -> str:
+    """``"93%"``-style percentage used throughout Table I."""
+    if denominator <= 0:
+        return "n/a"
+    return f"{round(100.0 * numerator / denominator)}%"

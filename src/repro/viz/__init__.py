@@ -1,0 +1,35 @@
+"""Dependency-free SVG figure generation for the paper's charts."""
+
+from repro.viz.charts import (
+    BarLayer,
+    LineSeries,
+    axis_ticks,
+    line_chart,
+    nice_ceiling,
+    stacked_bar_chart,
+)
+from repro.viz.figures import (
+    figure4_svg,
+    partition_figure,
+    table1_saturation_svg,
+)
+from repro.viz.matrix_svg import matrix_svg, partition_svg
+from repro.viz.palette import PALETTE, color
+from repro.viz.svg import SvgCanvas
+
+__all__ = [
+    "BarLayer",
+    "LineSeries",
+    "PALETTE",
+    "SvgCanvas",
+    "axis_ticks",
+    "color",
+    "figure4_svg",
+    "line_chart",
+    "matrix_svg",
+    "nice_ceiling",
+    "partition_figure",
+    "partition_svg",
+    "stacked_bar_chart",
+    "table1_saturation_svg",
+]

@@ -1,0 +1,290 @@
+"""Chart builders on top of :class:`~repro.viz.svg.SvgCanvas`.
+
+Two chart families cover the paper's evaluation figures:
+
+* :func:`stacked_bar_chart` — Figure 4's layout: one bar per case,
+  stacked into phases (packing vs SMT time), with an optional secondary
+  line series on a right-hand axis (the real rank overlay).
+* :func:`line_chart` — saturation curves, e.g. % optimal vs number of
+  row-packing trials per benchmark family (the columns of Table I).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.viz.palette import AXIS_COLOR, GRID_COLOR, TEXT_COLOR, color
+from repro.viz.svg import SvgCanvas
+
+Margins = Tuple[float, float, float, float]  # top, right, bottom, left
+
+DEFAULT_MARGINS: Margins = (36.0, 64.0, 56.0, 64.0)
+
+
+def nice_ceiling(value: float) -> float:
+    """Round up to a 1/2/5 x 10^k 'nice' axis maximum."""
+    if value <= 0:
+        return 1.0
+    magnitude = 10 ** math.floor(math.log10(value))
+    for multiplier in (1, 2, 5, 10):
+        if value <= multiplier * magnitude:
+            return float(multiplier * magnitude)
+    return float(10 * magnitude)  # pragma: no cover - loop covers x10
+
+
+def axis_ticks(maximum: float, count: int = 5) -> List[float]:
+    """Evenly spaced ticks from 0 to ``maximum`` inclusive."""
+    if maximum <= 0:
+        return [0.0]
+    return [maximum * i / count for i in range(count + 1)]
+
+
+def _tick_label(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.2f}".rstrip("0").rstrip(".")
+
+
+@dataclass
+class BarLayer:
+    """One stack layer: a label and one value per category."""
+
+    label: str
+    values: Sequence[float]
+    fill: Optional[str] = None
+
+
+@dataclass
+class LineSeries:
+    """One polyline: a label and one y-value per x position."""
+
+    label: str
+    values: Sequence[float]
+    stroke: Optional[str] = None
+    markers: bool = True
+
+
+def stacked_bar_chart(
+    categories: Sequence[str],
+    layers: Sequence[BarLayer],
+    *,
+    title: str = "",
+    y_label: str = "",
+    secondary: Optional[LineSeries] = None,
+    secondary_label: str = "",
+    width: float = 640.0,
+    height: float = 360.0,
+    margins: Margins = DEFAULT_MARGINS,
+) -> SvgCanvas:
+    """Grouped stacked bars with an optional right-axis line overlay."""
+    if not categories:
+        raise ValueError("need at least one category")
+    for layer in layers:
+        if len(layer.values) != len(categories):
+            raise ValueError(
+                f"layer {layer.label!r} has {len(layer.values)} values "
+                f"for {len(categories)} categories"
+            )
+    if secondary is not None and len(secondary.values) != len(categories):
+        raise ValueError("secondary series length must match categories")
+
+    top, right, bottom, left = margins
+    canvas = SvgCanvas(width, height)
+    plot_w = width - left - right
+    plot_h = height - top - bottom
+
+    totals = [
+        sum(layer.values[i] for layer in layers)
+        for i in range(len(categories))
+    ]
+    y_max = nice_ceiling(max(totals) if totals else 1.0)
+
+    # Gridlines + left axis ticks.
+    for tick in axis_ticks(y_max):
+        y = top + plot_h * (1 - tick / y_max)
+        canvas.line(left, y, left + plot_w, y, stroke=GRID_COLOR)
+        canvas.text(
+            left - 6, y + 4, _tick_label(tick), size=10, anchor="end",
+            fill=TEXT_COLOR,
+        )
+    canvas.line(left, top, left, top + plot_h, stroke=AXIS_COLOR)
+    canvas.line(
+        left, top + plot_h, left + plot_w, top + plot_h, stroke=AXIS_COLOR
+    )
+    if y_label:
+        canvas.text(
+            16, top + plot_h / 2, y_label, size=11, anchor="middle",
+            rotate=-90, fill=TEXT_COLOR,
+        )
+
+    # Bars.
+    slot = plot_w / len(categories)
+    bar_w = slot * 0.55
+    for index, category in enumerate(categories):
+        x = left + slot * index + (slot - bar_w) / 2
+        y_cursor = top + plot_h
+        for layer_index, layer in enumerate(layers):
+            value = layer.values[index]
+            bar_h = plot_h * value / y_max
+            y_cursor -= bar_h
+            canvas.rect(
+                x,
+                y_cursor,
+                bar_w,
+                bar_h,
+                fill=layer.fill or color(layer_index),
+                stroke="#ffffff",
+                stroke_width=0.5,
+            )
+        canvas.text(
+            left + slot * index + slot / 2,
+            top + plot_h + 16,
+            category,
+            size=10,
+            anchor="middle",
+            fill=TEXT_COLOR,
+        )
+
+    # Secondary line on a right-hand axis.
+    if secondary is not None:
+        s_max = nice_ceiling(max(secondary.values) if secondary.values else 1)
+        points = []
+        for index in range(len(categories)):
+            x = left + slot * index + slot / 2
+            y = top + plot_h * (1 - secondary.values[index] / s_max)
+            points.append((x, y))
+        stroke = secondary.stroke or "#000000"
+        if len(points) >= 2:
+            canvas.polyline(points, stroke=stroke, stroke_width=2.0)
+        for x, y in points:
+            canvas.circle(x, y, 3, fill=stroke)
+        canvas.line(
+            left + plot_w, top, left + plot_w, top + plot_h,
+            stroke=AXIS_COLOR,
+        )
+        for tick in axis_ticks(s_max):
+            y = top + plot_h * (1 - tick / s_max)
+            canvas.text(
+                left + plot_w + 6, y + 4, _tick_label(tick), size=10,
+                anchor="start", fill=TEXT_COLOR,
+            )
+        if secondary_label:
+            canvas.text(
+                width - 14, top + plot_h / 2, secondary_label, size=11,
+                anchor="middle", rotate=90, fill=TEXT_COLOR,
+            )
+
+    # Legend.
+    legend_x = left
+    legend_y = height - 12
+    for layer_index, layer in enumerate(layers):
+        fill = layer.fill or color(layer_index)
+        canvas.rect(legend_x, legend_y - 9, 10, 10, fill=fill)
+        canvas.text(
+            legend_x + 14, legend_y, layer.label, size=10, fill=TEXT_COLOR
+        )
+        legend_x += 14 + 7 * len(layer.label) + 18
+    if secondary is not None:
+        canvas.line(
+            legend_x, legend_y - 4, legend_x + 14, legend_y - 4,
+            stroke=secondary.stroke or "#000000", stroke_width=2.0,
+        )
+        canvas.text(
+            legend_x + 18, legend_y, secondary.label, size=10,
+            fill=TEXT_COLOR,
+        )
+
+    if title:
+        canvas.title(title)
+    return canvas
+
+
+def line_chart(
+    x_labels: Sequence[str],
+    series: Sequence[LineSeries],
+    *,
+    title: str = "",
+    y_label: str = "",
+    y_max: Optional[float] = None,
+    width: float = 640.0,
+    height: float = 360.0,
+    margins: Margins = DEFAULT_MARGINS,
+) -> SvgCanvas:
+    """Multi-series line chart over ordinal x positions."""
+    if not x_labels:
+        raise ValueError("need at least one x position")
+    if not series:
+        raise ValueError("need at least one series")
+    for entry in series:
+        if len(entry.values) != len(x_labels):
+            raise ValueError(
+                f"series {entry.label!r} has {len(entry.values)} values "
+                f"for {len(x_labels)} x positions"
+            )
+
+    top, right, bottom, left = margins
+    canvas = SvgCanvas(width, height)
+    plot_w = width - left - right
+    plot_h = height - top - bottom
+
+    peak = max(max(entry.values) for entry in series)
+    maximum = y_max if y_max is not None else nice_ceiling(peak)
+    if maximum <= 0:
+        maximum = 1.0
+
+    for tick in axis_ticks(maximum):
+        y = top + plot_h * (1 - tick / maximum)
+        canvas.line(left, y, left + plot_w, y, stroke=GRID_COLOR)
+        canvas.text(
+            left - 6, y + 4, _tick_label(tick), size=10, anchor="end",
+            fill=TEXT_COLOR,
+        )
+    canvas.line(left, top, left, top + plot_h, stroke=AXIS_COLOR)
+    canvas.line(
+        left, top + plot_h, left + plot_w, top + plot_h, stroke=AXIS_COLOR
+    )
+    if y_label:
+        canvas.text(
+            16, top + plot_h / 2, y_label, size=11, anchor="middle",
+            rotate=-90, fill=TEXT_COLOR,
+        )
+
+    slot = plot_w / max(1, len(x_labels) - 1) if len(x_labels) > 1 else 0.0
+    for position, label in enumerate(x_labels):
+        x = left + (slot * position if len(x_labels) > 1 else plot_w / 2)
+        canvas.text(
+            x, top + plot_h + 16, label, size=10, anchor="middle",
+            fill=TEXT_COLOR,
+        )
+
+    for series_index, entry in enumerate(series):
+        stroke = entry.stroke or color(series_index)
+        points = []
+        for position in range(len(x_labels)):
+            x = left + (slot * position if len(x_labels) > 1 else plot_w / 2)
+            y = top + plot_h * (1 - entry.values[position] / maximum)
+            points.append((x, y))
+        if len(points) >= 2:
+            canvas.polyline(points, stroke=stroke, stroke_width=2.0)
+        if entry.markers:
+            for x, y in points:
+                canvas.circle(x, y, 3, fill=stroke)
+
+    legend_x = left
+    legend_y = height - 12
+    for series_index, entry in enumerate(series):
+        stroke = entry.stroke or color(series_index)
+        canvas.line(
+            legend_x, legend_y - 4, legend_x + 14, legend_y - 4,
+            stroke=stroke, stroke_width=2.0,
+        )
+        canvas.text(
+            legend_x + 18, legend_y, entry.label, size=10, fill=TEXT_COLOR
+        )
+        legend_x += 18 + 7 * len(entry.label) + 16
+
+    if title:
+        canvas.title(title)
+    return canvas

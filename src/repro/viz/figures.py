@@ -1,0 +1,98 @@
+"""Adapters from experiment results to the paper's figures as SVG.
+
+Each function takes the result object produced by a runner in
+:mod:`repro.experiments` and returns a ready-to-write
+:class:`~repro.viz.svg.SvgCanvas`.  The experiment CLIs call these when
+given ``--svg``; tests snapshot their structure.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.fooling import max_fooling_set
+from repro.core.partition import Partition
+from repro.viz.charts import BarLayer, LineSeries, line_chart, stacked_bar_chart
+from repro.viz.matrix_svg import partition_svg
+from repro.viz.svg import SvgCanvas
+
+
+def figure4_svg(result) -> SvgCanvas:
+    """Figure 4: runtime split of the most time-consuming cases.
+
+    Stacked bars (packing vs SMT seconds) per hard case, real rank as
+    the right-axis line — the same series the paper plots.
+    """
+    cases = result.top_cases()
+    if not cases:
+        raise ValueError("figure 4 result contains no cases")
+    categories = [case.family for case in cases]
+    packing = BarLayer(
+        "packing heuristic", [case.packing_seconds for case in cases]
+    )
+    smt = BarLayer("SMT", [case.smt_seconds for case in cases])
+    rank_line = LineSeries(
+        "real rank", [case.real_rank for case in cases], stroke="#000000"
+    )
+    return stacked_bar_chart(
+        categories,
+        [packing, smt],
+        title="Most time-consuming cases",
+        y_label="runtime / sec",
+        secondary=rank_line,
+        secondary_label="real rank",
+    )
+
+
+# Map the Table I heuristic column names onto line-chart x positions.
+def _trial_counts(heuristics: Sequence[str]) -> List[str]:
+    counts = []
+    for name in heuristics:
+        if name.startswith("packing:"):
+            counts.append(name.split(":", 1)[1])
+    return counts
+
+
+def table1_saturation_svg(result) -> SvgCanvas:
+    """Table I as saturation curves: % optimal vs packing trials.
+
+    One line per benchmark family; the paper's Observation 3 (row
+    packing saturates around 100 trials) appears as the curves
+    flattening to the right.
+    """
+    trial_labels = _trial_counts(result.config.heuristics)
+    if not trial_labels:
+        raise ValueError("result has no packing:<trials> heuristics")
+    series = []
+    for family in result.families():
+        row = result.row(family)
+        values = []
+        for label in trial_labels:
+            text = row[f"packing:{label}"]
+            values.append(float(text.rstrip("%")) if text != "-" else 0.0)
+        series.append(LineSeries(family, values))
+    return line_chart(
+        trial_labels,
+        series,
+        title="Row packing saturation (Table I columns)",
+        y_label="% cases optimal",
+        y_max=100.0,
+    )
+
+
+def partition_figure(
+    matrix: BinaryMatrix,
+    partition: Partition,
+    *,
+    with_fooling: bool = True,
+    title: str = "",
+    seed: Optional[int] = 0,
+) -> SvgCanvas:
+    """Figure 1b-style rendition: partition colors + fooling-set rings."""
+    fooling = None
+    if with_fooling:
+        fooling = max_fooling_set(matrix, seed=seed)
+    return partition_svg(
+        matrix, partition, fooling_cells=fooling, title=title
+    )

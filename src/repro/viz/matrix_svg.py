@@ -1,0 +1,141 @@
+"""SVG rendering of matrices, partitions, and fooling sets.
+
+Reproduces the visual language of the paper's Figure 1b / Figure 3:
+each rectangle of a partition gets its own color, cells show the 0/1
+pattern, and fooling-set members are marked so their pairwise-conflict
+certificate is visible against the colored partition.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.exceptions import InvalidPartitionError
+from repro.core.partition import Partition
+from repro.viz.palette import AXIS_COLOR, TEXT_COLOR, color
+from repro.viz.svg import SvgCanvas
+
+Cell = Tuple[int, int]
+
+_ZERO_FILL = "#f5f5f5"
+_UNPARTITIONED_FILL = "#bbbbbb"
+
+
+def matrix_svg(
+    matrix: BinaryMatrix,
+    *,
+    cell_size: float = 26.0,
+    title: str = "",
+) -> SvgCanvas:
+    """Plain 0/1 heatmap of a binary matrix."""
+    return partition_svg(matrix, None, cell_size=cell_size, title=title)
+
+
+def partition_svg(
+    matrix: BinaryMatrix,
+    partition: Optional[Partition],
+    *,
+    fooling_cells: Optional[Sequence[Cell]] = None,
+    cell_size: float = 26.0,
+    title: str = "",
+    show_indices: bool = True,
+) -> SvgCanvas:
+    """Heatmap of ``matrix`` with partition rectangles color-coded.
+
+    ``fooling_cells`` (e.g. from
+    :func:`repro.core.fooling.max_fooling_set`) are drawn as rings —
+    the optimality certificate of Figure 1b.
+    """
+    rows, cols = matrix.shape
+    if partition is not None and partition.shape != matrix.shape:
+        raise InvalidPartitionError(
+            f"partition shape {partition.shape} does not match "
+            f"matrix shape {matrix.shape}"
+        )
+    margin_left = 34.0 if show_indices else 10.0
+    margin_top = (34.0 if show_indices else 10.0) + (24.0 if title else 0.0)
+    legend_h = 26.0 if partition is not None else 0.0
+    width = margin_left + cols * cell_size + 10.0
+    height = margin_top + rows * cell_size + 10.0 + legend_h
+    canvas = SvgCanvas(width, height)
+
+    cell_color = {}
+    if partition is not None:
+        for index, rectangle in enumerate(partition):
+            for i in rectangle.rows:
+                for j in rectangle.cols:
+                    cell_color[(i, j)] = color(index)
+
+    for i in range(rows):
+        for j in range(cols):
+            x = margin_left + j * cell_size
+            y = margin_top + i * cell_size
+            if matrix[i, j]:
+                fill = cell_color.get((i, j), _UNPARTITIONED_FILL)
+                if partition is None:
+                    fill = "#333333"
+            else:
+                fill = _ZERO_FILL
+            canvas.rect(
+                x, y, cell_size, cell_size,
+                fill=fill, stroke="#ffffff", stroke_width=1.0,
+            )
+            if matrix[i, j]:
+                canvas.text(
+                    x + cell_size / 2,
+                    y + cell_size / 2 + 4,
+                    "1",
+                    size=cell_size * 0.42,
+                    anchor="middle",
+                    fill="#ffffff",
+                )
+
+    if fooling_cells:
+        for i, j in fooling_cells:
+            if not matrix[i, j]:
+                raise InvalidPartitionError(
+                    f"fooling cell ({i}, {j}) is a 0 of the matrix"
+                )
+            canvas.circle(
+                margin_left + j * cell_size + cell_size / 2,
+                margin_top + i * cell_size + cell_size / 2,
+                cell_size * 0.33,
+                fill="none",
+                stroke="#000000",
+            )
+
+    if show_indices:
+        for i in range(rows):
+            canvas.text(
+                margin_left - 8,
+                margin_top + i * cell_size + cell_size / 2 + 4,
+                str(i),
+                size=10,
+                anchor="end",
+                fill=AXIS_COLOR,
+            )
+        for j in range(cols):
+            canvas.text(
+                margin_left + j * cell_size + cell_size / 2,
+                margin_top - 8,
+                str(j),
+                size=10,
+                anchor="middle",
+                fill=AXIS_COLOR,
+            )
+
+    if partition is not None:
+        legend_y = margin_top + rows * cell_size + 18
+        x = margin_left
+        for index, rectangle in enumerate(partition):
+            canvas.rect(x, legend_y - 9, 10, 10, fill=color(index))
+            label = f"P{index} {len(rectangle.rows)}x{len(rectangle.cols)}"
+            canvas.text(x + 13, legend_y, label, size=9, fill=TEXT_COLOR)
+            x += 13 + 6 * len(label) + 10
+
+    if title:
+        canvas.text(
+            width / 2, 16, title, size=13, anchor="middle", bold=True
+        )
+    return canvas

@@ -1,0 +1,26 @@
+"""Shared color palette for figures (Okabe-Ito, colorblind-safe)."""
+
+from __future__ import annotations
+
+from typing import List
+
+# Okabe & Ito's qualitative palette, the de-facto colorblind-safe set.
+PALETTE: List[str] = [
+    "#0072B2",  # blue
+    "#E69F00",  # orange
+    "#009E73",  # bluish green
+    "#D55E00",  # vermillion
+    "#CC79A7",  # reddish purple
+    "#56B4E9",  # sky blue
+    "#F0E442",  # yellow
+    "#999999",  # grey
+]
+
+AXIS_COLOR = "#444444"
+GRID_COLOR = "#dddddd"
+TEXT_COLOR = "#222222"
+
+
+def color(index: int) -> str:
+    """Cycle through the palette for arbitrarily many series."""
+    return PALETTE[index % len(PALETTE)]

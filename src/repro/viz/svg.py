@@ -1,0 +1,167 @@
+"""A minimal, dependency-free SVG document builder.
+
+The experiment runners emit their figures as SVG so the paper's charts
+(Figure 1b's marked partition, Figure 4's runtime bars) can be
+regenerated without matplotlib, which is not available offline.  Output
+is deterministic: attributes are written in a fixed order and all
+coordinates are rounded to a fixed precision, so figures can be
+snapshot-tested.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+from xml.sax.saxutils import escape
+
+
+def _fmt(value: float) -> str:
+    """Fixed-precision coordinate formatting (trailing zeros trimmed)."""
+    text = f"{value:.2f}"
+    return text.rstrip("0").rstrip(".") if "." in text else text
+
+
+class SvgCanvas:
+    """Accumulates SVG elements and serializes them deterministically."""
+
+    def __init__(self, width: float, height: float) -> None:
+        if width <= 0 or height <= 0:
+            raise ValueError(
+                f"canvas must have positive size, got {width}x{height}"
+            )
+        self.width = width
+        self.height = height
+        self._elements: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Primitives
+    # ------------------------------------------------------------------
+    def rect(
+        self,
+        x: float,
+        y: float,
+        width: float,
+        height: float,
+        *,
+        fill: str = "none",
+        stroke: Optional[str] = None,
+        stroke_width: float = 1.0,
+        opacity: Optional[float] = None,
+        rx: Optional[float] = None,
+    ) -> None:
+        parts = [
+            f'<rect x="{_fmt(x)}" y="{_fmt(y)}"',
+            f'width="{_fmt(width)}" height="{_fmt(height)}"',
+            f'fill="{fill}"',
+        ]
+        if stroke is not None:
+            parts.append(f'stroke="{stroke}" stroke-width="{_fmt(stroke_width)}"')
+        if opacity is not None:
+            parts.append(f'opacity="{_fmt(opacity)}"')
+        if rx is not None:
+            parts.append(f'rx="{_fmt(rx)}"')
+        self._elements.append(" ".join(parts) + "/>")
+
+    def line(
+        self,
+        x1: float,
+        y1: float,
+        x2: float,
+        y2: float,
+        *,
+        stroke: str = "#000000",
+        stroke_width: float = 1.0,
+        dash: Optional[str] = None,
+    ) -> None:
+        parts = [
+            f'<line x1="{_fmt(x1)}" y1="{_fmt(y1)}"',
+            f'x2="{_fmt(x2)}" y2="{_fmt(y2)}"',
+            f'stroke="{stroke}" stroke-width="{_fmt(stroke_width)}"',
+        ]
+        if dash is not None:
+            parts.append(f'stroke-dasharray="{dash}"')
+        self._elements.append(" ".join(parts) + "/>")
+
+    def circle(
+        self,
+        cx: float,
+        cy: float,
+        r: float,
+        *,
+        fill: str = "#000000",
+        stroke: Optional[str] = None,
+    ) -> None:
+        parts = [
+            f'<circle cx="{_fmt(cx)}" cy="{_fmt(cy)}" r="{_fmt(r)}"',
+            f'fill="{fill}"',
+        ]
+        if stroke is not None:
+            parts.append(f'stroke="{stroke}"')
+        self._elements.append(" ".join(parts) + "/>")
+
+    def polyline(
+        self,
+        points: Sequence[Tuple[float, float]],
+        *,
+        stroke: str = "#000000",
+        stroke_width: float = 1.5,
+        fill: str = "none",
+    ) -> None:
+        if len(points) < 2:
+            raise ValueError("polyline needs at least two points")
+        joined = " ".join(f"{_fmt(x)},{_fmt(y)}" for x, y in points)
+        self._elements.append(
+            f'<polyline points="{joined}" fill="{fill}" '
+            f'stroke="{stroke}" stroke-width="{_fmt(stroke_width)}"/>'
+        )
+
+    def text(
+        self,
+        x: float,
+        y: float,
+        content: str,
+        *,
+        size: float = 12.0,
+        anchor: str = "start",
+        fill: str = "#000000",
+        rotate: Optional[float] = None,
+        bold: bool = False,
+    ) -> None:
+        transform = (
+            f' transform="rotate({_fmt(rotate)} {_fmt(x)} {_fmt(y)})"'
+            if rotate is not None
+            else ""
+        )
+        weight = ' font-weight="bold"' if bold else ""
+        self._elements.append(
+            f'<text x="{_fmt(x)}" y="{_fmt(y)}" font-size="{_fmt(size)}" '
+            f'font-family="sans-serif" text-anchor="{anchor}" '
+            f'fill="{fill}"{weight}{transform}>{escape(content)}</text>'
+        )
+
+    def title(self, content: str) -> None:
+        self.text(
+            self.width / 2,
+            18,
+            content,
+            size=14,
+            anchor="middle",
+            bold=True,
+        )
+
+    # ------------------------------------------------------------------
+    def to_string(self) -> str:
+        header = (
+            '<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{_fmt(self.width)}" height="{_fmt(self.height)}" '
+            f'viewBox="0 0 {_fmt(self.width)} {_fmt(self.height)}">'
+        )
+        body = "\n".join(f"  {element}" for element in self._elements)
+        return f"{header}\n{body}\n</svg>\n"
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as stream:
+            stream.write(self.to_string())
+
+    @property
+    def num_elements(self) -> int:
+        return len(self._elements)

@@ -1,0 +1,65 @@
+"""Unit tests for AOD configurations."""
+
+import pytest
+
+from repro.atoms.aod import AodConfiguration
+from repro.core.exceptions import ScheduleError
+from repro.core.rectangle import Rectangle
+
+
+class TestConstruction:
+    def test_basic(self):
+        config = AodConfiguration([0, 2], [1])
+        assert config.rows == frozenset({0, 2})
+        assert config.cols == frozenset({1})
+        assert config.num_tones == 3
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(ScheduleError):
+            AodConfiguration([], [1])
+
+    def test_empty_cols_rejected(self):
+        with pytest.raises(ScheduleError):
+            AodConfiguration([0], [])
+
+    def test_negative_tone_rejected(self):
+        with pytest.raises(ScheduleError):
+            AodConfiguration([-1], [0])
+
+    def test_from_rectangle_round_trip(self):
+        rect = Rectangle.from_sets([1, 3], [0, 2])
+        config = AodConfiguration.from_rectangle(rect)
+        assert config.to_rectangle() == rect
+
+
+class TestAddressing:
+    def test_addressed_sites_is_product(self):
+        config = AodConfiguration([0, 1], [2, 3])
+        assert set(config.addressed_sites()) == {
+            (0, 2), (0, 3), (1, 2), (1, 3)
+        }
+
+    def test_addresses(self):
+        config = AodConfiguration([0], [1])
+        assert config.addresses(0, 1)
+        assert not config.addresses(0, 0)
+        assert not config.addresses(1, 1)
+
+    def test_fits(self):
+        config = AodConfiguration([0, 2], [1])
+        assert config.fits(3, 2)
+        assert not config.fits(2, 2)
+        assert not config.fits(3, 1)
+
+
+class TestDunder:
+    def test_eq_hash(self):
+        a = AodConfiguration([0], [1])
+        b = AodConfiguration({0}, {1})
+        assert a == b and hash(a) == hash(b)
+        assert a != AodConfiguration([1], [0])
+        assert a != object()
+
+    def test_repr_sorted(self):
+        config = AodConfiguration([2, 0], [1])
+        assert "rows=[0, 2]" in repr(config)

@@ -1,0 +1,45 @@
+"""Unit tests for the qubit array geometry."""
+
+import pytest
+
+from repro.atoms.array import QubitArray
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.exceptions import ScheduleError
+
+
+class TestConstruction:
+    def test_full(self):
+        array = QubitArray.full(3, 4)
+        assert array.shape == (3, 4)
+        assert array.num_atoms == 12
+        assert list(array.vacancies()) == []
+
+    def test_with_vacancies(self):
+        array = QubitArray.with_vacancies(2, 2, [(0, 1)])
+        assert array.num_atoms == 3
+        assert not array.is_occupied(0, 1)
+        assert array.is_occupied(0, 0)
+        assert list(array.vacancies()) == [(0, 1)]
+
+    def test_atoms_iterator(self):
+        array = QubitArray.with_vacancies(2, 2, [(0, 0), (1, 1)])
+        assert set(array.atoms()) == {(0, 1), (1, 0)}
+
+
+class TestCheckPattern:
+    def test_pattern_on_atoms_ok(self):
+        array = QubitArray.full(2, 2)
+        array.check_pattern(BinaryMatrix.from_strings(["10", "01"]))
+
+    def test_pattern_on_vacancy_rejected(self):
+        array = QubitArray.with_vacancies(2, 2, [(0, 0)])
+        with pytest.raises(ScheduleError, match="vacant"):
+            array.check_pattern(BinaryMatrix.from_strings(["10", "00"]))
+
+    def test_shape_mismatch_rejected(self):
+        array = QubitArray.full(2, 2)
+        with pytest.raises(ScheduleError, match="shape"):
+            array.check_pattern(BinaryMatrix.zeros(3, 3))
+
+    def test_repr(self):
+        assert "atoms=4" in repr(QubitArray.full(2, 2))

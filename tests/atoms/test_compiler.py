@@ -1,0 +1,97 @@
+"""Unit tests for the pattern -> schedule compiler."""
+
+import pytest
+
+from repro.atoms.array import QubitArray
+from repro.atoms.compiler import compile_addressing
+from repro.atoms.simulator import AddressingSimulator
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.exceptions import ScheduleError
+from repro.core.paper_matrices import figure_1b
+
+
+class TestCompileAddressing:
+    def test_sap_strategy_optimal(self):
+        array = QubitArray.full(6, 6)
+        result = compile_addressing(
+            array, figure_1b(), strategy="sap", trials=16, seed=0
+        )
+        assert result.depth == 5
+        assert result.proved_optimal
+        assert not result.used_vacancies
+
+    def test_packing_strategy(self):
+        array = QubitArray.full(6, 6)
+        result = compile_addressing(
+            array, figure_1b(), strategy="packing", trials=16, seed=0
+        )
+        assert result.depth >= 5
+        assert not result.proved_optimal
+
+    def test_compiled_schedule_verifies(self, rng):
+        for _ in range(10):
+            rows, cols = rng.randint(1, 5), rng.randint(1, 5)
+            target = BinaryMatrix(
+                [rng.getrandbits(cols) for _ in range(rows)], cols
+            )
+            array = QubitArray.full(rows, cols)
+            result = compile_addressing(
+                array, target, strategy="packing", trials=4, seed=0
+            )
+            report = AddressingSimulator(array).verify(
+                result.schedule, target
+            )
+            assert report.ok
+
+    def test_vacancies_exploited(self):
+        array = QubitArray.with_vacancies(
+            3, 3, [(0, 0), (0, 2), (2, 0), (2, 2)]
+        )
+        target = BinaryMatrix.from_strings(["010", "111", "010"])
+        plain = compile_addressing(
+            array, target, strategy="sap", trials=16, seed=0
+        )
+        with_vacancies = compile_addressing(
+            array,
+            target,
+            strategy="sap",
+            exploit_vacancies=True,
+            trials=16,
+            seed=0,
+        )
+        assert with_vacancies.used_vacancies
+        assert with_vacancies.depth < plain.depth
+        report = AddressingSimulator(array).verify(
+            with_vacancies.schedule, target
+        )
+        assert report.ok
+
+    def test_vacancies_flag_noop_on_full_array(self):
+        array = QubitArray.full(2, 2)
+        target = BinaryMatrix.identity(2)
+        result = compile_addressing(
+            array, target, exploit_vacancies=True, trials=4, seed=0
+        )
+        assert not result.used_vacancies
+        assert result.depth == 2
+
+    def test_unknown_strategy_rejected(self):
+        array = QubitArray.full(2, 2)
+        with pytest.raises(ScheduleError):
+            compile_addressing(
+                array, BinaryMatrix.identity(2), strategy="magic"
+            )
+
+    def test_pattern_on_vacancy_rejected(self):
+        array = QubitArray.with_vacancies(2, 2, [(0, 0)])
+        with pytest.raises(ScheduleError):
+            compile_addressing(array, BinaryMatrix.identity(2))
+
+    def test_theta_propagates(self):
+        array = QubitArray.full(2, 2)
+        result = compile_addressing(
+            array, BinaryMatrix.identity(2), theta=0.125, trials=2, seed=0
+        )
+        assert all(
+            op.pulse.theta == 0.125 for op in result.schedule
+        )

@@ -1,0 +1,75 @@
+"""AOD constraint model tests."""
+
+import pytest
+
+from repro.atoms.aod import AodConfiguration
+from repro.atoms.constraints import AodConstraints
+from repro.atoms.schedule import AddressingSchedule
+from repro.core.exceptions import ScheduleError
+from repro.core.paper_matrices import figure_1b
+from repro.solvers.row_packing import row_packing
+
+
+class TestConstraintValidation:
+    def test_defaults_are_unconstrained(self):
+        constraints = AodConstraints()
+        assert constraints.unconstrained
+        config = AodConfiguration(range(50), range(50))
+        assert constraints.is_legal(config)
+
+    def test_row_tone_cap(self):
+        constraints = AodConstraints(max_row_tones=2)
+        assert constraints.is_legal(AodConfiguration([0, 5], [1]))
+        violations = constraints.violations(AodConfiguration([0, 1, 2], [0]))
+        assert violations and "row tones" in violations[0]
+
+    def test_col_tone_cap(self):
+        constraints = AodConstraints(max_col_tones=1)
+        assert not constraints.is_legal(AodConfiguration([0], [0, 1]))
+
+    def test_total_budget(self):
+        constraints = AodConstraints(max_total_tones=4)
+        assert constraints.is_legal(AodConfiguration([0, 1], [3, 4]))
+        assert not constraints.is_legal(AodConfiguration([0, 1, 2], [3, 4]))
+
+    def test_row_spacing(self):
+        constraints = AodConstraints(min_row_spacing=3)
+        assert constraints.is_legal(AodConfiguration([0, 3, 6], [0]))
+        violations = constraints.violations(AodConfiguration([0, 2], [0]))
+        assert violations and "spacing" in violations[0]
+
+    def test_col_spacing(self):
+        constraints = AodConstraints(min_col_spacing=2)
+        assert not constraints.is_legal(AodConfiguration([0], [4, 5]))
+
+    def test_multiple_violations_reported(self):
+        constraints = AodConstraints(max_row_tones=1, min_col_spacing=2)
+        violations = constraints.violations(
+            AodConfiguration([0, 1], [3, 4])
+        )
+        assert len(violations) == 2
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_row_tones": 0},
+            {"max_col_tones": -1},
+            {"min_row_spacing": 0},
+            {"min_col_spacing": 0},
+            {"max_total_tones": 1},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ScheduleError):
+            AodConstraints(**kwargs)
+
+    def test_check_schedule_reports_steps(self):
+        matrix = figure_1b()
+        partition = row_packing(matrix, trials=10, seed=1)
+        schedule = AddressingSchedule.from_partition(partition, theta=0.5)
+        constraints = AodConstraints(max_row_tones=1, max_col_tones=1)
+        findings = constraints.check_schedule(schedule)
+        assert findings  # a 6x6 partition has multi-tone rectangles
+        steps = {step for step, _ in findings}
+        assert all(0 <= step < schedule.depth for step in steps)
+        assert not constraints.schedule_is_legal(schedule)

@@ -1,0 +1,104 @@
+"""Unit tests for the schedule cost model."""
+
+import pytest
+
+from repro.atoms.aod import AodConfiguration
+from repro.atoms.cost import ScheduleCostModel, reorder_for_tone_reuse
+from repro.atoms.schedule import (
+    AddressingOperation,
+    AddressingSchedule,
+    RzPulse,
+)
+from repro.core.exceptions import ScheduleError
+
+
+def schedule_of(configs, shape):
+    ops = [
+        AddressingOperation(AodConfiguration(rows, cols), RzPulse(1.0))
+        for rows, cols in configs
+    ]
+    return AddressingSchedule(ops, shape)
+
+
+class TestScheduleCostModel:
+    def test_empty_schedule(self):
+        model = ScheduleCostModel()
+        schedule = AddressingSchedule([], (2, 2))
+        assert model.duration(schedule) == 0.0
+        assert model.peak_tones(schedule) == 0
+
+    def test_single_step(self):
+        model = ScheduleCostModel(
+            reconfiguration_time=100, tone_switch_time=1, pulse_time=10
+        )
+        schedule = schedule_of([([0, 1], [2])], (2, 3))
+        # 100 + 3 tones switched on + 10
+        assert model.duration(schedule) == pytest.approx(113.0)
+
+    def test_tone_reuse_is_cheaper(self):
+        model = ScheduleCostModel(
+            reconfiguration_time=0, tone_switch_time=1, pulse_time=0
+        )
+        shared = schedule_of([([0], [0]), ([0], [1])], (2, 2))
+        disjoint = schedule_of([([0], [0]), ([1], [1])], (2, 2))
+        assert model.duration(shared) < model.duration(disjoint)
+
+    def test_peak_tones(self):
+        model = ScheduleCostModel()
+        schedule = schedule_of([([0], [0]), ([0, 1], [0, 1])], (2, 2))
+        assert model.peak_tones(schedule) == 4
+
+    def test_summary(self):
+        model = ScheduleCostModel()
+        schedule = schedule_of([([0], [0])], (1, 1))
+        duration, depth, peak = model.summary(schedule)
+        assert depth == 1 and peak == 2 and duration > 0
+
+    def test_negative_constant_rejected(self):
+        with pytest.raises(ScheduleError):
+            ScheduleCostModel(pulse_time=-1)
+
+
+class TestReorderForToneReuse:
+    def test_preserves_configuration_set(self):
+        schedule = schedule_of(
+            [([0], [0]), ([5], [5]), ([0], [1])], (6, 6)
+        )
+        reordered = reorder_for_tone_reuse(schedule)
+        assert reordered.depth == schedule.depth
+        assert {
+            (op.configuration.rows, op.configuration.cols)
+            for op in reordered
+        } == {
+            (op.configuration.rows, op.configuration.cols)
+            for op in schedule
+        }
+
+    def test_reordering_never_increases_duration(self, rng):
+        model = ScheduleCostModel(
+            reconfiguration_time=0, tone_switch_time=1, pulse_time=0
+        )
+        for _ in range(15):
+            configs = []
+            for _ in range(rng.randint(1, 8)):
+                rows = [rng.randrange(6) ]
+                cols = [rng.randrange(6)]
+                configs.append((rows, cols))
+            schedule = schedule_of(configs, (6, 6))
+            reordered = reorder_for_tone_reuse(schedule)
+            assert model.duration(reordered) <= model.duration(schedule) + 1e-9
+
+    def test_groups_similar_configs(self):
+        schedule = schedule_of(
+            [([0], [0]), ([3], [3]), ([0], [0, 1]), ([3], [3, 4])],
+            (6, 6),
+        )
+        model = ScheduleCostModel(
+            reconfiguration_time=0, tone_switch_time=1, pulse_time=0
+        )
+        reordered = reorder_for_tone_reuse(schedule)
+        assert model.duration(reordered) < model.duration(schedule)
+
+    def test_empty(self):
+        schedule = AddressingSchedule([], (2, 2))
+        assert reorder_for_tone_reuse(schedule).depth == 0

@@ -1,0 +1,102 @@
+"""Unit tests for multi-layer circuit compilation."""
+
+import pytest
+
+from repro.atoms.array import QubitArray
+from repro.atoms.cost import ScheduleCostModel
+from repro.atoms.layers import (
+    CircuitCompilation,
+    LayerSpec,
+    compile_layers,
+    layers_from_patterns,
+)
+from repro.atoms.simulator import AddressingSimulator
+from repro.benchgen.random_matrices import random_matrix
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.exceptions import ScheduleError
+
+
+class TestCompileLayers:
+    def test_two_layer_circuit(self):
+        array = QubitArray.full(4, 4)
+        layers = [
+            LayerSpec(BinaryMatrix.identity(4), theta=0.5),
+            LayerSpec(BinaryMatrix.all_ones(4, 4), theta=0.25),
+        ]
+        result = compile_layers(array, layers, trials=4, seed=0)
+        assert len(result.schedules) == 2
+        assert result.total_depth == 4 + 1
+        assert result.all_proved_optimal
+        # verify each layer behaviourally
+        sim = AddressingSimulator(array)
+        for layer, schedule in zip(layers, result.schedules):
+            assert sim.verify(schedule, layer.target).ok
+
+    def test_empty_circuit_rejected(self):
+        with pytest.raises(ScheduleError):
+            compile_layers(QubitArray.full(2, 2), [])
+
+    def test_layers_from_patterns(self):
+        patterns = [BinaryMatrix.identity(2), BinaryMatrix.all_ones(2, 2)]
+        layers = layers_from_patterns(patterns, theta=0.1)
+        assert all(layer.theta == 0.1 for layer in layers)
+        assert [layer.target for layer in layers] == patterns
+
+    def test_random_layers_verify(self, rng):
+        array = QubitArray.full(6, 6)
+        patterns = [
+            random_matrix(6, 6, 0.4, seed=rng.randint(0, 999))
+            for _ in range(3)
+        ]
+        result = compile_layers(
+            array,
+            layers_from_patterns(patterns),
+            strategy="packing",
+            trials=4,
+            seed=1,
+        )
+        sim = AddressingSimulator(array)
+        for pattern, schedule in zip(patterns, result.schedules):
+            assert sim.verify(schedule, pattern).ok
+
+    def test_duration_aggregates(self):
+        array = QubitArray.full(3, 3)
+        result = compile_layers(
+            array,
+            layers_from_patterns([BinaryMatrix.identity(3)]),
+            trials=2,
+            seed=0,
+        )
+        model = ScheduleCostModel()
+        assert result.duration(model) == pytest.approx(
+            model.duration(result.schedules[0])
+        )
+        assert result.duration() > 0
+
+    def test_tone_reuse_toggle(self):
+        array = QubitArray.full(4, 4)
+        layers = layers_from_patterns([BinaryMatrix.identity(4)])
+        with_reuse = compile_layers(
+            array, layers, trials=2, seed=0, tone_reuse=True
+        )
+        without = compile_layers(
+            array, layers, trials=2, seed=0, tone_reuse=False
+        )
+        assert with_reuse.total_depth == without.total_depth
+        model = ScheduleCostModel()
+        assert with_reuse.duration(model) <= without.duration(model) + 1e-9
+
+
+class TestCircuitCompilationDataclass:
+    def test_optimality_aggregation(self):
+        array = QubitArray.full(2, 2)
+        result = compile_layers(
+            array,
+            layers_from_patterns([BinaryMatrix.identity(2)]),
+            strategy="packing",
+            trials=2,
+            seed=0,
+        )
+        assert isinstance(result, CircuitCompilation)
+        # packing strategy never proves optimality
+        assert not result.all_proved_optimal

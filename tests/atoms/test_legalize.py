@@ -1,0 +1,190 @@
+"""Schedule legalization tests: correctness preserved, depth traded."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.atoms.aod import AodConfiguration
+from repro.atoms.array import QubitArray
+from repro.atoms.constraints import AodConstraints
+from repro.atoms.legalize import (
+    legalize_configuration,
+    legalize_schedule,
+    split_axis,
+)
+from repro.atoms.schedule import AddressingSchedule
+from repro.atoms.simulator import AddressingSimulator
+from repro.benchgen.random_matrices import random_nonempty_matrix
+from repro.core.exceptions import ScheduleError
+from repro.core.paper_matrices import figure_1b
+from repro.solvers.row_packing import row_packing
+
+
+class TestSplitAxis:
+    def test_no_constraints_single_group(self):
+        assert split_axis([3, 1, 2]) == [[1, 2, 3]]
+
+    def test_cap_splits_evenly(self):
+        groups = split_axis(range(10), max_tones=4)
+        assert len(groups) == math.ceil(10 / 4)
+        assert sorted(sum(groups, [])) == list(range(10))
+
+    def test_spacing_alternates(self):
+        groups = split_axis([0, 1, 2, 3], min_spacing=2)
+        assert len(groups) == 2
+        for group in groups:
+            assert all(b - a >= 2 for a, b in zip(group, group[1:]))
+
+    def test_spacing_and_cap_together(self):
+        groups = split_axis(range(8), max_tones=2, min_spacing=3)
+        for group in groups:
+            assert len(group) <= 2
+            assert all(b - a >= 3 for a, b in zip(group, group[1:]))
+        assert sorted(sum(groups, [])) == list(range(8))
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ScheduleError):
+            split_axis([0], max_tones=0)
+        with pytest.raises(ScheduleError):
+            split_axis([0], min_spacing=0)
+
+    @given(
+        indices=st.sets(st.integers(min_value=0, max_value=40), min_size=1),
+        cap=st.integers(min_value=1, max_value=6),
+        spacing=st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_groups_partition_and_respect_limits(self, indices, cap, spacing):
+        groups = split_axis(sorted(indices), max_tones=cap, min_spacing=spacing)
+        flattened = sorted(index for group in groups for index in group)
+        assert flattened == sorted(indices)
+        for group in groups:
+            assert 1 <= len(group) <= cap
+            assert all(b - a >= spacing for a, b in zip(group, group[1:]))
+        # Cannot beat the counting lower bound.
+        assert len(groups) >= math.ceil(len(indices) / cap)
+
+
+class TestLegalizeConfiguration:
+    def test_legal_config_untouched(self):
+        config = AodConfiguration([0, 2], [1, 3])
+        pieces = legalize_configuration(config, AodConstraints())
+        assert pieces == [config]
+
+    def test_axis_caps_split_into_products(self):
+        config = AodConfiguration(range(4), range(6))
+        constraints = AodConstraints(max_row_tones=2, max_col_tones=3)
+        pieces = legalize_configuration(config, constraints)
+        assert len(pieces) == 2 * 2
+        sites = sorted(
+            site for piece in pieces for site in piece.addressed_sites()
+        )
+        assert sites == sorted(config.addressed_sites())
+        assert all(constraints.is_legal(piece) for piece in pieces)
+
+    def test_total_budget_chunks_larger_axis(self):
+        config = AodConfiguration([0, 1], range(10))
+        constraints = AodConstraints(max_total_tones=6)
+        pieces = legalize_configuration(config, constraints)
+        assert all(constraints.is_legal(piece) for piece in pieces)
+        sites = sorted(
+            site for piece in pieces for site in piece.addressed_sites()
+        )
+        assert sites == sorted(config.addressed_sites())
+
+    def test_tight_budget_chunks_both_axes(self):
+        config = AodConfiguration(range(6), range(6))
+        constraints = AodConstraints(max_total_tones=3)
+        pieces = legalize_configuration(config, constraints)
+        assert all(constraints.is_legal(piece) for piece in pieces)
+        sites = sorted(
+            site for piece in pieces for site in piece.addressed_sites()
+        )
+        assert sites == sorted(config.addressed_sites())
+
+
+class TestLegalizeSchedule:
+    def _schedule(self, seed=1):
+        matrix = figure_1b()
+        partition = row_packing(matrix, trials=10, seed=seed)
+        return matrix, AddressingSchedule.from_partition(partition, theta=0.25)
+
+    def test_unconstrained_is_identity(self):
+        _, schedule = self._schedule()
+        result = legalize_schedule(schedule, AodConstraints())
+        assert result.depth == schedule.depth
+        assert result.inflation == 1.0
+        assert result.split_operations == 0
+
+    def test_legalized_schedule_still_addresses_pattern(self):
+        matrix, schedule = self._schedule()
+        constraints = AodConstraints(max_row_tones=1, max_col_tones=2)
+        result = legalize_schedule(schedule, constraints)
+        assert result.depth >= schedule.depth
+        assert result.split_operations >= 1
+        array = QubitArray.full(*matrix.shape)
+        report = AddressingSimulator(array).verify(result.schedule, matrix)
+        assert report.ok, report.summary()
+
+    def test_inflation_metric(self):
+        _, schedule = self._schedule()
+        constraints = AodConstraints(max_row_tones=1, max_col_tones=1)
+        result = legalize_schedule(schedule, constraints)
+        # Row x column singletons: depth equals the number of 1-cells.
+        assert result.depth == 18
+        assert result.inflation == pytest.approx(18 / schedule.depth)
+
+    def test_empty_schedule(self):
+        schedule = AddressingSchedule([], (4, 4))
+        result = legalize_schedule(schedule, AodConstraints(max_row_tones=1))
+        assert result.depth == 0
+        assert result.inflation == 1.0
+
+    @given(
+        seed=st.integers(min_value=0, max_value=9999),
+        row_cap=st.integers(min_value=1, max_value=4),
+        col_cap=st.integers(min_value=1, max_value=4),
+        spacing=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_legalization_preserves_addressing(
+        self, seed, row_cap, col_cap, spacing
+    ):
+        matrix = random_nonempty_matrix(6, 6, occupancy=0.45, seed=seed)
+        partition = row_packing(matrix, trials=3, seed=seed)
+        schedule = AddressingSchedule.from_partition(partition, theta=0.5)
+        constraints = AodConstraints(
+            max_row_tones=row_cap,
+            max_col_tones=col_cap,
+            min_row_spacing=spacing,
+        )
+        result = legalize_schedule(schedule, constraints)
+        assert constraints.schedule_is_legal(result.schedule)
+        array = QubitArray.full(*matrix.shape)
+        report = AddressingSimulator(array).verify(result.schedule, matrix)
+        assert report.ok, report.summary()
+
+    @given(
+        seed=st.integers(min_value=0, max_value=9999),
+        budget=st.integers(min_value=2, max_value=8),
+        spacing=st.integers(min_value=1, max_value=2),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_total_budget_preserves_addressing(
+        self, seed, budget, spacing
+    ):
+        """The RF-budget path (including the chunk-both-axes branch)
+        keeps the schedule legal and behaviourally correct."""
+        matrix = random_nonempty_matrix(7, 7, occupancy=0.5, seed=seed)
+        partition = row_packing(matrix, trials=3, seed=seed)
+        schedule = AddressingSchedule.from_partition(partition, theta=0.5)
+        constraints = AodConstraints(
+            max_total_tones=budget, min_col_spacing=spacing
+        )
+        result = legalize_schedule(schedule, constraints)
+        assert constraints.schedule_is_legal(result.schedule)
+        array = QubitArray.full(*matrix.shape)
+        report = AddressingSimulator(array).verify(result.schedule, matrix)
+        assert report.ok, report.summary()

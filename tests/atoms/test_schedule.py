@@ -1,0 +1,68 @@
+"""Unit tests for addressing schedules."""
+
+import pytest
+
+from repro.atoms.aod import AodConfiguration
+from repro.atoms.schedule import (
+    AddressingOperation,
+    AddressingSchedule,
+    RzPulse,
+)
+from repro.core.exceptions import ScheduleError
+from repro.core.partition import Partition
+from repro.core.rectangle import Rectangle
+
+
+class TestRzPulse:
+    def test_theta(self):
+        assert RzPulse(0.25).theta == 0.25
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(ScheduleError):
+            RzPulse("pi")
+
+
+class TestSchedule:
+    def sample_partition(self):
+        rects = [
+            Rectangle.from_sets([0], [0, 1]),
+            Rectangle.from_sets([1], [1]),
+        ]
+        return Partition(rects, (2, 2))
+
+    def test_from_partition(self):
+        schedule = AddressingSchedule.from_partition(
+            self.sample_partition(), theta=0.5
+        )
+        assert schedule.depth == 2
+        assert schedule.shape == (2, 2)
+        assert all(op.pulse.theta == 0.5 for op in schedule)
+
+    def test_depth_equals_partition_size(self):
+        partition = self.sample_partition()
+        schedule = AddressingSchedule.from_partition(partition, theta=1.0)
+        assert schedule.depth == partition.depth == len(schedule)
+
+    def test_total_tones(self):
+        schedule = AddressingSchedule.from_partition(
+            self.sample_partition(), theta=1.0
+        )
+        # rect 1: 1 row + 2 cols = 3 tones; rect 2: 1 + 1 = 2
+        assert schedule.total_tones == 5
+
+    def test_out_of_shape_operation_rejected(self):
+        op = AddressingOperation(AodConfiguration([5], [0]), RzPulse(1.0))
+        with pytest.raises(ScheduleError):
+            AddressingSchedule([op], (2, 2))
+
+    def test_operations_copy(self):
+        schedule = AddressingSchedule.from_partition(
+            self.sample_partition(), theta=1.0
+        )
+        ops = schedule.operations
+        ops.clear()
+        assert schedule.depth == 2
+
+    def test_repr(self):
+        schedule = AddressingSchedule([], (2, 2))
+        assert "depth=0" in repr(schedule)

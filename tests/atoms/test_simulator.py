@@ -1,0 +1,111 @@
+"""Unit tests for the phase-accumulation simulator."""
+
+import pytest
+
+from repro.atoms.aod import AodConfiguration
+from repro.atoms.array import QubitArray
+from repro.atoms.schedule import (
+    AddressingOperation,
+    AddressingSchedule,
+    RzPulse,
+)
+from repro.atoms.simulator import AddressingSimulator
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.exceptions import ScheduleError
+from repro.core.partition import Partition
+from repro.core.rectangle import Rectangle
+
+
+def schedule_of(rects, shape, theta=1.0):
+    ops = [
+        AddressingOperation(AodConfiguration(rows, cols), RzPulse(theta))
+        for rows, cols in rects
+    ]
+    return AddressingSchedule(ops, shape)
+
+
+class TestRun:
+    def test_phase_accumulation(self):
+        array = QubitArray.full(2, 2)
+        schedule = schedule_of([([0], [0, 1]), ([0, 1], [1])], (2, 2), 0.5)
+        phases = AddressingSimulator(array).run(schedule)
+        assert phases[(0, 0)] == pytest.approx(0.5)
+        assert phases[(0, 1)] == pytest.approx(1.0)  # hit twice
+        assert phases[(1, 1)] == pytest.approx(0.5)
+        assert phases[(1, 0)] == pytest.approx(0.0)
+
+    def test_vacant_sites_absent_from_phases(self):
+        array = QubitArray.with_vacancies(2, 2, [(0, 0)])
+        schedule = schedule_of([([0, 1], [0, 1])], (2, 2))
+        phases = AddressingSimulator(array).run(schedule)
+        assert (0, 0) not in phases
+        assert phases[(1, 1)] == pytest.approx(1.0)
+
+    def test_shape_mismatch_rejected(self):
+        array = QubitArray.full(2, 2)
+        schedule = schedule_of([([0], [0])], (3, 3))
+        with pytest.raises(ScheduleError):
+            AddressingSimulator(array).run(schedule)
+
+
+class TestVerify:
+    def test_correct_schedule_passes(self):
+        array = QubitArray.full(2, 2)
+        target = BinaryMatrix.from_strings(["11", "01"])
+        partition = Partition(
+            [
+                Rectangle.from_sets([0], [0, 1]),
+                Rectangle.from_sets([1], [1]),
+            ],
+            (2, 2),
+        )
+        schedule = AddressingSchedule.from_partition(partition, theta=1.0)
+        report = AddressingSimulator(array).verify(schedule, target)
+        assert report.ok
+        assert report.depth == 2
+        assert "OK" in report.summary()
+
+    def test_double_address_detected(self):
+        array = QubitArray.full(1, 2)
+        target = BinaryMatrix.from_strings(["11"])
+        schedule = schedule_of([([0], [0, 1]), ([0], [1])], (1, 2))
+        report = AddressingSimulator(array).verify(schedule, target)
+        assert not report.ok
+        assert report.double_addressed == [(0, 1)]
+        assert "double" in report.summary()
+
+    def test_missed_detected(self):
+        array = QubitArray.full(1, 2)
+        target = BinaryMatrix.from_strings(["11"])
+        schedule = schedule_of([([0], [0])], (1, 2))
+        report = AddressingSimulator(array).verify(schedule, target)
+        assert not report.ok
+        assert report.missed == [(0, 1)]
+
+    def test_spurious_detected(self):
+        array = QubitArray.full(1, 2)
+        target = BinaryMatrix.from_strings(["10"])
+        schedule = schedule_of([([0], [0, 1])], (1, 2))
+        report = AddressingSimulator(array).verify(schedule, target)
+        assert not report.ok
+        assert report.spurious == [(0, 1)]
+
+    def test_spurious_on_vacancy_allowed(self):
+        array = QubitArray.with_vacancies(1, 2, [(0, 1)])
+        target = BinaryMatrix.from_strings(["10"])
+        schedule = schedule_of([([0], [0, 1])], (1, 2))
+        report = AddressingSimulator(array).verify(schedule, target)
+        assert report.ok
+
+    def test_target_on_vacancy_rejected(self):
+        array = QubitArray.with_vacancies(1, 2, [(0, 1)])
+        target = BinaryMatrix.from_strings(["01"])
+        schedule = schedule_of([([0], [1])], (1, 2))
+        with pytest.raises(ScheduleError):
+            AddressingSimulator(array).verify(schedule, target)
+
+    def test_pulse_counts(self):
+        array = QubitArray.full(1, 2)
+        schedule = schedule_of([([0], [0, 1]), ([0], [1])], (1, 2))
+        counts = AddressingSimulator(array).pulse_counts(schedule)
+        assert counts == {(0, 0): 1, (0, 1): 2}

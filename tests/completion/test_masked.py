@@ -1,0 +1,118 @@
+"""Unit tests for masked (don't-care) matrices."""
+
+import pytest
+
+from repro.completion.masked import (
+    MaskedMatrix,
+    masked_fooling_number,
+    validate_masked_partition,
+)
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.exceptions import InvalidMatrixError, InvalidPartitionError
+from repro.core.partition import Partition
+from repro.core.rectangle import Rectangle
+
+
+class TestConstruction:
+    def test_from_strings(self):
+        m = MaskedMatrix.from_strings(["1*0", "01*"])
+        assert m.value(0, 0) == "1"
+        assert m.value(0, 1) == "*"
+        assert m.value(0, 2) == "0"
+        assert m.to_strings() == ["1*0", "01*"]
+
+    def test_bad_character(self):
+        with pytest.raises(InvalidMatrixError):
+            MaskedMatrix.from_strings(["1x0"])
+
+    def test_overlap_rejected(self):
+        ones = BinaryMatrix.from_strings(["1"])
+        dc = BinaryMatrix.from_strings(["1"])
+        with pytest.raises(InvalidMatrixError):
+            MaskedMatrix(ones, dc)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(InvalidMatrixError):
+            MaskedMatrix(BinaryMatrix.zeros(1, 2), BinaryMatrix.zeros(2, 1))
+
+    def test_from_target_and_vacancies(self):
+        target = BinaryMatrix.from_strings(["10", "00"])
+        vacancies = BinaryMatrix.from_strings(["00", "01"])
+        m = MaskedMatrix.from_target_and_vacancies(target, vacancies)
+        assert m.value(1, 1) == "*"
+        assert m.value(0, 0) == "1"
+
+    def test_target_on_vacancy_rejected(self):
+        target = BinaryMatrix.from_strings(["1"])
+        vacancies = BinaryMatrix.from_strings(["1"])
+        with pytest.raises(InvalidMatrixError):
+            MaskedMatrix.from_target_and_vacancies(target, vacancies)
+
+    def test_free_matrix(self):
+        m = MaskedMatrix.from_strings(["1*0"])
+        assert m.free_matrix() == BinaryMatrix.from_strings(["110"])
+
+
+class TestValidation:
+    def test_valid_overlap_on_dont_care(self):
+        m = MaskedMatrix.from_strings(["1*", "*1"])
+        rects = [
+            Rectangle.from_sets([0, 1], [0, 1]),
+        ]
+        # one rectangle covering everything: 1s once, stars once -> valid
+        validate_masked_partition(m, Partition(rects, (2, 2)))
+
+    def test_overlapping_rectangles_on_dont_care_allowed(self):
+        m = MaskedMatrix.from_strings(["1*1"])
+        rects = [
+            Rectangle.from_sets([0], [0, 1]),
+            Rectangle.from_sets([0], [1, 2]),
+        ]
+        validate_masked_partition(m, Partition(rects, (1, 3)))
+
+    def test_double_covered_one_rejected(self):
+        m = MaskedMatrix.from_strings(["11"])
+        rects = [
+            Rectangle.from_sets([0], [0, 1]),
+            Rectangle.from_sets([0], [1]),
+        ]
+        with pytest.raises(InvalidPartitionError):
+            validate_masked_partition(m, Partition(rects, (1, 2)))
+
+    def test_covered_zero_rejected(self):
+        m = MaskedMatrix.from_strings(["10"])
+        rects = [Rectangle.from_sets([0], [0, 1])]
+        with pytest.raises(InvalidPartitionError):
+            validate_masked_partition(m, Partition(rects, (1, 2)))
+
+    def test_missed_one_rejected(self):
+        m = MaskedMatrix.from_strings(["11"])
+        rects = [Rectangle.single(0, 0)]
+        with pytest.raises(InvalidPartitionError):
+            validate_masked_partition(m, Partition(rects, (1, 2)))
+
+    def test_shape_mismatch_rejected(self):
+        m = MaskedMatrix.from_strings(["1"])
+        with pytest.raises(InvalidPartitionError):
+            validate_masked_partition(
+                m, Partition([Rectangle.single(0, 0)], (2, 2))
+            )
+
+
+class TestMaskedFooling:
+    def test_identity_like(self):
+        m = MaskedMatrix.from_strings(["10", "01"])
+        assert masked_fooling_number(m) == 2
+
+    def test_dont_cares_weaken_bound(self):
+        # with the crosses don't-care, the two diagonal 1s can share
+        m = MaskedMatrix.from_strings(["1*", "*1"])
+        assert masked_fooling_number(m) == 1
+
+    def test_empty(self):
+        m = MaskedMatrix.from_strings(["**", "**"])
+        assert masked_fooling_number(m) == 0
+
+    def test_greedy_fallback(self):
+        m = MaskedMatrix.from_strings(["10", "01"])
+        assert masked_fooling_number(m, max_cells=1) >= 1

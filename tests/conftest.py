@@ -1,0 +1,58 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, settings
+from hypothesis import strategies as st
+
+from repro.core.binary_matrix import BinaryMatrix
+
+# Property tests exercise solvers whose runtime varies by orders of
+# magnitude between examples; wall-clock deadlines would be flaky.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    max_examples=60,
+)
+settings.load_profile("repro")
+
+
+@st.composite
+def binary_matrices(
+    draw,
+    min_rows: int = 1,
+    max_rows: int = 6,
+    min_cols: int = 1,
+    max_cols: int = 6,
+):
+    """Arbitrary small binary matrices (mask-row representation)."""
+    num_rows = draw(st.integers(min_rows, max_rows))
+    num_cols = draw(st.integers(min_cols, max_cols))
+    masks = draw(
+        st.lists(
+            st.integers(0, (1 << num_cols) - 1),
+            min_size=num_rows,
+            max_size=num_rows,
+        )
+    )
+    return BinaryMatrix(masks, num_cols)
+
+
+@st.composite
+def nonzero_binary_matrices(draw, max_rows: int = 6, max_cols: int = 6):
+    matrix = draw(binary_matrices(max_rows=max_rows, max_cols=max_cols))
+    if matrix.is_zero():
+        num_cols = matrix.num_cols
+        masks = list(matrix.row_masks)
+        masks[0] |= 1
+        matrix = BinaryMatrix(masks, num_cols)
+    return matrix
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0xC0FFEE)

@@ -1,0 +1,177 @@
+"""Unit tests for BinaryMatrix."""
+
+import numpy as np
+import pytest
+
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.exceptions import InvalidMatrixError
+
+
+class TestConstruction:
+    def test_from_rows(self):
+        m = BinaryMatrix.from_rows([[1, 0], [0, 1]])
+        assert m.shape == (2, 2)
+        assert m[0, 0] == 1 and m[0, 1] == 0
+
+    def test_from_strings(self):
+        m = BinaryMatrix.from_strings(["10", "01"])
+        assert m == BinaryMatrix.from_rows([[1, 0], [0, 1]])
+
+    def test_from_strings_ignores_spacers(self):
+        m = BinaryMatrix.from_strings(["1 0_1"])
+        assert m.shape == (1, 3)
+        assert m.count_ones() == 2
+
+    def test_from_numpy_round_trip(self):
+        arr = np.array([[1, 0, 1], [0, 1, 1]])
+        m = BinaryMatrix.from_numpy(arr)
+        assert np.array_equal(m.to_numpy(), arr)
+
+    def test_from_cells(self):
+        m = BinaryMatrix.from_cells([(0, 1), (2, 0)], (3, 2))
+        assert m[0, 1] == 1 and m[2, 0] == 1
+        assert m.count_ones() == 2
+
+    def test_constructors(self):
+        assert BinaryMatrix.zeros(2, 3).is_zero()
+        assert BinaryMatrix.all_ones(2, 3).count_ones() == 6
+        identity = BinaryMatrix.identity(3)
+        assert [identity[i, i] for i in range(3)] == [1, 1, 1]
+        assert identity.count_ones() == 3
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(InvalidMatrixError):
+            BinaryMatrix.from_rows([[1, 0], [1]])
+
+    def test_non_binary_entry_rejected(self):
+        with pytest.raises(InvalidMatrixError):
+            BinaryMatrix.from_rows([[2]])
+
+    def test_bad_string_rejected(self):
+        with pytest.raises(InvalidMatrixError):
+            BinaryMatrix.from_strings(["1x0"])
+
+    def test_out_of_range_mask_rejected(self):
+        with pytest.raises(InvalidMatrixError):
+            BinaryMatrix([0b100], 2)
+
+    def test_out_of_range_cell_rejected(self):
+        with pytest.raises(InvalidMatrixError):
+            BinaryMatrix.from_cells([(0, 5)], (1, 2))
+
+    def test_non_2d_numpy_rejected(self):
+        with pytest.raises(InvalidMatrixError):
+            BinaryMatrix.from_numpy(np.array([1, 0, 1]))
+
+    def test_non_binary_numpy_rejected(self):
+        with pytest.raises(InvalidMatrixError):
+            BinaryMatrix.from_numpy(np.array([[3]]))
+
+
+class TestAccessors:
+    def test_row_and_col_masks(self):
+        m = BinaryMatrix.from_strings(["110", "011"])
+        assert m.row_mask(0) == 0b011  # bit j = column j
+        assert m.col_mask(1) == 0b11  # both rows have column 1
+        assert m.col_masks() == (0b01, 0b11, 0b10)
+
+    def test_col_mask_out_of_range(self):
+        m = BinaryMatrix.from_strings(["10"])
+        with pytest.raises(IndexError):
+            m.col_mask(2)
+
+    def test_ones_row_major(self):
+        m = BinaryMatrix.from_strings(["10", "01"])
+        assert list(m.ones()) == [(0, 0), (1, 1)]
+
+    def test_occupancy(self):
+        m = BinaryMatrix.from_strings(["10", "01"])
+        assert m.occupancy() == pytest.approx(0.5)
+        assert BinaryMatrix.zeros(0, 0).occupancy() == 0.0
+
+    def test_row_is_zero(self):
+        m = BinaryMatrix.from_strings(["00", "01"])
+        assert m.row_is_zero(0)
+        assert not m.row_is_zero(1)
+
+
+class TestDerived:
+    def test_transpose_involution(self):
+        m = BinaryMatrix.from_strings(["110", "001"])
+        assert m.transpose().transpose() == m
+        assert m.transpose().shape == (3, 2)
+        assert m.transpose()[0, 0] == m[0, 0]
+        assert m.transpose()[2, 1] == m[1, 2]
+
+    def test_submatrix(self):
+        m = BinaryMatrix.from_strings(["101", "010", "111"])
+        sub = m.submatrix([0, 2], [0, 2])
+        assert sub == BinaryMatrix.from_strings(["11", "11"])
+
+    def test_submatrix_reorders(self):
+        m = BinaryMatrix.from_strings(["10", "01"])
+        sub = m.submatrix([1, 0], [0, 1])
+        assert sub == BinaryMatrix.from_strings(["01", "10"])
+
+    def test_permute_rows(self):
+        m = BinaryMatrix.from_strings(["10", "01"])
+        assert m.permute_rows([1, 0]) == BinaryMatrix.from_strings(
+            ["01", "10"]
+        )
+
+    def test_permute_rows_rejects_non_permutation(self):
+        m = BinaryMatrix.from_strings(["10", "01"])
+        with pytest.raises(InvalidMatrixError):
+            m.permute_rows([0, 0])
+
+    def test_tensor_matches_numpy_kron(self):
+        a = BinaryMatrix.from_strings(["10", "11"])
+        b = BinaryMatrix.from_strings(["01", "10"])
+        expected = np.kron(a.to_numpy(), b.to_numpy())
+        assert np.array_equal(a.tensor(b).to_numpy(), expected)
+
+    def test_elementwise_ops(self):
+        a = BinaryMatrix.from_strings(["10", "11"])
+        b = BinaryMatrix.from_strings(["01", "10"])
+        assert a.elementwise_or(b) == BinaryMatrix.from_strings(["11", "11"])
+        assert a.elementwise_and(b) == BinaryMatrix.from_strings(["00", "10"])
+
+    def test_elementwise_shape_mismatch(self):
+        with pytest.raises(InvalidMatrixError):
+            BinaryMatrix.zeros(1, 2).elementwise_or(BinaryMatrix.zeros(2, 1))
+
+    def test_complement(self):
+        m = BinaryMatrix.from_strings(["10", "01"])
+        assert m.complement() == BinaryMatrix.from_strings(["01", "10"])
+        assert m.complement().complement() == m
+
+
+class TestConversionsAndDunder:
+    def test_to_strings_round_trip(self):
+        strings = ["1010", "0101", "0000"]
+        assert BinaryMatrix.from_strings(strings).to_strings() == strings
+
+    def test_to_lists_round_trip(self):
+        rows = [[1, 0], [1, 1]]
+        assert BinaryMatrix.from_rows(rows).to_lists() == rows
+
+    def test_hashable_and_eq(self):
+        a = BinaryMatrix.from_strings(["10"])
+        b = BinaryMatrix.from_strings(["10"])
+        c = BinaryMatrix.from_strings(["01"])
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+        assert a != "10"
+
+    def test_shape_distinguishes(self):
+        # same masks, different widths
+        a = BinaryMatrix([0b1], 1)
+        b = BinaryMatrix([0b1], 2)
+        assert a != b
+
+    def test_pretty(self):
+        m = BinaryMatrix.from_strings(["10", "01"])
+        assert m.to_pretty() == "#.\n.#"
+
+    def test_repr_mentions_shape(self):
+        assert "2x3" in repr(BinaryMatrix.zeros(2, 3))

@@ -1,0 +1,68 @@
+"""Unit tests for binary-rank bounds (Eq. 3 and friends)."""
+
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.bounds import (
+    binary_rank_bounds,
+    fooling_lower_bound,
+    rank_lower_bound,
+    trivial_upper_bound,
+)
+from repro.core.paper_matrices import equation_2, figure_1b
+
+
+class TestRankLowerBound:
+    def test_identity(self):
+        assert rank_lower_bound(BinaryMatrix.identity(5)) == 5
+
+    def test_all_ones(self):
+        assert rank_lower_bound(BinaryMatrix.all_ones(3, 4)) == 1
+
+    def test_zero(self):
+        assert rank_lower_bound(BinaryMatrix.zeros(2, 2)) == 0
+
+
+class TestTrivialUpperBound:
+    def test_takes_smaller_side(self):
+        m = BinaryMatrix.from_strings(["101", "010"])
+        assert trivial_upper_bound(m) == 2
+
+    def test_consolidates_duplicates(self):
+        m = BinaryMatrix.from_strings(["101", "101", "101"])
+        assert trivial_upper_bound(m) == 1
+
+    def test_column_side_can_win(self):
+        m = BinaryMatrix.from_strings(["11", "11", "01"])
+        # distinct rows: 2; distinct cols: 2 -> 2 either way
+        assert trivial_upper_bound(m) == 2
+
+    def test_zero_matrix(self):
+        assert trivial_upper_bound(BinaryMatrix.zeros(3, 3)) == 0
+
+
+class TestBinaryRankBounds:
+    def test_bracket_ordering(self):
+        bounds = binary_rank_bounds(figure_1b())
+        assert bounds.lower <= bounds.upper
+        assert bounds.rank_bound == 4  # figure 1b has real rank 4
+        assert bounds.fooling_bound is None
+
+    def test_fooling_strengthens_lower(self):
+        bounds = binary_rank_bounds(figure_1b(), use_fooling=True)
+        assert bounds.fooling_bound == 5
+        assert bounds.lower == 5
+        assert bounds.is_tight  # 5 <= r_B <= 5
+
+    def test_fooling_not_always_tight(self):
+        bounds = binary_rank_bounds(equation_2(), use_fooling=True)
+        # rank 3 beats fooling 2 here
+        assert bounds.rank_bound == 3
+        assert bounds.fooling_bound == 2
+        assert bounds.lower == 3
+
+    def test_zero_matrix(self):
+        bounds = binary_rank_bounds(BinaryMatrix.zeros(2, 3))
+        assert bounds.lower == 0 and bounds.upper == 0
+        assert bounds.is_tight
+
+    def test_fooling_lower_bound_function(self):
+        assert fooling_lower_bound(BinaryMatrix.identity(3)) == 3

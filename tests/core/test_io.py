@@ -1,0 +1,114 @@
+"""Unit tests for JSON serialization."""
+
+import pytest
+
+from repro.atoms.schedule import AddressingSchedule
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.paper_matrices import figure_1b
+from repro.core.partition import Partition
+from repro.core.rectangle import Rectangle
+from repro.io import (
+    SerializationError,
+    dumps,
+    load,
+    loads,
+    matrix_from_dict,
+    matrix_to_dict,
+    partition_from_dict,
+    partition_to_dict,
+    save,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from repro.solvers.sap import sap_solve
+
+
+class TestMatrixRoundTrip:
+    def test_round_trip(self):
+        m = figure_1b()
+        assert matrix_from_dict(matrix_to_dict(m)) == m
+
+    def test_text_round_trip(self):
+        m = BinaryMatrix.from_strings(["10", "01"])
+        assert loads(dumps(m)) == m
+
+    def test_shape_mismatch_detected(self):
+        payload = matrix_to_dict(BinaryMatrix.identity(2))
+        payload["shape"] = [3, 3]
+        with pytest.raises(SerializationError):
+            matrix_from_dict(payload)
+
+
+class TestPartitionRoundTrip:
+    def test_round_trip(self):
+        m = figure_1b()
+        partition = sap_solve(m, trials=8, seed=0).partition
+        rebuilt = partition_from_dict(partition_to_dict(partition))
+        assert rebuilt == partition
+        rebuilt.validate(m)
+
+    def test_empty_partition(self):
+        partition = Partition([], (2, 2))
+        assert loads(dumps(partition)) == partition
+
+    def test_bad_shape(self):
+        payload = partition_to_dict(Partition([], (1, 1)))
+        payload["shape"] = [1]
+        with pytest.raises(SerializationError):
+            partition_from_dict(payload)
+
+
+class TestScheduleRoundTrip:
+    def test_round_trip(self):
+        partition = Partition(
+            [Rectangle.from_sets([0], [0, 1]), Rectangle.single(1, 0)],
+            (2, 2),
+        )
+        schedule = AddressingSchedule.from_partition(partition, theta=0.5)
+        rebuilt = schedule_from_dict(schedule_to_dict(schedule))
+        assert rebuilt.depth == schedule.depth
+        assert rebuilt.shape == schedule.shape
+        assert [op.pulse.theta for op in rebuilt] == [0.5, 0.5]
+
+    def test_configuration_preserved(self):
+        partition = Partition([Rectangle.from_sets([1], [0, 2])], (2, 3))
+        schedule = AddressingSchedule.from_partition(partition, theta=1.0)
+        rebuilt = loads(dumps(schedule))
+        assert sorted(rebuilt.operations[0].configuration.cols) == [0, 2]
+
+
+class TestFileHelpers:
+    def test_save_load(self, tmp_path):
+        m = BinaryMatrix.identity(3)
+        path = tmp_path / "matrix.json"
+        save(m, str(path))
+        assert load(str(path)) == m
+
+
+class TestErrors:
+    def test_unknown_object(self):
+        with pytest.raises(SerializationError):
+            dumps(42)
+
+    def test_invalid_json(self):
+        with pytest.raises(SerializationError):
+            loads("{not json")
+
+    def test_untagged_payload(self):
+        with pytest.raises(SerializationError):
+            loads('{"rows": []}')
+
+    def test_unknown_type_tag(self):
+        with pytest.raises(SerializationError):
+            loads('{"type": "mystery"}')
+
+    def test_wrong_type_tag(self):
+        payload = matrix_to_dict(BinaryMatrix.identity(1))
+        with pytest.raises(SerializationError):
+            partition_from_dict(payload)
+
+    def test_future_version_rejected(self):
+        payload = matrix_to_dict(BinaryMatrix.identity(1))
+        payload["version"] = 99
+        with pytest.raises(SerializationError):
+            matrix_from_dict(payload)

@@ -1,0 +1,145 @@
+"""Maximal rectangle enumeration and the fractional-cover LP bound."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.benchgen.random_matrices import random_matrix
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.exceptions import SolverError
+from repro.core.paper_matrices import equation_2, figure_1b
+from repro.cover import (
+    boolean_rank,
+    fractional_cover,
+    is_maximal,
+    lp_lower_bound,
+    maximal_rectangles,
+)
+from repro.solvers.branch_bound import binary_rank_branch_bound
+
+
+def crown(n: int) -> BinaryMatrix:
+    """J_n - I_n: all ones except the diagonal."""
+    return BinaryMatrix.from_rows(
+        [[1 if i != j else 0 for j in range(n)] for i in range(n)]
+    )
+
+
+class TestMaximalRectangles:
+    def test_zero_matrix(self):
+        assert maximal_rectangles(BinaryMatrix.zeros(3, 3)) == []
+
+    def test_all_ones_has_single_maximal(self):
+        matrix = BinaryMatrix.from_rows([[1] * 4 for _ in range(3)])
+        rects = maximal_rectangles(matrix)
+        assert len(rects) == 1
+        assert rects[0].rows == (0, 1, 2)
+        assert rects[0].cols == (0, 1, 2, 3)
+
+    def test_identity_has_n_maximal(self):
+        matrix = BinaryMatrix.identity(4)
+        rects = maximal_rectangles(matrix)
+        assert len(rects) == 4
+        assert all(len(r.rows) == 1 and len(r.cols) == 1 for r in rects)
+
+    def test_equation_2_concepts(self):
+        rects = maximal_rectangles(equation_2())
+        # Every enumerated rectangle is maximal and inside the 1s.
+        matrix = equation_2()
+        assert rects
+        for rectangle in rects:
+            assert is_maximal(matrix, rectangle)
+
+    def test_enumeration_is_deterministic(self):
+        matrix = figure_1b()
+        first = maximal_rectangles(matrix)
+        second = maximal_rectangles(matrix)
+        assert [(r.row_mask, r.col_mask) for r in first] == [
+            (r.row_mask, r.col_mask) for r in second
+        ]
+
+    def test_limit_guard(self):
+        matrix = random_matrix(10, 10, occupancy=0.5, seed=5)
+        with pytest.raises(SolverError):
+            maximal_rectangles(matrix, limit=1)
+
+    @given(st.integers(min_value=0, max_value=5000))
+    @settings(max_examples=60, deadline=None)
+    def test_every_one_covered_and_all_maximal(self, seed):
+        matrix = random_matrix(5, 6, occupancy=0.4, seed=seed)
+        rects = maximal_rectangles(matrix)
+        covered = set()
+        for rectangle in rects:
+            assert is_maximal(matrix, rectangle)
+            covered.update(
+                (i, j) for i in rectangle.rows for j in rectangle.cols
+            )
+        assert covered == set(matrix.ones())
+
+
+class TestIsMaximal:
+    def test_non_rectangle_rejected(self):
+        from repro.core.rectangle import Rectangle
+
+        matrix = BinaryMatrix.identity(2)
+        assert not is_maximal(matrix, Rectangle.from_sets([0, 1], [0]))
+
+    def test_extendable_rectangle_not_maximal(self):
+        from repro.core.rectangle import Rectangle
+
+        matrix = BinaryMatrix.from_rows([[1, 1], [1, 1]])
+        assert not is_maximal(matrix, Rectangle.from_sets([0], [0]))
+        assert is_maximal(matrix, Rectangle.from_sets([0, 1], [0, 1]))
+
+
+class TestLpBound:
+    def test_zero_matrix(self):
+        assert lp_lower_bound(BinaryMatrix.zeros(2, 2)) == 0
+        assert fractional_cover(BinaryMatrix.zeros(2, 2)) is None
+
+    def test_all_ones(self):
+        all_ones = BinaryMatrix.from_rows([[1] * 4 for _ in range(4)])
+        assert lp_lower_bound(all_ones) == 1
+
+    def test_identity(self):
+        assert lp_lower_bound(BinaryMatrix.identity(5)) == 5
+
+    def test_equation_2_bound(self):
+        # Eq. 2 matrix: boolean rank is 2 (covers may overlap), so the
+        # LP bound must not exceed 2 even though r_B = 3.
+        bound = lp_lower_bound(equation_2())
+        assert 1 <= bound <= 2
+
+    def test_crown_fractional_value(self):
+        # Crown K_5 minus perfect matching: fractional cover is well
+        # below n, integral cover needs ~log n; LP stays a valid bound.
+        matrix = crown(5)
+        result = fractional_cover(matrix)
+        assert result is not None
+        cover = boolean_rank(matrix, seed=0)
+        assert result.lower_bound <= cover
+
+    def test_weights_form_a_fractional_cover(self):
+        matrix = figure_1b()
+        result = fractional_cover(matrix)
+        assert result is not None
+        for i, j in matrix.ones():
+            total = sum(
+                weight
+                for rectangle, weight in result.weights
+                if i in rectangle.rows and j in rectangle.cols
+            )
+            assert total >= 1.0 - 1e-6
+
+    @given(st.integers(min_value=0, max_value=3000))
+    @settings(max_examples=30, deadline=None)
+    def test_lp_sandwich(self, seed):
+        """LP bound <= boolean rank <= r_B on random small matrices."""
+        matrix = random_matrix(4, 5, occupancy=0.45, seed=seed)
+        if matrix.is_zero():
+            assert lp_lower_bound(matrix) == 0
+            return
+        bound = lp_lower_bound(matrix)
+        cover = boolean_rank(matrix, seed=seed)
+        rank_b = binary_rank_branch_bound(matrix).binary_rank
+        assert bound <= cover <= rank_b

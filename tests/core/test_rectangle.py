@@ -1,0 +1,94 @@
+"""Unit tests for combinatorial rectangles."""
+
+import numpy as np
+import pytest
+
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.exceptions import InvalidRectangleError
+from repro.core.rectangle import Rectangle
+
+
+class TestConstruction:
+    def test_from_sets(self):
+        r = Rectangle.from_sets([0, 2], [1])
+        assert r.rows == (0, 2)
+        assert r.cols == (1,)
+        assert r.num_cells == 2
+
+    def test_single(self):
+        r = Rectangle.single(3, 4)
+        assert r.rows == (3,) and r.cols == (4,)
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidRectangleError):
+            Rectangle(0, 1)
+        with pytest.raises(InvalidRectangleError):
+            Rectangle(1, 0)
+
+
+class TestGeometry:
+    def test_cells_product(self):
+        r = Rectangle.from_sets([0, 1], [2, 3])
+        assert set(r.cells()) == {(0, 2), (0, 3), (1, 2), (1, 3)}
+
+    def test_contains(self):
+        r = Rectangle.from_sets([1], [0, 2])
+        assert r.contains(1, 0)
+        assert not r.contains(0, 0)
+        assert not r.contains(1, 1)
+
+    def test_overlaps(self):
+        a = Rectangle.from_sets([0, 1], [0, 1])
+        b = Rectangle.from_sets([1, 2], [1, 2])
+        c = Rectangle.from_sets([2], [0])
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+        # sharing rows but not columns is no overlap
+        d = Rectangle.from_sets([0, 1], [5])
+        assert not a.overlaps(d)
+
+    def test_within(self):
+        m = BinaryMatrix.from_strings(["110", "110", "001"])
+        assert Rectangle.from_sets([0, 1], [0, 1]).within(m)
+        assert not Rectangle.from_sets([0, 2], [0]).within(m)
+        # outside the shape entirely
+        assert not Rectangle.from_sets([5], [0]).within(m)
+        assert not Rectangle.from_sets([0], [7]).within(m)
+
+    def test_transpose(self):
+        r = Rectangle.from_sets([0, 1], [2])
+        assert r.transpose() == Rectangle.from_sets([2], [0, 1])
+
+
+class TestConversion:
+    def test_to_matrix(self):
+        r = Rectangle.from_sets([0, 2], [1])
+        m = r.to_matrix((3, 2))
+        assert m == BinaryMatrix.from_strings(["01", "00", "01"])
+
+    def test_to_matrix_shape_check(self):
+        with pytest.raises(InvalidRectangleError):
+            Rectangle.from_sets([5], [0]).to_matrix((2, 2))
+
+    def test_factor_vectors(self):
+        r = Rectangle.from_sets([0, 2], [1])
+        assert np.array_equal(r.h_column(3), np.array([1, 0, 1]))
+        assert np.array_equal(r.w_row(3), np.array([0, 1, 0]))
+
+    def test_outer_product_equals_matrix(self):
+        r = Rectangle.from_sets([1, 2], [0, 3])
+        shape = (4, 5)
+        outer = np.outer(r.h_column(shape[0]), r.w_row(shape[1]))
+        assert np.array_equal(outer, r.to_matrix(shape).to_numpy())
+
+
+class TestDunder:
+    def test_eq_hash(self):
+        a = Rectangle.from_sets([0], [1])
+        b = Rectangle.single(0, 1)
+        assert a == b and hash(a) == hash(b)
+        assert a != Rectangle.single(1, 0)
+        assert a != "rect"
+
+    def test_repr(self):
+        assert "rows=[0]" in repr(Rectangle.single(0, 1))

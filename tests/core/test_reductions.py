@@ -1,0 +1,103 @@
+"""Unit tests for matrix reduction (empty/duplicate removal) and lifting."""
+
+import pytest
+
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.exceptions import InvalidPartitionError
+from repro.core.partition import Partition
+from repro.core.rectangle import Rectangle
+from repro.core.reductions import (
+    distinct_nonzero_cols,
+    distinct_nonzero_rows,
+    reduce_matrix,
+)
+from repro.linalg.exact_rank import real_rank
+
+
+class TestReduceMatrix:
+    def test_drops_empty_rows_and_cols(self):
+        m = BinaryMatrix.from_strings(["000", "010", "000"])
+        reduced = reduce_matrix(m)
+        assert reduced.matrix.shape == (1, 1)
+        assert reduced.row_groups == ((1,),)
+        assert reduced.col_groups == ((1,),)
+
+    def test_merges_duplicate_rows(self):
+        m = BinaryMatrix.from_strings(["101", "101", "010"])
+        reduced = reduce_matrix(m)
+        assert reduced.matrix.num_rows == 2
+        assert (0, 1) in reduced.row_groups
+
+    def test_merges_duplicate_cols(self):
+        m = BinaryMatrix.from_strings(["11", "11", "00"])
+        reduced = reduce_matrix(m)
+        assert reduced.matrix.shape == (1, 1)
+        assert reduced.col_groups == ((0, 1),)
+
+    def test_preserves_real_rank(self):
+        m = BinaryMatrix.from_strings(["1100", "1100", "0011", "0000"])
+        reduced = reduce_matrix(m)
+        assert real_rank(reduced.matrix) == real_rank(m)
+
+    def test_zero_matrix(self):
+        reduced = reduce_matrix(BinaryMatrix.zeros(3, 3))
+        assert reduced.matrix.shape == (0, 0)
+
+    def test_reduction_is_idempotent(self):
+        m = BinaryMatrix.from_strings(["110", "110", "001"])
+        once = reduce_matrix(m)
+        twice = reduce_matrix(once.matrix)
+        assert twice.matrix == once.matrix
+
+
+class TestLift:
+    def test_lift_reconstructs_original(self):
+        m = BinaryMatrix.from_strings(["101", "101", "010"])
+        reduced = reduce_matrix(m)
+        inner = reduced.matrix
+        partition = Partition(
+            [
+                Rectangle(1 << k, inner.row_mask(k))
+                for k in range(inner.num_rows)
+            ],
+            inner.shape,
+        )
+        lifted = reduced.lift(partition)
+        lifted.validate(m)
+        assert lifted.depth == partition.depth
+
+    def test_lift_shape_check(self):
+        m = BinaryMatrix.from_strings(["11", "11"])
+        reduced = reduce_matrix(m)
+        bad = Partition([Rectangle.single(0, 0)], (5, 5))
+        with pytest.raises(InvalidPartitionError):
+            reduced.lift(bad)
+
+    def test_lift_with_column_duplicates(self):
+        m = BinaryMatrix.from_strings(["1111", "0011"])
+        reduced = reduce_matrix(m)
+        # reduced is [[1,1],[0,1]]: rows {0},{1}; col groups (0,1),(2,3)
+        partition = Partition(
+            [
+                Rectangle.from_sets([0], [0]),
+                Rectangle.from_sets([0, 1], [1]),
+            ],
+            reduced.matrix.shape,
+        )
+        lifted = reduced.lift(partition)
+        lifted.validate(m)
+
+
+class TestDistinctCounts:
+    def test_rows(self):
+        m = BinaryMatrix.from_strings(["11", "11", "00", "01"])
+        assert distinct_nonzero_rows(m) == 2
+
+    def test_cols(self):
+        m = BinaryMatrix.from_strings(["110", "110"])
+        assert distinct_nonzero_cols(m) == 1
+
+    def test_zero_matrix(self):
+        m = BinaryMatrix.zeros(2, 2)
+        assert distinct_nonzero_rows(m) == 0
+        assert distinct_nonzero_cols(m) == 0

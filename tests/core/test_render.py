@@ -1,0 +1,67 @@
+"""Unit tests for ASCII rendering."""
+
+import pytest
+
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.exceptions import InvalidPartitionError
+from repro.core.partition import Partition
+from repro.core.rectangle import Rectangle
+from repro.core.render import (
+    render_matrix,
+    render_partition,
+    render_side_by_side,
+)
+
+
+class TestRenderMatrix:
+    def test_basic(self):
+        m = BinaryMatrix.from_strings(["10", "01"])
+        assert render_matrix(m) == "#.\n.#"
+
+    def test_custom_glyphs(self):
+        m = BinaryMatrix.from_strings(["10"])
+        assert render_matrix(m, one="X", zero="_") == "X_"
+
+
+class TestRenderPartition:
+    def test_distinct_markers(self):
+        partition = Partition(
+            [Rectangle.single(0, 0), Rectangle.single(1, 1)], (2, 2)
+        )
+        assert render_partition(partition) == "0.\n.1"
+
+    def test_uncovered_ones_marked(self):
+        m = BinaryMatrix.from_strings(["11"])
+        partition = Partition([Rectangle.single(0, 0)], (1, 2))
+        assert render_partition(partition, m) == "0?"
+
+    def test_overlap_marked(self):
+        partition = Partition(
+            [Rectangle.single(0, 0), Rectangle.single(0, 0)], (1, 1)
+        )
+        assert render_partition(partition) == "!"
+
+    def test_shape_mismatch(self):
+        partition = Partition([Rectangle.single(0, 0)], (1, 1))
+        with pytest.raises(InvalidPartitionError):
+            render_partition(partition, BinaryMatrix.zeros(2, 2))
+
+    def test_marker_wraparound(self):
+        rects = [Rectangle.single(0, j) for j in range(70)]
+        partition = Partition(rects, (1, 70))
+        text = render_partition(partition)
+        assert len(text) == 70  # single row, no crash on marker reuse
+
+
+class TestSideBySide:
+    def test_equal_height(self):
+        out = render_side_by_side("ab\ncd", "xy\nzw")
+        assert out == "ab   xy\ncd   zw"
+
+    def test_ragged_heights_padded(self):
+        out = render_side_by_side("a", "x\ny")
+        assert out.splitlines()[1].strip() == "y"
+
+    def test_custom_gap(self):
+        out = render_side_by_side("a", "b", gap="|")
+        assert out == "a|b"

@@ -1,0 +1,115 @@
+"""Unit tests for Algorithm X / dancing links."""
+
+import pytest
+
+from repro.core.exceptions import SolverError
+from repro.exact_cover.dlx import DancingLinks, exact_cover_masks
+
+
+class TestDancingLinks:
+    def test_knuth_example(self):
+        """The classic 7-column example from Knuth's paper."""
+        dlx = DancingLinks(7)
+        rows = {
+            "A": [0, 3, 6],
+            "B": [0, 3],
+            "C": [3, 4, 6],
+            "D": [2, 4, 5],
+            "E": [1, 2, 5, 6],
+            "F": [1, 6],
+        }
+        for name, cols in rows.items():
+            dlx.add_row(name, cols)
+        solution = dlx.solve()
+        assert solution is not None
+        assert sorted(solution) == ["B", "D", "F"]
+
+    def test_no_solution(self):
+        dlx = DancingLinks(2)
+        dlx.add_row("a", [0])
+        assert dlx.solve() is None
+
+    def test_multiple_solutions_counted(self):
+        dlx = DancingLinks(2)
+        dlx.add_row("ab", [0, 1])
+        dlx.add_row("a", [0])
+        dlx.add_row("b", [1])
+        assert dlx.count_solutions() == 2
+
+    def test_solutions_cover_exactly(self):
+        dlx = DancingLinks(4)
+        dlx.add_row("left", [0, 1])
+        dlx.add_row("right", [2, 3])
+        dlx.add_row("middle", [1, 2])
+        dlx.add_row("zero", [0])
+        dlx.add_row("three", [3])
+        for solution in dlx.solutions():
+            covered = []
+            rows = {
+                "left": [0, 1],
+                "right": [2, 3],
+                "middle": [1, 2],
+                "zero": [0],
+                "three": [3],
+            }
+            for name in solution:
+                covered.extend(rows[name])
+            assert sorted(covered) == [0, 1, 2, 3]
+
+    def test_empty_universe(self):
+        dlx = DancingLinks(0)
+        assert dlx.solve() == []
+
+    def test_duplicate_row_name_rejected(self):
+        dlx = DancingLinks(2)
+        dlx.add_row("a", [0])
+        with pytest.raises(SolverError):
+            dlx.add_row("a", [1])
+
+    def test_empty_row_rejected(self):
+        with pytest.raises(SolverError):
+            DancingLinks(2).add_row("empty", [])
+
+    def test_out_of_range_column_rejected(self):
+        with pytest.raises(SolverError):
+            DancingLinks(2).add_row("bad", [5])
+
+    def test_negative_universe_rejected(self):
+        with pytest.raises(SolverError):
+            DancingLinks(-1)
+
+    def test_count_limit(self):
+        dlx = DancingLinks(1)
+        dlx.add_row("a", [0])
+        dlx.add_row("b", [0])
+        assert dlx.count_solutions(limit=1) == 1
+
+
+class TestExactCoverMasks:
+    def test_simple_cover(self):
+        result = exact_cover_masks(
+            0b1111, {"lo": 0b0011, "hi": 0b1100, "mid": 0b0110}
+        )
+        assert result is not None
+        assert sorted(result) == ["hi", "lo"]
+
+    def test_zero_universe(self):
+        assert exact_cover_masks(0, {"a": 0b1}) == []
+
+    def test_no_cover(self):
+        assert exact_cover_masks(0b111, {"a": 0b001, "b": 0b011}) is None
+
+    def test_candidates_outside_universe_skipped(self):
+        result = exact_cover_masks(0b011, {"fits": 0b011, "outside": 0b100})
+        assert result == ["fits"]
+
+    def test_no_usable_candidates(self):
+        assert exact_cover_masks(0b11, {"outside": 0b100}) is None
+
+    def test_sparse_universe(self):
+        # universe with gaps: bits 0, 2, 5
+        universe = 0b100101
+        result = exact_cover_masks(
+            universe, {"a": 0b000101, "b": 0b100000}
+        )
+        assert sorted(result) == ["a", "b"]

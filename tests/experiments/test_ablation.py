@@ -1,0 +1,34 @@
+"""Integration test for the ablation experiment runner."""
+
+from repro.experiments.ablation import AblationConfig, run_ablation
+
+
+class TestAblationRunner:
+    def test_runs_and_renders(self):
+        config = AblationConfig(
+            scale="quick", gap_pairs=2, gap_cases=3, masked_cases=2
+        )
+        result = run_ablation(config)
+
+        variants = [row["variant"] for row in result.packing_rows]
+        assert "packing:10" in variants
+        assert "trivial" in variants
+        # trivial is never better than best-of-10 row packing in aggregate
+        by_variant = {
+            row["variant"]: row["mean_depth"] for row in result.packing_rows
+        }
+        assert by_variant["packing:10"] <= by_variant["trivial"]
+
+        assert len(result.encoder_rows) == 4
+        assert all(row["seconds"] >= 0 for row in result.encoder_rows)
+
+        assert len(result.masked_rows) == 2
+        for row in result.masked_rows:
+            assert row["masked_depth"] <= row["plain_depth"]
+            assert row["saved"] == row["plain_depth"] - row["masked_depth"]
+
+        rendered = result.render()
+        assert "A1/A3" in rendered
+        assert "A2" in rendered
+        assert "A4" in rendered
+        assert result.as_json()["packing"]

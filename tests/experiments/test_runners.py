@@ -1,0 +1,136 @@
+"""Integration tests for the experiment runners (tiny configurations)."""
+
+import json
+
+from repro.experiments.common import case_seed, resolve_scale, write_json
+from repro.experiments.figure4 import Figure4Config, run_figure4
+from repro.experiments.ftqc_experiment import FtqcConfig, run_ftqc
+from repro.experiments.qldpc_experiment import QldpcConfig, run_qldpc
+from repro.experiments.table1 import (
+    Table1Config,
+    evaluate_case,
+    run_table1,
+)
+from repro.benchgen.suite import gap_suite
+
+
+class TestCommon:
+    def test_resolve_scale_explicit(self):
+        assert resolve_scale("paper") == "paper"
+        assert resolve_scale("quick") == "quick"
+
+    def test_resolve_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert resolve_scale() == "paper"
+        monkeypatch.setenv("REPRO_FULL", "0")
+        assert resolve_scale() == "quick"
+
+    def test_case_seed_deterministic(self):
+        assert case_seed(1, "x", "s") == case_seed(1, "x", "s")
+        assert case_seed(1, "x", "s") != case_seed(1, "y", "s")
+
+    def test_write_json(self, tmp_path):
+        path = tmp_path / "out" / "r.json"
+        write_json(str(path), {"a": 1})
+        assert json.loads(path.read_text()) == {"a": 1}
+
+
+class TestTable1:
+    def test_evaluate_case_gap(self):
+        config = Table1Config(
+            scale="quick",
+            heuristics=("trivial", "packing:2"),
+            smt_time_budget=10.0,
+        )
+        case = gap_suite((8, 8), 2, 1, seed=0)[0]
+        record = evaluate_case(case, config)
+        assert record.real_rank >= 1
+        assert set(record.heuristic_depths) == {"trivial", "packing:2"}
+        if record.optimal_depth is not None:
+            assert record.optimal_depth >= record.real_rank
+            assert record.rank_equals_binary in (True, False)
+
+    def test_run_tiny_table(self):
+        config = Table1Config(
+            scale="quick",
+            heuristics=("trivial", "packing:2"),
+            smt_time_budget=10.0,
+            include_large=False,
+        )
+        # shrink: monkey-free approach — run on a small custom suite via
+        # evaluate_case is covered above; here exercise the aggregation.
+        result = run_table1(config)
+        rendered = result.render()
+        assert "Table I" in rendered
+        assert "10x10, rand" in rendered
+        payload = result.as_json()
+        assert payload["rows"]
+        assert payload["cases"]
+
+    def test_percentages_well_formed(self):
+        config = Table1Config(
+            scale="quick",
+            heuristics=("packing:2",),
+            smt_time_budget=10.0,
+            include_large=False,
+        )
+        result = run_table1(config)
+        for family in result.families():
+            row = result.row(family)
+            assert row["packing:2"].endswith("%") or row["packing:2"] == "n/a"
+
+
+class TestFigure4:
+    def test_run_and_render(self):
+        config = Figure4Config(scale="quick", top_n=3, smt_time_budget=10.0)
+        result = run_figure4(config)
+        assert result.cases
+        top = result.top_cases()
+        assert len(top) <= 3
+        totals = [c.total_seconds for c in top]
+        assert totals == sorted(totals, reverse=True)
+        rendered = result.render()
+        assert "Figure 4" in rendered
+        assert "Observation 5" in rendered
+        assert result.as_json()["cases"]
+
+
+class TestFtqc:
+    def test_run_and_render(self):
+        config = FtqcConfig(
+            scale="quick",
+            samples=1,
+            distance=2,
+            patch_rows=2,
+            patch_cols=2,
+            smt_time_budget=10.0,
+        )
+        result = run_ftqc(config)
+        assert len(result.cases) == 3  # three patch kinds
+        for case in result.cases:
+            if case.eq5_upper is not None:
+                assert case.two_level_depth == case.eq5_upper
+                assert case.eq5_lower <= case.eq5_upper
+        assert "Eq. 5" in result.render()
+
+
+class TestQldpc:
+    def test_run_and_render(self):
+        config = QldpcConfig(
+            scale="quick",
+            occupancies=(0.3,),
+            rank_samples=5,
+            layout_samples=2,
+            num_blocks=4,
+            block_size=6,
+            qubits_per_block=2,
+            smt_time_budget=10.0,
+        )
+        result = run_qldpc(config)
+        assert len(result.full_rank_rows) == 1
+        row = result.full_rank_rows[0]
+        assert 0.0 <= row["10x10"] <= 1.0
+        assert result.sufficiency["decided"] + result.sufficiency[
+            "undecided"
+        ] == 2
+        assert "Section V" in result.render()

@@ -1,0 +1,91 @@
+"""Unit tests for qLDPC block layouts and the Section V conjecture tools."""
+
+import pytest
+
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.exceptions import InvalidMatrixError
+from repro.ftqc.qldpc import (
+    BlockLayout,
+    full_rank_fraction,
+    row_addressing_depth,
+    row_addressing_sufficient,
+)
+
+
+class TestBlockLayout:
+    def test_pattern_from_offsets(self):
+        layout = BlockLayout(2, 4)
+        pattern = layout.pattern_from_offsets([[0, 2], [3]])
+        assert pattern.shape == (2, 4)
+        assert pattern.row_mask(0) == 0b0101
+        assert pattern.row_mask(1) == 0b1000
+
+    def test_offset_out_of_range(self):
+        layout = BlockLayout(1, 3)
+        with pytest.raises(InvalidMatrixError):
+            layout.pattern_from_offsets([[3]])
+
+    def test_wrong_block_count(self):
+        layout = BlockLayout(2, 3)
+        with pytest.raises(InvalidMatrixError):
+            layout.pattern_from_offsets([[0]])
+
+    def test_random_pattern(self):
+        layout = BlockLayout(4, 8)
+        pattern = layout.random_pattern(3, seed=0)
+        assert pattern.shape == (4, 8)
+        assert all(
+            bin(pattern.row_mask(i)).count("1") == 3 for i in range(4)
+        )
+
+    def test_random_pattern_bad_count(self):
+        with pytest.raises(InvalidMatrixError):
+            BlockLayout(2, 3).random_pattern(4)
+
+    def test_invalid_layout(self):
+        with pytest.raises(InvalidMatrixError):
+            BlockLayout(0, 3)
+
+
+class TestRowAddressing:
+    def test_depth_counts_distinct_rows(self):
+        m = BinaryMatrix.from_strings(["110", "110", "011", "000"])
+        assert row_addressing_depth(m) == 2
+
+    def test_sufficient_for_full_rank(self):
+        m = BinaryMatrix.from_strings(["100", "010", "001"])
+        assert row_addressing_sufficient(m, seed=0) is True
+
+    def test_insufficient_when_columns_pack_better(self):
+        """4 distinct rows but only 2 distinct columns: column addressing
+        needs 2 < 4 shots, so row-by-row is NOT optimal."""
+        m = BinaryMatrix.from_strings(["11", "10", "01", "11"])
+        # distinct rows: 3 (11, 10, 01); r_B here is 2
+        assert row_addressing_sufficient(m, seed=0) is False
+
+    def test_undecided_on_zero_budget(self):
+        from repro.benchgen.gap import gap_matrix
+
+        hard = gap_matrix(10, 10, 4, seed=7)
+        verdict = row_addressing_sufficient(
+            hard, seed=0, time_budget=0.0
+        )
+        assert verdict in (None, True, False)
+
+
+class TestFullRankFraction:
+    def test_wide_easier_than_square(self):
+        narrow = full_rank_fraction(10, 10, 0.2, 30, seed=1)
+        wide = full_rank_fraction(10, 30, 0.2, 30, seed=1)
+        assert wide >= narrow
+
+    def test_range(self):
+        value = full_rank_fraction(4, 4, 0.5, 10, seed=0)
+        assert 0.0 <= value <= 1.0
+
+    def test_zero_occupancy_never_full_rank(self):
+        assert full_rank_fraction(3, 3, 0.0, 5, seed=0) == 0.0
+
+    def test_invalid_samples(self):
+        with pytest.raises(InvalidMatrixError):
+            full_rank_fraction(3, 3, 0.5, 0)

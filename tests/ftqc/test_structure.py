@@ -1,0 +1,88 @@
+"""Unit tests for Kronecker structure detection."""
+
+import pytest
+
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.exceptions import InvalidMatrixError
+from repro.ftqc.structure import (
+    detect_kron,
+    find_kron_factorizations,
+    possible_inner_shapes,
+)
+
+
+class TestPossibleInnerShapes:
+    def test_divisors_only(self):
+        shapes = set(possible_inner_shapes((4, 6)))
+        assert (2, 3) in shapes
+        assert (4, 6) not in shapes  # full shape excluded
+        assert (1, 1) not in shapes  # trivial excluded
+        assert all(4 % r == 0 and 6 % c == 0 for r, c in shapes)
+
+    def test_prime_shape(self):
+        shapes = set(possible_inner_shapes((3, 5)))
+        # divisors of 3: 1,3; of 5: 1,5 -> (1,5),(3,1),(3,5)x,(1,1)x
+        assert shapes == {(1, 5), (3, 1)}
+
+
+class TestDetectKron:
+    def test_recovers_factors(self, rng):
+        for _ in range(10):
+            outer = BinaryMatrix(
+                [rng.getrandbits(2) for _ in range(2)], 2
+            )
+            inner = BinaryMatrix(
+                [rng.getrandbits(3) for _ in range(2)], 3
+            )
+            if outer.is_zero() or inner.is_zero():
+                continue
+            flat = outer.tensor(inner)
+            factors = detect_kron(flat, inner.shape)
+            assert factors is not None
+            found_outer, found_inner = factors
+            assert found_outer.tensor(found_inner) == flat
+
+    def test_non_kron_returns_none(self):
+        m = BinaryMatrix.from_strings(["1100", "0110"])
+        assert detect_kron(m, (1, 2)) is None
+
+    def test_non_divisible_shape_returns_none(self):
+        m = BinaryMatrix.identity(4)
+        assert detect_kron(m, (3, 3)) is None
+
+    def test_zero_matrix(self):
+        m = BinaryMatrix.zeros(4, 4)
+        factors = detect_kron(m, (2, 2))
+        assert factors is not None
+        outer, inner = factors
+        assert outer.is_zero() and inner.is_zero()
+
+    def test_bad_inner_shape_rejected(self):
+        with pytest.raises(InvalidMatrixError):
+            detect_kron(BinaryMatrix.identity(2), (0, 1))
+
+    def test_identity_blocks(self):
+        eye = BinaryMatrix.identity(2)
+        ones = BinaryMatrix.all_ones(2, 2)
+        flat = eye.tensor(ones)
+        outer, inner = detect_kron(flat, (2, 2))
+        assert outer == eye
+        assert inner == ones
+
+
+class TestFindKronFactorizations:
+    def test_finds_planted_factorization(self):
+        outer = BinaryMatrix.from_strings(["10", "11"])
+        inner = BinaryMatrix.from_strings(["11", "01"])
+        flat = outer.tensor(inner)
+        found = find_kron_factorizations(flat)
+        shapes = [shape for shape, _, _ in found]
+        assert (2, 2) in shapes
+        for _shape, a, b in found:
+            assert a.tensor(b) == flat
+
+    def test_unstructured_matrix_may_have_trivial_strips_only(self):
+        m = BinaryMatrix.from_strings(["10", "01"])
+        found = find_kron_factorizations(m)
+        for _shape, a, b in found:
+            assert a.tensor(b) == m

@@ -1,0 +1,76 @@
+"""Unit tests for surface-code patch layouts."""
+
+import pytest
+
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.exceptions import InvalidMatrixError
+from repro.ftqc.surface_code import (
+    SurfaceCodeGrid,
+    boundary_row_patch_mask,
+    corner_patch_mask,
+    transversal_patch_mask,
+)
+
+
+class TestPatchMasks:
+    def test_transversal_all_ones(self):
+        mask = transversal_patch_mask(3)
+        assert mask.shape == (3, 3)
+        assert mask.count_ones() == 9
+
+    def test_boundary_row(self):
+        mask = boundary_row_patch_mask(3, row=1)
+        assert mask.count_ones() == 3
+        assert mask.row_mask(1) == 0b111
+        assert mask.row_mask(0) == 0
+
+    def test_corner(self):
+        mask = corner_patch_mask(3)
+        assert mask.count_ones() == 1
+        assert mask[0, 0] == 1
+
+    def test_invalid_distance(self):
+        with pytest.raises(InvalidMatrixError):
+            transversal_patch_mask(0)
+        with pytest.raises(InvalidMatrixError):
+            corner_patch_mask(0)
+
+    def test_invalid_row(self):
+        with pytest.raises(InvalidMatrixError):
+            boundary_row_patch_mask(3, row=3)
+
+
+class TestSurfaceCodeGrid:
+    def test_shapes(self):
+        grid = SurfaceCodeGrid(2, 3, 5)
+        assert grid.logical_shape == (2, 3)
+        assert grid.physical_shape == (10, 15)
+
+    def test_physical_pattern_default_patch(self):
+        grid = SurfaceCodeGrid(2, 2, 2)
+        logical = BinaryMatrix.identity(2)
+        pattern = grid.physical_pattern(logical)
+        assert pattern == logical.tensor(BinaryMatrix.all_ones(2, 2))
+
+    def test_physical_pattern_custom_patch(self):
+        grid = SurfaceCodeGrid(1, 2, 2)
+        logical = BinaryMatrix.from_strings(["11"])
+        patch = corner_patch_mask(2)
+        pattern = grid.physical_pattern(logical, patch)
+        assert pattern.count_ones() == 2
+
+    def test_logical_shape_mismatch(self):
+        grid = SurfaceCodeGrid(2, 2, 2)
+        with pytest.raises(InvalidMatrixError):
+            grid.physical_pattern(BinaryMatrix.identity(3))
+
+    def test_patch_shape_mismatch(self):
+        grid = SurfaceCodeGrid(2, 2, 2)
+        with pytest.raises(InvalidMatrixError):
+            grid.physical_pattern(
+                BinaryMatrix.identity(2), BinaryMatrix.identity(3)
+            )
+
+    def test_invalid_grid(self):
+        with pytest.raises(InvalidMatrixError):
+            SurfaceCodeGrid(0, 2, 2)

@@ -1,0 +1,97 @@
+"""Unit tests for tensor products of partitions and Eq. 5 bounds."""
+
+import pytest
+
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.exceptions import InvalidPartitionError
+from repro.core.paper_matrices import equation_2
+from repro.core.rectangle import Rectangle
+from repro.ftqc.tensor import (
+    tensor_partition,
+    tensor_rank_bounds,
+    tensor_rectangle,
+)
+from repro.solvers.sap import sap_solve
+
+
+class TestTensorRectangle:
+    def test_single_cells(self):
+        outer = Rectangle.single(1, 0)
+        inner = Rectangle.single(0, 1)
+        combined = tensor_rectangle(outer, inner, (2, 2))
+        assert combined.rows == (2,)  # 1*2 + 0
+        assert combined.cols == (1,)  # 0*2 + 1
+
+    def test_block_structure(self):
+        outer = Rectangle.from_sets([0, 1], [0])
+        inner = Rectangle.from_sets([0], [0, 1])
+        combined = tensor_rectangle(outer, inner, (2, 2))
+        assert set(combined.rows) == {0, 2}
+        assert set(combined.cols) == {0, 1}
+
+
+class TestTensorPartition:
+    def test_partitions_the_kron(self, rng):
+        for _ in range(10):
+            a = BinaryMatrix(
+                [rng.getrandbits(3) for _ in range(3)], 3
+            )
+            b = BinaryMatrix(
+                [rng.getrandbits(2) for _ in range(2)], 2
+            )
+            pa = sap_solve(a, trials=4, seed=0).partition
+            pb = sap_solve(b, trials=4, seed=0).partition
+            combined = tensor_partition(pa, pb)
+            combined.validate(a.tensor(b))
+            assert combined.depth == pa.depth * pb.depth
+
+    def test_empty_partitions(self):
+        a = BinaryMatrix.zeros(2, 2)
+        pa = sap_solve(a).partition
+        pb = sap_solve(BinaryMatrix.identity(2)).partition
+        combined = tensor_partition(pa, pb)
+        assert combined.depth == 0
+        combined.validate(a.tensor(BinaryMatrix.identity(2)))
+
+
+class TestTensorRankBounds:
+    def test_all_ones_inner_is_tight(self):
+        outer = equation_2()
+        inner = BinaryMatrix.all_ones(2, 2)
+        bounds = tensor_rank_bounds(outer, inner, seed=0)
+        assert bounds.inner_rank == 1
+        assert bounds.inner_fooling == 1
+        assert bounds.upper == bounds.outer_rank
+        assert bounds.is_tight
+
+    def test_bracket_ordering(self):
+        outer = BinaryMatrix.identity(2)
+        inner = equation_2()
+        bounds = tensor_rank_bounds(outer, inner, seed=0)
+        assert bounds.lower <= bounds.upper
+
+    def test_eq5_gap_case(self):
+        """Eq. 2 matrix has phi=2 < r_B=3: tensor with itself leaves a gap
+        in the Eq. 5 bracket (lower=6 < upper=9)."""
+        m = equation_2()
+        bounds = tensor_rank_bounds(m, m, seed=0)
+        assert bounds.lower == 6
+        assert bounds.upper == 9
+
+    def test_true_rank_within_bracket(self):
+        """Direct SAP on the 4x4 kron of two identities: r_B = 4 matches
+        the product bound."""
+        eye = BinaryMatrix.identity(2)
+        bounds = tensor_rank_bounds(eye, eye, seed=0)
+        direct = sap_solve(eye.tensor(eye), trials=8, seed=0)
+        assert direct.proved_optimal
+        assert bounds.lower <= direct.depth <= bounds.upper
+
+    def test_budget_failure_raises(self):
+        # seed 3 yields a gap instance whose packing depth exceeds the
+        # rank bound, so a zero budget cannot prove the factor rank.
+        from repro.benchgen.gap import gap_matrix
+
+        hard = gap_matrix(10, 10, 4, seed=3)
+        with pytest.raises(InvalidPartitionError):
+            tensor_rank_bounds(hard, hard, seed=0, time_budget=0.0)

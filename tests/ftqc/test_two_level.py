@@ -1,0 +1,82 @@
+"""Unit tests for the two-level FTQC solver."""
+
+import pytest
+
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.exceptions import InvalidMatrixError
+from repro.ftqc.two_level import two_level_solve
+from repro.solvers.sap import sap_solve
+
+
+class TestTwoLevelSolve:
+    def test_transversal_case_is_optimal(self):
+        """All-ones inner mask: two-level result is provably optimal."""
+        outer = BinaryMatrix.from_strings(["101", "010", "110"])
+        inner = BinaryMatrix.all_ones(2, 2)
+        flat = outer.tensor(inner)
+        result = two_level_solve(flat, (2, 2), seed=0)
+        result.partition.validate(flat)
+        assert result.proved_optimal
+        direct = sap_solve(flat, trials=16, seed=0)
+        assert direct.proved_optimal
+        assert result.depth == direct.depth
+
+    def test_matches_product_of_factor_depths(self):
+        outer = BinaryMatrix.identity(2)
+        inner = BinaryMatrix.from_strings(["11", "01"])
+        flat = outer.tensor(inner)
+        result = two_level_solve(flat, (2, 2), seed=0)
+        assert (
+            result.depth
+            == result.outer_partition.depth * result.inner_partition.depth
+        )
+
+    def test_factors_recovered(self):
+        outer = BinaryMatrix.from_strings(["10", "01"])
+        inner = BinaryMatrix.from_strings(["11", "10"])
+        flat = outer.tensor(inner)
+        result = two_level_solve(flat, (2, 2), seed=0)
+        assert result.outer == outer
+        assert result.inner == inner
+
+    def test_non_kron_rejected(self):
+        m = BinaryMatrix.from_strings(["1100", "0110"])
+        with pytest.raises(InvalidMatrixError):
+            two_level_solve(m, (1, 2))
+
+    def test_zero_matrix(self):
+        flat = BinaryMatrix.zeros(4, 4)
+        result = two_level_solve(flat, (2, 2), seed=0)
+        assert result.depth == 0
+        assert result.proved_optimal  # depth 0 is trivially optimal
+
+    def test_depth_one_case(self):
+        flat = BinaryMatrix.all_ones(4, 4)
+        result = two_level_solve(flat, (2, 2), seed=0)
+        assert result.depth == 1
+        assert result.proved_optimal
+
+    def test_bounds_skipped_when_disabled(self):
+        outer = BinaryMatrix.identity(2)
+        inner = BinaryMatrix.all_ones(2, 2)
+        result = two_level_solve(
+            outer.tensor(inner), (2, 2), seed=0, compute_bounds=False
+        )
+        assert result.bounds is None
+
+    def test_upper_bound_property_on_random(self, rng):
+        """Two-level depth is always an upper bound on the direct depth."""
+        for _ in range(6):
+            outer = BinaryMatrix(
+                [rng.getrandbits(2) for _ in range(2)], 2
+            )
+            inner = BinaryMatrix(
+                [rng.getrandbits(2) for _ in range(2)], 2
+            )
+            if outer.is_zero() or inner.is_zero():
+                continue
+            flat = outer.tensor(inner)
+            two_level = two_level_solve(flat, (2, 2), seed=0)
+            direct = sap_solve(flat, trials=16, seed=0)
+            assert direct.proved_optimal
+            assert direct.depth <= two_level.depth

@@ -1,0 +1,68 @@
+"""End-to-end integration: pattern -> solve -> schedule -> simulate."""
+
+from repro.atoms.array import QubitArray
+from repro.atoms.compiler import compile_addressing
+from repro.atoms.simulator import AddressingSimulator
+from repro.benchgen.gap import gap_matrix
+from repro.benchgen.random_matrices import random_matrix
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.paper_matrices import figure_1b
+from repro.ftqc.surface_code import SurfaceCodeGrid
+from repro.ftqc.two_level import two_level_solve
+from repro.atoms.schedule import AddressingSchedule
+
+
+class TestFigure1Pipeline:
+    def test_paper_headline_scenario(self):
+        """The exact scenario of Figure 1: 6x6 array, the paper's pattern,
+        five AOD configurations, every target hit exactly once."""
+        array = QubitArray.full(6, 6)
+        result = compile_addressing(
+            array, figure_1b(), theta=0.25, strategy="sap", seed=0
+        )
+        assert result.depth == 5
+        assert result.proved_optimal
+        report = AddressingSimulator(array).verify(
+            result.schedule, figure_1b()
+        )
+        assert report.ok
+
+
+class TestRandomPatternsPipeline:
+    def test_various_occupancies(self):
+        for occupancy in (0.1, 0.4, 0.8):
+            target = random_matrix(8, 8, occupancy, seed=17)
+            array = QubitArray.full(8, 8)
+            result = compile_addressing(
+                array, target, strategy="packing", trials=8, seed=0
+            )
+            report = AddressingSimulator(array).verify(
+                result.schedule, target
+            )
+            assert report.ok
+
+    def test_gap_instance_full_pipeline(self):
+        target = gap_matrix(10, 10, 3, seed=2)
+        array = QubitArray.full(10, 10)
+        result = compile_addressing(
+            array, target, strategy="sap", trials=16, seed=0,
+            time_budget=20,
+        )
+        report = AddressingSimulator(array).verify(result.schedule, target)
+        assert report.ok
+
+
+class TestFtqcPipeline:
+    def test_surface_code_grid_to_schedule(self):
+        grid = SurfaceCodeGrid(2, 2, 3)
+        logical = BinaryMatrix.from_strings(["10", "11"])
+        physical = grid.physical_pattern(logical)
+        result = two_level_solve(physical, (3, 3), seed=0)
+        schedule = AddressingSchedule.from_partition(
+            result.partition, theta=1.0
+        )
+        array = QubitArray.full(*physical.shape)
+        report = AddressingSimulator(array).verify(schedule, physical)
+        assert report.ok
+        # transversal patch => depth equals the logical partition depth
+        assert result.depth == result.outer_partition.depth

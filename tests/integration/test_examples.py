@@ -1,0 +1,40 @@
+"""Smoke tests: every bundled example must run cleanly end to end.
+
+Each example is executed in a subprocess (fresh interpreter, no shared
+state) and must exit 0 with its expected headline in stdout.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+CASES = [
+    ("quickstart.py", "all targets addressed exactly once"),
+    ("row_packing_trace.py", "SAP confirms the optimum: r_B = 4"),
+    ("neutral_atom_addressing.py", "don't-care compilation"),
+    ("ftqc_two_level.py", "two-level:"),
+    ("qldpc_memory.py", "row addressing was optimal"),
+    ("cover_vs_partition.py", "Sperner bound"),
+    ("aod_hardware_limits.py", "schedule stays correct"),
+    ("proof_audit.py", "optimality certificates hold"),
+    ("vacancy_dont_cares.py", "all targets addressed exactly once"),
+    ("tensor_rank_search.py", "Binary rank under tensor products"),
+]
+
+
+@pytest.mark.parametrize("script,expected", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, expected):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    completed = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert expected in completed.stdout

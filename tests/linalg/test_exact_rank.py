@@ -1,0 +1,89 @@
+"""Unit tests for exact rank over Q (Bareiss)."""
+
+import numpy as np
+import pytest
+
+from repro.core.binary_matrix import BinaryMatrix
+from repro.linalg.exact_rank import determinant, rank_over_q, real_rank
+
+
+class TestRankOverQ:
+    def test_identity(self):
+        assert rank_over_q(np.eye(4, dtype=int)) == 4
+
+    def test_zero(self):
+        assert rank_over_q(np.zeros((3, 5), dtype=int)) == 0
+
+    def test_rank_one(self):
+        m = np.outer([1, 1, 1], [1, 0, 1])
+        assert rank_over_q(m) == 1
+
+    def test_rectangular(self):
+        m = [[1, 0, 1, 0], [0, 1, 0, 1], [1, 1, 1, 1]]
+        assert rank_over_q(m) == 2
+
+    def test_char2_trap(self):
+        """Rank over GF(2) would be 2 here; over Q it is 3."""
+        m = [[0, 1, 1], [1, 0, 1], [1, 1, 0]]
+        assert rank_over_q(m) == 3
+
+    def test_accepts_binary_matrix(self):
+        assert rank_over_q(BinaryMatrix.identity(3)) == 3
+
+    def test_matches_numpy_on_random(self, rng):
+        for _ in range(30):
+            rows = rng.randint(1, 8)
+            cols = rng.randint(1, 8)
+            arr = np.array(
+                [
+                    [rng.randint(0, 1) for _ in range(cols)]
+                    for _ in range(rows)
+                ]
+            )
+            assert rank_over_q(arr) == np.linalg.matrix_rank(arr)
+
+    def test_integer_entries_beyond_binary(self):
+        m = [[2, 4], [1, 2]]
+        assert rank_over_q(m) == 1
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(ValueError):
+            rank_over_q(np.array([[0.5]]))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            rank_over_q(np.array([1, 2, 3]))
+
+    def test_real_rank_alias(self):
+        m = BinaryMatrix.from_strings(["10", "01"])
+        assert real_rank(m) == rank_over_q(m)
+
+
+class TestDeterminant:
+    def test_identity(self):
+        assert determinant(np.eye(5, dtype=int)) == 1
+
+    def test_known_2x2(self):
+        assert determinant([[1, 2], [3, 4]]) == -2
+
+    def test_singular(self):
+        assert determinant([[1, 1], [1, 1]]) == 0
+
+    def test_swap_changes_sign(self):
+        assert determinant([[0, 1], [1, 0]]) == -1
+
+    def test_empty(self):
+        assert determinant([]) == 1
+
+    def test_matches_numpy_on_random(self, rng):
+        for _ in range(20):
+            n = rng.randint(1, 6)
+            arr = np.array(
+                [[rng.randint(-3, 3) for _ in range(n)] for _ in range(n)]
+            )
+            expected = round(float(np.linalg.det(arr)))
+            assert determinant(arr) == expected
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            determinant([[1, 2, 3], [4, 5, 6]])

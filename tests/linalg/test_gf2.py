@@ -1,0 +1,143 @@
+"""Unit tests for GF(2) linear algebra."""
+
+import numpy as np
+
+from repro.core.binary_matrix import BinaryMatrix
+from repro.linalg.gf2 import (
+    gf2_in_row_space,
+    gf2_nullspace,
+    gf2_rank,
+    gf2_row_basis,
+    gf2_row_reduce,
+    gf2_solve,
+)
+
+
+def _np_gf2_rank(arr: np.ndarray) -> int:
+    """Reference GF(2) rank by dense elimination."""
+    m = (arr % 2).astype(int).tolist()
+    rank = 0
+    cols = len(m[0]) if m else 0
+    row = 0
+    for col in range(cols):
+        pivot = next(
+            (r for r in range(row, len(m)) if m[r][col]), None
+        )
+        if pivot is None:
+            continue
+        m[row], m[pivot] = m[pivot], m[row]
+        for r in range(len(m)):
+            if r != row and m[r][col]:
+                m[r] = [(a + b) % 2 for a, b in zip(m[r], m[row])]
+        rank += 1
+        row += 1
+        if row == len(m):
+            break
+    return rank
+
+
+class TestGf2Rank:
+    def test_identity(self):
+        assert gf2_rank(BinaryMatrix.identity(4)) == 4
+
+    def test_zero(self):
+        assert gf2_rank(BinaryMatrix.zeros(3, 3)) == 0
+
+    def test_char2_collapse(self):
+        m = BinaryMatrix.from_strings(["011", "101", "110"])
+        assert gf2_rank(m) == 2  # over Q it is 3
+
+    def test_matches_reference_on_random(self, rng):
+        for _ in range(40):
+            rows = rng.randint(1, 8)
+            cols = rng.randint(1, 8)
+            arr = np.array(
+                [[rng.randint(0, 1) for _ in range(cols)] for _ in range(rows)]
+            )
+            assert gf2_rank(arr) == _np_gf2_rank(arr)
+
+    def test_order_insensitive(self, rng):
+        m = BinaryMatrix.from_strings(["110", "011", "101", "111"])
+        rank = gf2_rank(m)
+        for _ in range(5):
+            order = list(range(4))
+            rng.shuffle(order)
+            assert gf2_rank(m.permute_rows(order)) == rank
+
+
+class TestRowBasisAndReduce:
+    def test_basis_size_equals_rank(self):
+        m = BinaryMatrix.from_strings(["110", "011", "101"])
+        assert len(gf2_row_basis(m)) == gf2_rank(m)
+
+    def test_reduced_pivots_unique(self):
+        m = BinaryMatrix.from_strings(["111", "011", "001"])
+        reduced = gf2_row_reduce(m)
+        pivot_bits = [b & -b for b in reduced]
+        assert len(set(pivot_bits)) == len(reduced)
+        # fully reduced: no basis vector contains another's pivot bit
+        for i, vec in enumerate(reduced):
+            for j, other in enumerate(reduced):
+                if i != j:
+                    assert not (vec & (other & -other))
+
+
+class TestRowSpaceMembership:
+    def test_member(self):
+        m = BinaryMatrix.from_strings(["110", "011"])
+        assert gf2_in_row_space(m, 0b101)  # 110 ^ 011 (mask form LSB-first)
+
+    def test_non_member(self):
+        m = BinaryMatrix.from_strings(["110"])
+        assert not gf2_in_row_space(m, 0b100)
+
+    def test_zero_always_member(self):
+        assert gf2_in_row_space(BinaryMatrix.zeros(1, 3), 0)
+
+
+class TestGf2Solve:
+    def test_solution_validates(self, rng):
+        for _ in range(20):
+            rows = rng.randint(1, 6)
+            cols = rng.randint(1, 6)
+            m = BinaryMatrix(
+                [rng.getrandbits(cols) for _ in range(rows)], cols
+            )
+            # Build rhs from a random row combination.
+            selection = rng.getrandbits(rows)
+            rhs = 0
+            for i in range(rows):
+                if (selection >> i) & 1:
+                    rhs ^= m.row_mask(i)
+            found = gf2_solve(m, rhs)
+            assert found is not None
+            check = 0
+            for i in range(rows):
+                if (found >> i) & 1:
+                    check ^= m.row_mask(i)
+            assert check == rhs
+
+    def test_unsolvable(self):
+        m = BinaryMatrix.from_strings(["110"])
+        assert gf2_solve(m, 0b100) is None
+
+
+class TestNullspace:
+    def test_dimension(self, rng):
+        for _ in range(20):
+            rows = rng.randint(1, 6)
+            cols = rng.randint(1, 6)
+            m = BinaryMatrix(
+                [rng.getrandbits(cols) for _ in range(rows)], cols
+            )
+            null = gf2_nullspace(m)
+            assert len(null) == cols - gf2_rank(m)
+
+    def test_vectors_are_in_kernel(self, rng):
+        m = BinaryMatrix.from_strings(["110", "011"])
+        for vec in gf2_nullspace(m):
+            for row in m.row_masks:
+                assert bin(row & vec).count("1") % 2 == 0
+
+    def test_identity_has_trivial_kernel(self):
+        assert gf2_nullspace(BinaryMatrix.identity(4)) == []

@@ -1,0 +1,52 @@
+"""Property-based tests for the neutral-atom pipeline."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.atoms.array import QubitArray
+from repro.atoms.schedule import AddressingSchedule
+from repro.atoms.simulator import AddressingSimulator
+from repro.solvers.row_packing import PackingOptions, row_packing
+from tests.conftest import binary_matrices
+
+
+class TestPipelineProperties:
+    @given(binary_matrices(), st.integers(0, 1000))
+    @settings(max_examples=40)
+    def test_packed_schedule_always_verifies(self, target, seed):
+        """Any packing of any pattern compiles to a schedule that hits
+        each target exactly once — the central soundness property."""
+        array = QubitArray.full(*target.shape)
+        partition = row_packing(
+            target, options=PackingOptions(trials=2, seed=seed)
+        )
+        schedule = AddressingSchedule.from_partition(partition, theta=1.0)
+        report = AddressingSimulator(array).verify(schedule, target)
+        assert report.ok
+        assert report.depth == partition.depth
+
+    @given(binary_matrices(), st.floats(0.01, 3.0))
+    @settings(max_examples=30)
+    def test_phases_equal_theta_on_targets(self, target, theta):
+        array = QubitArray.full(*target.shape)
+        partition = row_packing(
+            target, options=PackingOptions(trials=1, seed=0)
+        )
+        schedule = AddressingSchedule.from_partition(partition, theta=theta)
+        phases = AddressingSimulator(array).run(schedule)
+        for site, phase in phases.items():
+            expected = theta if target[site[0], site[1]] else 0.0
+            assert abs(phase - expected) < 1e-9
+
+    @given(binary_matrices())
+    @settings(max_examples=30)
+    def test_total_tones_bounded(self, target):
+        """Each AOD step uses at most (rows + cols) tones."""
+        partition = row_packing(
+            target, options=PackingOptions(trials=1, seed=0)
+        )
+        schedule = AddressingSchedule.from_partition(partition, theta=1.0)
+        limit = (target.num_rows + target.num_cols) * max(
+            1, schedule.depth
+        )
+        assert schedule.total_tones <= limit

@@ -1,0 +1,58 @@
+"""Property-based tests for don't-care completion."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.completion.exact import masked_minimum_addressing
+from repro.completion.heuristic import masked_row_packing
+from repro.completion.masked import (
+    MaskedMatrix,
+    masked_fooling_number,
+    validate_masked_partition,
+)
+from repro.core.binary_matrix import BinaryMatrix
+from repro.solvers.row_packing import PackingOptions
+from repro.solvers.sap import sap_solve
+
+
+@st.composite
+def masked_matrices(draw, max_rows=4, max_cols=4):
+    rows = draw(st.integers(1, max_rows))
+    cols = draw(st.integers(1, max_cols))
+    ones_masks, dc_masks = [], []
+    for _ in range(rows):
+        ones = draw(st.integers(0, (1 << cols) - 1))
+        dc = draw(st.integers(0, (1 << cols) - 1)) & ~ones
+        ones_masks.append(ones)
+        dc_masks.append(dc)
+    return MaskedMatrix(
+        BinaryMatrix(ones_masks, cols), BinaryMatrix(dc_masks, cols)
+    )
+
+
+class TestCompletionProperties:
+    @given(masked_matrices(), st.integers(0, 100))
+    @settings(max_examples=30)
+    def test_heuristic_always_valid(self, masked, seed):
+        partition = masked_row_packing(
+            masked, options=PackingOptions(trials=2, seed=seed)
+        )
+        validate_masked_partition(masked, partition)
+
+    @given(masked_matrices())
+    @settings(max_examples=20)
+    def test_exact_never_exceeds_plain_rank(self, masked):
+        """Adding don't-cares can only reduce the minimum depth."""
+        with_dc = masked_minimum_addressing(masked, trials=4, seed=0)
+        plain = sap_solve(masked.ones_matrix, trials=4, seed=0)
+        assert with_dc.proved_optimal and plain.proved_optimal
+        assert with_dc.depth <= plain.depth
+        validate_masked_partition(masked, with_dc.partition)
+
+    @given(masked_matrices())
+    @settings(max_examples=20)
+    def test_fooling_bound_holds(self, masked):
+        outcome = masked_minimum_addressing(masked, trials=4, seed=0)
+        assert masked_fooling_number(masked) <= outcome.depth or (
+            outcome.depth == 0
+        )

@@ -1,0 +1,61 @@
+"""Property-based tests for covers and enumeration."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import fooling_lower_bound
+from repro.cover import greedy_cover, minimum_cover, validate_cover
+from repro.smt.enumerate import enumerate_partitions
+from repro.solvers.branch_bound import binary_rank_branch_bound
+from repro.solvers.row_packing import PackingOptions, row_packing
+from tests.conftest import binary_matrices, nonzero_binary_matrices
+
+
+class TestCoverProperties:
+    @given(nonzero_binary_matrices(max_rows=5, max_cols=5),
+           st.integers(0, 100))
+    @settings(max_examples=30)
+    def test_greedy_cover_valid(self, m, seed):
+        cover = greedy_cover(m, trials=2, seed=seed)
+        validate_cover(m, cover)
+
+    @given(nonzero_binary_matrices(max_rows=4, max_cols=4))
+    @settings(max_examples=25)
+    def test_boolean_rank_bracket(self, m):
+        """phi <= boolean rank <= binary rank."""
+        result = minimum_cover(m, trials=4, seed=0, time_budget=30)
+        assert result.proved_optimal
+        assert fooling_lower_bound(m) <= result.depth
+        assert result.depth <= binary_rank_branch_bound(m).binary_rank
+
+    @given(nonzero_binary_matrices(max_rows=5, max_cols=5),
+           st.integers(0, 50))
+    @settings(max_examples=20)
+    def test_any_partition_is_a_cover(self, m, seed):
+        partition = row_packing(
+            m, options=PackingOptions(trials=1, seed=seed)
+        )
+        validate_cover(m, partition)
+
+
+class TestEnumerationProperties:
+    @given(nonzero_binary_matrices(max_rows=3, max_cols=3))
+    @settings(max_examples=20)
+    def test_enumerated_partitions_distinct_and_valid(self, m):
+        rank = binary_rank_branch_bound(m).binary_rank
+        seen = set()
+        for partition in enumerate_partitions(m, rank, limit=50):
+            partition.validate(m)
+            key = frozenset(partition.rectangles)
+            assert key not in seen
+            seen.add(key)
+        assert len(seen) >= 1
+
+    @given(nonzero_binary_matrices(max_rows=3, max_cols=3))
+    @settings(max_examples=15)
+    def test_below_rank_yields_nothing(self, m):
+        rank = binary_rank_branch_bound(m).binary_rank
+        if rank > 0:
+            assert (
+                list(enumerate_partitions(m, rank - 1, limit=5)) == []
+            )

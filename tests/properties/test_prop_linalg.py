@@ -1,0 +1,74 @@
+"""Property-based tests for the exact linear algebra substrates."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg.exact_rank import determinant, rank_over_q
+from repro.linalg.gf2 import gf2_nullspace, gf2_rank, gf2_row_basis
+from tests.conftest import binary_matrices
+
+
+class TestRankProperties:
+    @given(binary_matrices(max_rows=7, max_cols=7))
+    def test_matches_numpy(self, m):
+        assert rank_over_q(m) == np.linalg.matrix_rank(m.to_numpy())
+
+    @given(binary_matrices())
+    def test_transpose_invariant(self, m):
+        assert rank_over_q(m) == rank_over_q(m.transpose())
+
+    @given(binary_matrices())
+    def test_bounded_by_dimensions(self, m):
+        rank = rank_over_q(m)
+        assert 0 <= rank <= min(m.num_rows, m.num_cols)
+
+    @given(binary_matrices())
+    def test_gf2_rank_at_most_q_rank(self, m):
+        assert gf2_rank(m) <= rank_over_q(m)
+
+    @given(binary_matrices())
+    def test_gf2_rank_transpose_invariant(self, m):
+        assert gf2_rank(m) == gf2_rank(m.transpose())
+
+
+class TestDeterminantProperties:
+    @given(st.integers(1, 5), st.data())
+    @settings(max_examples=40)
+    def test_transpose_invariant(self, n, data):
+        rows = [
+            [data.draw(st.integers(-2, 2)) for _ in range(n)]
+            for _ in range(n)
+        ]
+        transposed = [list(col) for col in zip(*rows)]
+        assert determinant(rows) == determinant(transposed)
+
+    @given(st.integers(1, 5), st.data())
+    @settings(max_examples=40)
+    def test_zero_iff_rank_deficient(self, n, data):
+        rows = [
+            [data.draw(st.integers(-2, 2)) for _ in range(n)]
+            for _ in range(n)
+        ]
+        det = determinant(rows)
+        rank = rank_over_q(rows)
+        assert (det == 0) == (rank < n)
+
+
+class TestGf2Properties:
+    @given(binary_matrices())
+    def test_rank_nullity(self, m):
+        assert gf2_rank(m) + len(gf2_nullspace(m)) == m.num_cols
+
+    @given(binary_matrices())
+    def test_nullspace_vectors_annihilate(self, m):
+        for vec in gf2_nullspace(m):
+            for row in m.row_masks:
+                assert bin(row & vec).count("1") % 2 == 0
+
+    @given(binary_matrices())
+    def test_basis_has_distinct_pivots(self, m):
+        basis = gf2_row_basis(m)
+        pivots = [b & -b for b in basis]
+        assert len(set(pivots)) == len(pivots)
+        assert len(basis) == gf2_rank(m)

@@ -1,0 +1,89 @@
+"""Property-based tests for the core data model."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.partition import Partition
+from repro.core.reductions import reduce_matrix
+from tests.conftest import binary_matrices
+
+
+class TestBinaryMatrixProperties:
+    @given(binary_matrices())
+    def test_transpose_involution(self, m):
+        assert m.transpose().transpose() == m
+
+    @given(binary_matrices())
+    def test_ones_count_consistent(self, m):
+        assert len(list(m.ones())) == m.count_ones()
+        assert m.count_ones() == m.transpose().count_ones()
+
+    @given(binary_matrices())
+    def test_string_round_trip(self, m):
+        assert BinaryMatrix.from_strings(m.to_strings()) == m
+
+    @given(binary_matrices())
+    def test_numpy_round_trip(self, m):
+        assert BinaryMatrix.from_numpy(m.to_numpy()) == m
+
+    @given(binary_matrices())
+    def test_complement_involution(self, m):
+        assert m.complement().complement() == m
+        assert m.count_ones() + m.complement().count_ones() == (
+            m.num_rows * m.num_cols
+        )
+
+    @given(binary_matrices(max_rows=4, max_cols=4),
+           binary_matrices(max_rows=3, max_cols=3))
+    def test_tensor_ones_multiply(self, a, b):
+        assert a.tensor(b).count_ones() == a.count_ones() * b.count_ones()
+
+    @given(binary_matrices())
+    def test_col_masks_match_transpose_rows(self, m):
+        assert m.col_masks() == m.transpose().row_masks
+
+
+class TestReductionProperties:
+    @given(binary_matrices())
+    def test_reduced_has_no_duplicates_or_empties(self, m):
+        reduced = reduce_matrix(m).matrix
+        masks = list(reduced.row_masks)
+        assert 0 not in masks
+        assert len(set(masks)) == len(masks)
+        col_masks = list(reduced.col_masks())
+        assert 0 not in col_masks
+        assert len(set(col_masks)) == len(col_masks)
+
+    @given(binary_matrices())
+    def test_groups_partition_nonzero_lines(self, m):
+        reduced = reduce_matrix(m)
+        covered_rows = [i for group in reduced.row_groups for i in group]
+        assert len(covered_rows) == len(set(covered_rows))
+        expected = [i for i in range(m.num_rows) if m.row_mask(i) != 0]
+        assert sorted(covered_rows) == expected
+
+    @given(binary_matrices())
+    def test_ones_preserved_up_to_duplication(self, m):
+        reduced = reduce_matrix(m)
+        total = 0
+        for k, row_group in enumerate(reduced.row_groups):
+            for j_reduced in range(reduced.matrix.num_cols):
+                if reduced.matrix[k, j_reduced]:
+                    total += len(row_group) * len(
+                        reduced.col_groups[j_reduced]
+                    )
+        assert total == m.count_ones()
+
+
+class TestPartitionProperties:
+    @given(binary_matrices(), st.integers(0, 10))
+    def test_single_cell_partition_always_valid(self, m, seed):
+        rects = [
+            __import__("repro.core.rectangle", fromlist=["Rectangle"])
+            .Rectangle.single(i, j)
+            for i, j in m.ones()
+        ]
+        partition = Partition(rects, m.shape)
+        partition.validate(m)
+        assert partition.depth == m.count_ones()

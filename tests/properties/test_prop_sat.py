@@ -1,0 +1,75 @@
+"""Property-based tests for the SAT substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat.brute import brute_force_model
+from repro.sat.dimacs import parse_dimacs, to_dimacs
+from repro.sat.formula import CnfFormula
+from repro.sat.solver import CdclSolver, SolveStatus
+
+
+@st.composite
+def cnf_formulas(draw, max_vars=9, max_clauses=30):
+    num_vars = draw(st.integers(1, max_vars))
+    formula = CnfFormula()
+    formula.new_vars(num_vars)
+    num_clauses = draw(st.integers(0, max_clauses))
+    for _ in range(num_clauses):
+        width = draw(st.integers(1, 4))
+        clause = [
+            draw(st.integers(1, num_vars)) * draw(st.sampled_from([1, -1]))
+            for _ in range(width)
+        ]
+        formula.add_clause(clause)
+    return formula
+
+
+class TestSolverProperties:
+    @given(cnf_formulas())
+    @settings(max_examples=80)
+    def test_agrees_with_brute_force(self, formula):
+        expected_sat = brute_force_model(formula) is not None
+        solver = CdclSolver.from_formula(formula)
+        status = solver.solve()
+        assert (status is SolveStatus.SAT) == expected_sat
+        if status is SolveStatus.SAT:
+            model = solver.model()
+            for clause in formula.clauses:
+                assert any(model[abs(l)] == (l > 0) for l in clause)
+
+    @given(cnf_formulas(max_vars=6, max_clauses=15))
+    @settings(max_examples=40)
+    def test_solve_is_repeatable(self, formula):
+        solver = CdclSolver.from_formula(formula)
+        first = solver.solve()
+        second = solver.solve()
+        assert first == second
+
+    @given(cnf_formulas())
+    @settings(max_examples=40)
+    def test_dimacs_round_trip(self, formula):
+        parsed = parse_dimacs(to_dimacs(formula))
+        assert parsed.num_vars == formula.num_vars
+        assert parsed.clauses == formula.clauses
+
+    @given(cnf_formulas(max_vars=6, max_clauses=12), st.data())
+    @settings(max_examples=40)
+    def test_assumptions_consistent_with_added_units(self, formula, data):
+        """solve(assumptions) == solve() of formula + unit clauses."""
+        assumption_count = data.draw(st.integers(0, 2))
+        assumptions = [
+            data.draw(st.integers(1, formula.num_vars))
+            * data.draw(st.sampled_from([1, -1]))
+            for _ in range(assumption_count)
+        ]
+        with_units = CnfFormula()
+        with_units.new_vars(formula.num_vars)
+        for clause in formula.clauses:
+            with_units.add_clause(clause)
+        for lit in assumptions:
+            with_units.add_clause([lit])
+        expected_sat = brute_force_model(with_units) is not None
+        solver = CdclSolver.from_formula(formula)
+        status = solver.solve(assumptions)
+        assert (status is SolveStatus.SAT) == expected_sat

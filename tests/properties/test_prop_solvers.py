@@ -1,0 +1,75 @@
+"""Property-based tests for solver invariants (the paper's Section 7
+invariants list in DESIGN.md)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import (
+    fooling_lower_bound,
+    rank_lower_bound,
+    trivial_upper_bound,
+)
+from repro.solvers.branch_bound import binary_rank_branch_bound
+from repro.solvers.row_packing import PackingOptions, row_packing
+from repro.solvers.sap import SapOptions, sap_solve
+from repro.solvers.trivial import trivial_partition
+from tests.conftest import binary_matrices, nonzero_binary_matrices
+
+
+class TestHeuristicInvariants:
+    @given(binary_matrices(), st.integers(0, 2**30))
+    def test_row_packing_valid_and_bounded(self, m, seed):
+        partition = row_packing(
+            m, options=PackingOptions(trials=2, seed=seed)
+        )
+        partition.validate(m)
+        assert partition.depth <= trivial_upper_bound(m)
+        assert partition.depth >= rank_lower_bound(m) if not m.is_zero() else True
+
+    @given(binary_matrices())
+    def test_trivial_valid(self, m):
+        partition = trivial_partition(m)
+        partition.validate(m)
+
+
+class TestExactInvariants:
+    @given(binary_matrices(max_rows=5, max_cols=5), st.integers(0, 100))
+    @settings(max_examples=30)
+    def test_sap_bracket(self, m, seed):
+        result = sap_solve(m, options=SapOptions(trials=4, seed=seed))
+        result.partition.validate(m)
+        assert result.proved_optimal
+        assert rank_lower_bound(m) <= result.depth
+        assert result.depth <= trivial_upper_bound(m)
+
+    @given(binary_matrices(max_rows=4, max_cols=4))
+    @settings(max_examples=30)
+    def test_sap_matches_branch_bound(self, m):
+        sap = sap_solve(m, options=SapOptions(trials=4, seed=0))
+        bb = binary_rank_branch_bound(m)
+        assert sap.proved_optimal
+        assert sap.depth == bb.binary_rank
+
+    @given(nonzero_binary_matrices(max_rows=4, max_cols=4))
+    @settings(max_examples=30)
+    def test_fooling_number_is_lower_bound(self, m):
+        phi = fooling_lower_bound(m)
+        rank = binary_rank_branch_bound(m).binary_rank
+        assert phi <= rank
+
+    @given(binary_matrices(max_rows=4, max_cols=4))
+    @settings(max_examples=30)
+    def test_transpose_preserves_binary_rank(self, m):
+        a = binary_rank_branch_bound(m).binary_rank
+        b = binary_rank_branch_bound(m.transpose()).binary_rank
+        assert a == b
+
+    @given(binary_matrices(max_rows=3, max_cols=3),
+           binary_matrices(max_rows=2, max_cols=2))
+    @settings(max_examples=20)
+    def test_tensor_subadditive(self, a, b):
+        """r_B(A (x) B) <= r_B(A) * r_B(B)."""
+        ra = binary_rank_branch_bound(a).binary_rank
+        rb = binary_rank_branch_bound(b).binary_rank
+        rab = binary_rank_branch_bound(a.tensor(b)).binary_rank
+        assert rab <= ra * rb

@@ -1,0 +1,65 @@
+"""Unit tests for the brute-force reference solver."""
+
+import pytest
+
+from repro.core.exceptions import SolverError
+from repro.sat.brute import brute_force_count, brute_force_model
+from repro.sat.formula import CnfFormula
+
+
+def formula_of(num_vars, clauses):
+    formula = CnfFormula()
+    formula.new_vars(num_vars)
+    for clause in clauses:
+        formula.add_clause(clause)
+    return formula
+
+
+class TestBruteForceModel:
+    def test_sat(self):
+        model = brute_force_model(formula_of(2, [[1, 2], [-1]]))
+        assert model == {1: False, 2: True}
+
+    def test_unsat(self):
+        assert brute_force_model(formula_of(1, [[1], [-1]])) is None
+
+    def test_empty_formula(self):
+        model = brute_force_model(formula_of(0, []))
+        assert model == {}
+
+    def test_too_many_vars_rejected(self):
+        with pytest.raises(SolverError):
+            brute_force_model(formula_of(26, []))
+
+
+class TestBruteForceCount:
+    def test_free_variables(self):
+        assert brute_force_count(formula_of(3, [])) == 8
+
+    def test_xor_count(self):
+        formula = formula_of(2, [[1, 2], [-1, -2]])
+        assert brute_force_count(formula) == 2
+
+    def test_unsat_count(self):
+        assert brute_force_count(formula_of(1, [[1], [-1]])) == 0
+
+    def test_too_many_vars_rejected(self):
+        with pytest.raises(SolverError):
+            brute_force_count(formula_of(26, []))
+
+
+class TestCnfFormula:
+    def test_literal_zero_rejected(self):
+        formula = CnfFormula()
+        formula.new_var()
+        with pytest.raises(Exception):
+            formula.add_clause([0])
+
+    def test_unknown_variable_rejected(self):
+        formula = CnfFormula()
+        with pytest.raises(Exception):
+            formula.add_clause([1])
+
+    def test_repr(self):
+        formula = formula_of(2, [[1, 2]])
+        assert "vars=2" in repr(formula)

@@ -1,0 +1,119 @@
+"""Unit tests for cardinality encodings (exactly-one, at-most-k)."""
+
+import itertools
+
+import pytest
+
+from repro.core.exceptions import EncodingError
+from repro.sat.brute import brute_force_count
+from repro.sat.cardinality import (
+    at_least_one,
+    at_most_k_sequential,
+    at_most_one,
+    at_most_one_commander,
+    at_most_one_pairwise,
+    at_most_one_sequential,
+    exactly_one,
+)
+from repro.sat.formula import CnfFormula
+from repro.sat.solver import CdclSolver, SolveStatus
+
+
+def count_models_projected(formula: CnfFormula, num_original: int) -> int:
+    """Count satisfying assignments projected onto the first
+    ``num_original`` variables (aux vars may allow multiple extensions —
+    a correct AMO encoding admits >= 1 extension per legal projection)."""
+    solver = CdclSolver.from_formula(formula)
+    projections = set()
+    while solver.solve() is SolveStatus.SAT:
+        model = solver.model()
+        projection = tuple(model[v] for v in range(1, num_original + 1))
+        projections.add(projection)
+        solver.add_clause(
+            [
+                (-v if model[v] else v)
+                for v in range(1, num_original + 1)
+            ]
+        )
+    return len(projections)
+
+
+@pytest.mark.parametrize(
+    "encoder",
+    [at_most_one_pairwise, at_most_one_sequential, at_most_one_commander],
+    ids=["pairwise", "sequential", "commander"],
+)
+@pytest.mark.parametrize("n", [1, 2, 3, 5, 8])
+def test_at_most_one_model_count(encoder, n):
+    formula = CnfFormula()
+    lits = formula.new_vars(n)
+    encoder(formula, lits)
+    # Legal projections: all-false plus n one-hot assignments.
+    assert count_models_projected(formula, n) == n + 1
+
+
+@pytest.mark.parametrize("encoding", ["pairwise", "sequential", "commander", "auto"])
+@pytest.mark.parametrize("n", [1, 2, 4, 7])
+def test_exactly_one_model_count(encoding, n):
+    formula = CnfFormula()
+    lits = formula.new_vars(n)
+    exactly_one(formula, lits, encoding=encoding)
+    assert count_models_projected(formula, n) == n
+
+
+def test_at_least_one_empty_rejected():
+    with pytest.raises(EncodingError):
+        at_least_one(CnfFormula(), [])
+
+
+def test_at_most_one_unknown_encoding():
+    formula = CnfFormula()
+    lits = formula.new_vars(3)
+    with pytest.raises(EncodingError):
+        at_most_one(formula, lits, encoding="nope")
+
+
+def test_commander_bad_group_size():
+    formula = CnfFormula()
+    lits = formula.new_vars(3)
+    with pytest.raises(EncodingError):
+        at_most_one_commander(formula, lits, group_size=1)
+
+
+def test_at_most_one_with_negated_literals():
+    formula = CnfFormula()
+    a, b = formula.new_vars(2)
+    at_most_one(formula, [-a, -b], encoding="pairwise")
+    # at most one of {~a, ~b} true -> at least one of {a, b} true
+    solver = CdclSolver.from_formula(formula)
+    assert solver.solve([-a, -b]) is SolveStatus.UNSAT
+    assert solver.solve([a, -b]) is SolveStatus.SAT
+
+
+@pytest.mark.parametrize("n,k", [(4, 2), (5, 1), (5, 3), (3, 0), (4, 4)])
+def test_at_most_k_sequential(n, k):
+    formula = CnfFormula()
+    lits = formula.new_vars(n)
+    at_most_k_sequential(formula, lits, k)
+    projections = count_models_projected(formula, n)
+    expected = sum(
+        1
+        for bits in itertools.product([0, 1], repeat=n)
+        if sum(bits) <= k
+    )
+    assert projections == expected
+
+
+def test_at_most_k_negative_rejected():
+    formula = CnfFormula()
+    lits = formula.new_vars(2)
+    with pytest.raises(EncodingError):
+        at_most_k_sequential(formula, lits, -1)
+
+
+def test_brute_force_count_agrees_for_pairwise():
+    # pairwise adds no aux vars, so raw model count is exact
+    formula = CnfFormula()
+    lits = formula.new_vars(4)
+    at_most_one_pairwise(formula, lits)
+    assert brute_force_count(formula) == 5

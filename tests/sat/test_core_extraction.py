@@ -1,0 +1,125 @@
+"""Unsat-core extraction over assumptions (analyzeFinal) tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exceptions import SolverError
+from repro.sat import CdclSolver, CnfFormula, SolveStatus, brute_force_model
+
+
+class TestCoreBasics:
+    def test_no_core_without_assumption_unsat(self):
+        solver = CdclSolver()
+        a = solver.new_var()
+        solver.add_clause([a])
+        assert solver.solve() is SolveStatus.SAT
+        with pytest.raises(SolverError):
+            solver.core()
+
+    def test_contradictory_assumptions(self):
+        solver = CdclSolver()
+        a, b = solver.new_vars(2)
+        solver.add_clause([a, b])
+        status = solver.solve(assumptions=[a, -a])
+        assert status is SolveStatus.UNSAT
+        assert solver.unsat_due_to_assumptions
+        assert sorted(solver.core(), key=abs) in ([a, -a], [-a, a])
+        assert set(map(abs, solver.core())) == {a}
+
+    def test_core_excludes_irrelevant_assumptions(self):
+        solver = CdclSolver()
+        a, b, c, d = solver.new_vars(4)
+        solver.add_clause([-a, b])
+        solver.add_clause([-b, c])
+        # d is unrelated; assuming [d, a, -c] fails because a -> c.
+        status = solver.solve(assumptions=[d, a, -c])
+        assert status is SolveStatus.UNSAT
+        core = set(solver.core())
+        assert core <= {a, -c}
+        assert core  # non-empty
+        assert d not in core and -d not in core
+
+    def test_formula_implied_failure_gives_singleton(self):
+        solver = CdclSolver()
+        a = solver.new_var()
+        solver.add_clause([-a])
+        status = solver.solve(assumptions=[a])
+        assert status is SolveStatus.UNSAT
+        assert solver.core() == [a]
+
+    def test_core_is_itself_unsat_with_formula(self):
+        solver = CdclSolver()
+        a, b, c = solver.new_vars(3)
+        solver.add_clause([-a, -b, c])
+        status = solver.solve(assumptions=[a, b, -c])
+        assert status is SolveStatus.UNSAT
+        core = solver.core()
+        # Re-solving under just the core must still be UNSAT.
+        assert solver.solve(assumptions=core) is SolveStatus.UNSAT
+        # And the solver recovers for unconstrained solving.
+        assert solver.solve() is SolveStatus.SAT
+
+
+@st.composite
+def cnf_with_assumptions(draw):
+    num_vars = draw(st.integers(min_value=2, max_value=6))
+    num_clauses = draw(st.integers(min_value=1, max_value=12))
+    clauses = []
+    for _ in range(num_clauses):
+        width = draw(st.integers(min_value=1, max_value=min(3, num_vars)))
+        variables = draw(
+            st.lists(
+                st.integers(min_value=1, max_value=num_vars),
+                min_size=width,
+                max_size=width,
+                unique=True,
+            )
+        )
+        signs = draw(st.lists(st.booleans(), min_size=width, max_size=width))
+        clauses.append([v if s else -v for v, s in zip(variables, signs)])
+    assumed_vars = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=num_vars),
+            min_size=1,
+            max_size=num_vars,
+            unique=True,
+        )
+    )
+    assumed_signs = draw(
+        st.lists(st.booleans(), min_size=len(assumed_vars), max_size=len(assumed_vars))
+    )
+    assumptions = [
+        v if s else -v for v, s in zip(assumed_vars, assumed_signs)
+    ]
+    return num_vars, clauses, assumptions
+
+
+class TestCoreFuzz:
+    @given(cnf_with_assumptions())
+    @settings(max_examples=150, deadline=None)
+    def test_core_soundness(self, instance):
+        """Whenever the solver blames the assumptions, the reported core
+        must itself be inconsistent with the formula (checked by brute
+        force), and must be a subset of the assumptions."""
+        num_vars, clauses, assumptions = instance
+        solver = CdclSolver()
+        solver.new_vars(num_vars)
+        ok = True
+        for clause in clauses:
+            if not solver.add_clause(clause):
+                ok = False
+                break
+        if not ok:
+            return  # formula UNSAT outright; no assumption core involved
+        status = solver.solve(assumptions=assumptions)
+        if status is not SolveStatus.UNSAT or not solver.unsat_due_to_assumptions:
+            return
+        core = solver.core()
+        assert set(core) <= set(assumptions)
+        formula = CnfFormula()
+        formula.new_vars(num_vars)
+        formula.add_clauses(clauses)
+        for lit in core:
+            formula.add_clause([lit])
+        assert brute_force_model(formula) is None

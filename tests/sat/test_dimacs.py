@@ -1,0 +1,70 @@
+"""Unit tests for DIMACS serialization."""
+
+import io
+
+import pytest
+
+from repro.core.exceptions import SolverError
+from repro.sat.dimacs import parse_dimacs, to_dimacs, write_dimacs
+from repro.sat.formula import CnfFormula
+
+
+def sample_formula() -> CnfFormula:
+    formula = CnfFormula()
+    a, b, c = formula.new_vars(3)
+    formula.add_clause([a, -b])
+    formula.add_clause([b, c])
+    return formula
+
+
+class TestToDimacs:
+    def test_header(self):
+        text = to_dimacs(sample_formula())
+        assert "p cnf 3 2" in text
+
+    def test_clauses_terminated(self):
+        text = to_dimacs(sample_formula())
+        assert "1 -2 0" in text
+        assert "2 3 0" in text
+
+    def test_comments(self):
+        text = to_dimacs(sample_formula(), comments=["hello"])
+        assert text.startswith("c hello")
+
+    def test_write_stream(self):
+        stream = io.StringIO()
+        write_dimacs(sample_formula(), stream)
+        assert "p cnf" in stream.getvalue()
+
+
+class TestParseDimacs:
+    def test_round_trip(self):
+        original = sample_formula()
+        parsed = parse_dimacs(to_dimacs(original))
+        assert parsed.num_vars == original.num_vars
+        assert parsed.clauses == original.clauses
+
+    def test_multiline_clause(self):
+        text = "p cnf 3 1\n1 2\n3 0\n"
+        parsed = parse_dimacs(text)
+        assert parsed.clauses == [[1, 2, 3]]
+
+    def test_comments_skipped(self):
+        text = "c hi\np cnf 1 1\nc mid\n1 0\n"
+        assert parse_dimacs(text).clauses == [[1]]
+
+    def test_missing_problem_line(self):
+        with pytest.raises(SolverError):
+            parse_dimacs("1 2 0\n")
+
+    def test_unterminated_clause(self):
+        with pytest.raises(SolverError):
+            parse_dimacs("p cnf 2 1\n1 2\n")
+
+    def test_clause_count_mismatch(self):
+        with pytest.raises(SolverError):
+            parse_dimacs("p cnf 2 2\n1 0\n")
+
+    def test_malformed_problem_line(self):
+        with pytest.raises(SolverError):
+            parse_dimacs("p dnf 2 1\n1 0\n")

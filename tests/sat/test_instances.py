@@ -1,0 +1,85 @@
+"""Canonical CNF instance generator tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exceptions import EncodingError
+from repro.sat import (
+    CdclSolver,
+    SolveStatus,
+    brute_force_model,
+    pigeonhole,
+    random_ksat,
+    xor_chain,
+)
+
+
+def solve(formula):
+    solver = CdclSolver.from_formula(formula)
+    return solver.solve()
+
+
+class TestPigeonhole:
+    @pytest.mark.parametrize("holes", [1, 2, 3])
+    def test_one_extra_pigeon_unsat(self, holes):
+        assert solve(pigeonhole(holes)) is SolveStatus.UNSAT
+
+    @pytest.mark.parametrize("holes", [1, 2, 3, 4])
+    def test_equal_pigeons_sat(self, holes):
+        assert solve(pigeonhole(holes, pigeons=holes)) is SolveStatus.SAT
+
+    def test_variable_count(self):
+        formula = pigeonhole(3, pigeons=4)
+        assert formula.num_vars == 12
+
+    def test_invalid_holes(self):
+        with pytest.raises(EncodingError):
+            pigeonhole(0)
+
+
+class TestXorChain:
+    @pytest.mark.parametrize("length", [2, 5, 16])
+    def test_parity_one_unsat(self, length):
+        assert solve(xor_chain(length, parity=1)) is SolveStatus.UNSAT
+
+    @pytest.mark.parametrize("length", [2, 5, 16])
+    def test_parity_zero_sat(self, length):
+        assert solve(xor_chain(length, parity=0)) is SolveStatus.SAT
+
+    def test_validation(self):
+        with pytest.raises(EncodingError):
+            xor_chain(1)
+        with pytest.raises(EncodingError):
+            xor_chain(4, parity=2)
+
+
+class TestRandomKsat:
+    def test_deterministic_with_seed(self):
+        first = random_ksat(8, 20, seed=5)
+        second = random_ksat(8, 20, seed=5)
+        assert first.clauses == second.clauses
+
+    def test_clause_shape(self):
+        formula = random_ksat(10, 30, k=3, seed=1)
+        assert formula.num_vars == 10
+        assert formula.num_clauses == 30
+        for clause in formula.clauses:
+            assert len(clause) == 3
+            assert len({abs(lit) for lit in clause}) == 3
+            assert all(1 <= abs(lit) <= 10 for lit in clause)
+
+    def test_too_few_vars(self):
+        with pytest.raises(EncodingError):
+            random_ksat(2, 5, k=3)
+
+    @given(st.integers(min_value=0, max_value=500))
+    @settings(max_examples=30, deadline=None)
+    def test_solver_agrees_with_brute_force(self, seed):
+        formula = random_ksat(6, 26, k=3, seed=seed)  # near threshold
+        expected = brute_force_model(formula)
+        status = solve(formula)
+        if expected is None:
+            assert status is SolveStatus.UNSAT
+        else:
+            assert status is SolveStatus.SAT

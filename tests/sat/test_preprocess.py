@@ -1,0 +1,118 @@
+"""Unit and property tests for CNF preprocessing."""
+
+import random
+
+from repro.sat.brute import brute_force_model
+from repro.sat.formula import CnfFormula
+from repro.sat.preprocess import preprocess
+from repro.sat.solver import CdclSolver, SolveStatus
+
+
+def formula_of(num_vars, clauses):
+    formula = CnfFormula()
+    formula.new_vars(num_vars)
+    for clause in clauses:
+        formula.add_clause(clause)
+    return formula
+
+
+class TestSubsumption:
+    def test_superset_removed(self):
+        formula = formula_of(3, [[1], [1, 2], [1, 2, 3]])
+        reduced, stats = preprocess(formula)
+        assert reduced.clauses == [[1]]
+        assert stats["subsumed"] == 2
+
+    def test_duplicates_removed(self):
+        formula = formula_of(2, [[1, 2], [2, 1]])
+        reduced, _ = preprocess(formula)
+        assert len(reduced.clauses) == 1
+
+    def test_tautologies_removed(self):
+        formula = formula_of(2, [[1, -1], [2]])
+        reduced, _ = preprocess(formula)
+        assert reduced.clauses == [[2]]
+
+    def test_independent_clauses_kept(self):
+        formula = formula_of(4, [[1, 2], [3, 4]])
+        reduced, stats = preprocess(formula)
+        assert len(reduced.clauses) == 2
+        assert stats["subsumed"] == 0
+
+
+class TestStrengthening:
+    def test_self_subsuming_resolution(self):
+        # (1 2) and (1 -2 3): resolving on 2 strengthens to (1 3)
+        formula = formula_of(3, [[1, 2], [1, -2, 3]])
+        reduced, stats = preprocess(formula)
+        clause_sets = {frozenset(c) for c in reduced.clauses}
+        assert frozenset([1, 3]) in clause_sets
+        assert stats["strengthened"] >= 1
+
+    def test_unit_strengthening_cascades(self):
+        # (1) strengthens (-1 2) to (2), which strengthens (-2 3) to (3)
+        formula = formula_of(3, [[1], [-1, 2], [-2, 3]])
+        reduced, _ = preprocess(formula)
+        clause_sets = {frozenset(c) for c in reduced.clauses}
+        assert frozenset([2]) in clause_sets
+        assert frozenset([3]) in clause_sets
+
+    def test_strengthen_disabled(self):
+        formula = formula_of(3, [[1, 2], [1, -2, 3]])
+        reduced, stats = preprocess(formula, strengthen=False)
+        assert stats["strengthened"] == 0
+        assert len(reduced.clauses) == 2
+
+
+class TestEquivalence:
+    def test_random_formulas_equivalent(self):
+        rng = random.Random(5)
+        for _ in range(60):
+            num_vars = rng.randint(1, 8)
+            clauses = []
+            for _ in range(rng.randint(0, 20)):
+                width = rng.randint(1, 3)
+                clauses.append(
+                    [
+                        rng.choice([1, -1]) * rng.randint(1, num_vars)
+                        for _ in range(width)
+                    ]
+                )
+            formula = formula_of(num_vars, clauses)
+            reduced, _ = preprocess(formula)
+            # Equivalence: identical model sets over the original vars.
+            original_models = _model_set(formula)
+            reduced_models = _model_set(reduced)
+            assert original_models == reduced_models
+
+    def test_solver_agrees_after_preprocessing(self):
+        rng = random.Random(11)
+        for _ in range(30):
+            num_vars = rng.randint(2, 9)
+            clauses = [
+                [
+                    rng.choice([1, -1]) * rng.randint(1, num_vars)
+                    for _ in range(rng.randint(1, 4))
+                ]
+                for _ in range(rng.randint(1, 25))
+            ]
+            formula = formula_of(num_vars, clauses)
+            reduced, _ = preprocess(formula)
+            expected = brute_force_model(formula) is not None
+            solver = CdclSolver.from_formula(reduced)
+            assert (solver.solve() is SolveStatus.SAT) == expected
+
+
+def _model_set(formula):
+    models = set()
+    solver = CdclSolver.from_formula(formula)
+    while solver.solve() is SolveStatus.SAT:
+        model = solver.model()
+        bits = tuple(
+            model[v] for v in range(1, formula.num_vars + 1)
+        )
+        models.add(bits)
+        solver.add_clause(
+            [(-v if model[v] else v) for v in range(1, formula.num_vars + 1)]
+        )
+    return models

@@ -1,0 +1,66 @@
+"""Tests for learned-clause database reduction (exercised via a tiny
+reduction threshold)."""
+
+import random
+
+from repro.sat.brute import brute_force_model
+from repro.sat.formula import CnfFormula
+from repro.sat.solver import CdclSolver, SolveStatus
+
+
+def pigeonhole(holes: int) -> CnfFormula:
+    formula = CnfFormula()
+    var = [
+        [formula.new_var() for _ in range(holes)]
+        for _ in range(holes + 1)
+    ]
+    for pigeon in var:
+        formula.add_clause(pigeon)
+    for h in range(holes):
+        for p1 in range(holes + 1):
+            for p2 in range(p1 + 1, holes + 1):
+                formula.add_clause([-var[p1][h], -var[p2][h]])
+    return formula
+
+
+class TestReduceDb:
+    def test_reduction_triggered_and_still_unsat(self):
+        formula = pigeonhole(6)
+        solver = CdclSolver.from_formula(formula)
+        solver._max_learned = 50  # force frequent reductions
+        assert solver.solve() is SolveStatus.UNSAT
+        assert solver.stats.deleted_clauses > 0
+
+    def test_constructor_threshold(self):
+        formula = pigeonhole(5)
+        solver = CdclSolver(max_learned=30)
+        solver.new_vars(formula.num_vars)
+        for clause in formula.clauses:
+            solver.add_clause(clause)
+        assert solver.solve() is SolveStatus.UNSAT
+        assert solver.stats.deleted_clauses > 0
+
+    def test_reduction_does_not_affect_answers(self):
+        rng = random.Random(17)
+        for _ in range(25):
+            n = rng.randint(3, 10)
+            formula = CnfFormula()
+            formula.new_vars(n)
+            for _ in range(rng.randint(5, 45)):
+                width = rng.randint(1, 3)
+                formula.add_clause(
+                    [
+                        rng.choice([1, -1]) * rng.randint(1, n)
+                        for _ in range(width)
+                    ]
+                )
+            expected = brute_force_model(formula) is not None
+            solver = CdclSolver.from_formula(formula, max_learned=5)
+            assert (solver.solve() is SolveStatus.SAT) == expected
+
+    def test_incremental_after_reduction(self):
+        formula = pigeonhole(5)
+        solver = CdclSolver.from_formula(formula, max_learned=20)
+        assert solver.solve() is SolveStatus.UNSAT
+        # Solver with a permanently-false flag stays consistent.
+        assert solver.solve() is SolveStatus.UNSAT

@@ -1,0 +1,79 @@
+"""Edge-case regressions for the CDCL solver."""
+
+from repro.sat.formula import CnfFormula
+from repro.sat.solver import CdclSolver, SolveStatus
+
+
+class TestClauseEdgeCases:
+    def test_long_clause_watch_migration(self):
+        """A wide clause whose watches must walk through many false
+        literals before finding support."""
+        solver = CdclSolver()
+        xs = solver.new_vars(12)
+        solver.add_clause(xs)  # at least one true
+        for x in xs[:-1]:
+            solver.add_clause([-x])
+        assert solver.solve() is SolveStatus.SAT
+        assert solver.model_value(xs[-1])
+
+    def test_binary_clause_chain(self):
+        """Implication chain x1 -> x2 -> ... -> xn with x1 forced."""
+        solver = CdclSolver()
+        xs = solver.new_vars(30)
+        solver.add_clause([xs[0]])
+        for a, b in zip(xs, xs[1:]):
+            solver.add_clause([-a, b])
+        assert solver.solve() is SolveStatus.SAT
+        assert all(solver.model_value(x) for x in xs)
+
+    def test_conflicting_chain_unsat(self):
+        solver = CdclSolver()
+        xs = solver.new_vars(10)
+        solver.add_clause([xs[0]])
+        for a, b in zip(xs, xs[1:]):
+            solver.add_clause([-a, b])
+        solver.add_clause([-xs[-1]])
+        assert solver.solve() is SolveStatus.UNSAT
+
+    def test_clause_with_all_false_literals_at_level_zero(self):
+        solver = CdclSolver()
+        a, b = solver.new_var(), solver.new_var()
+        solver.add_clause([-a])
+        solver.add_clause([-b])
+        # adding (a | b) now contradicts the level-0 assignment
+        assert not solver.add_clause([a, b])
+        assert solver.solve() is SolveStatus.UNSAT
+
+    def test_variables_never_constrained(self):
+        solver = CdclSolver()
+        solver.new_vars(5)
+        assert solver.solve() is SolveStatus.SAT
+        model = solver.model()
+        assert len(model) == 5
+
+    def test_repeated_solve_stability(self):
+        formula = CnfFormula()
+        xs = formula.new_vars(6)
+        formula.add_clause([xs[0], xs[1]])
+        formula.add_clause([-xs[0], xs[2]])
+        solver = CdclSolver.from_formula(formula)
+        results = {solver.solve() for _ in range(5)}
+        assert results == {SolveStatus.SAT}
+
+    def test_model_after_unsat_then_relax(self):
+        """UNSAT under assumptions must not poison later models."""
+        solver = CdclSolver()
+        a, b = solver.new_var(), solver.new_var()
+        solver.add_clause([a, b])
+        assert solver.solve([-a, -b]) is SolveStatus.UNSAT
+        assert solver.solve([-a]) is SolveStatus.SAT
+        assert solver.model_value(b)
+
+    def test_duplicate_clause_additions(self):
+        solver = CdclSolver()
+        a, b = solver.new_var(), solver.new_var()
+        for _ in range(10):
+            solver.add_clause([a, b])
+            solver.add_clause([-a, -b])
+        assert solver.solve() is SolveStatus.SAT
+        assert solver.model_value(a) != solver.model_value(b)

@@ -1,0 +1,142 @@
+"""Unit tests for Tseitin gates (semantics checked by enumeration)."""
+
+import itertools
+
+import pytest
+
+from repro.core.exceptions import EncodingError
+from repro.sat.brute import brute_force_model
+from repro.sat.formula import CnfFormula
+from repro.sat.solver import CdclSolver, SolveStatus
+from repro.sat.tseitin import (
+    encode_less_than_constant,
+    gate_and,
+    gate_equals,
+    gate_iff,
+    gate_or,
+    gate_xor,
+    implies,
+)
+
+
+def assert_gate_semantics(build_gate, truth_function, arity):
+    """Check gate output against ``truth_function`` on all inputs."""
+    for inputs in itertools.product([False, True], repeat=arity):
+        formula = CnfFormula()
+        in_vars = formula.new_vars(arity)
+        gate = build_gate(formula, in_vars)
+        solver = CdclSolver.from_formula(formula)
+        assumptions = [
+            v if value else -v for v, value in zip(in_vars, inputs)
+        ]
+        assert solver.solve(assumptions) is SolveStatus.SAT
+        assert solver.model_value(gate) == truth_function(inputs)
+
+
+class TestGates:
+    def test_and2(self):
+        assert_gate_semantics(
+            lambda f, xs: gate_and(f, xs), lambda ins: all(ins), 2
+        )
+
+    def test_and3(self):
+        assert_gate_semantics(
+            lambda f, xs: gate_and(f, xs), lambda ins: all(ins), 3
+        )
+
+    def test_or2(self):
+        assert_gate_semantics(
+            lambda f, xs: gate_or(f, xs), lambda ins: any(ins), 2
+        )
+
+    def test_or3(self):
+        assert_gate_semantics(
+            lambda f, xs: gate_or(f, xs), lambda ins: any(ins), 3
+        )
+
+    def test_xor(self):
+        assert_gate_semantics(
+            lambda f, xs: gate_xor(f, xs[0], xs[1]),
+            lambda ins: ins[0] != ins[1],
+            2,
+        )
+
+    def test_iff(self):
+        assert_gate_semantics(
+            lambda f, xs: gate_iff(f, xs[0], xs[1]),
+            lambda ins: ins[0] == ins[1],
+            2,
+        )
+
+    def test_equals_width2(self):
+        assert_gate_semantics(
+            lambda f, xs: gate_equals(f, xs[:2], xs[2:]),
+            lambda ins: ins[:2] == ins[2:],
+            4,
+        )
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(EncodingError):
+            gate_and(CnfFormula(), [])
+        with pytest.raises(EncodingError):
+            gate_or(CnfFormula(), [])
+        with pytest.raises(EncodingError):
+            gate_equals(CnfFormula(), [], [])
+
+    def test_equals_width_mismatch(self):
+        formula = CnfFormula()
+        xs = formula.new_vars(3)
+        with pytest.raises(EncodingError):
+            gate_equals(formula, xs[:1], xs[1:])
+
+
+class TestImplies:
+    def test_conjunction_implication(self):
+        formula = CnfFormula()
+        a, b, c = formula.new_vars(3)
+        implies(formula, [a, b], c)
+        solver = CdclSolver.from_formula(formula)
+        assert solver.solve([a, b, -c]) is SolveStatus.UNSAT
+        assert solver.solve([a, -b, -c]) is SolveStatus.SAT
+
+
+class TestLessThanConstant:
+    @pytest.mark.parametrize("width,constant", [(3, 1), (3, 4), (3, 5), (3, 7), (4, 11)])
+    def test_exact_range(self, width, constant):
+        formula = CnfFormula()
+        bits = formula.new_vars(width)
+        encode_less_than_constant(formula, bits, constant)
+        allowed = set()
+        solver = CdclSolver.from_formula(formula)
+        while solver.solve() is SolveStatus.SAT:
+            model = solver.model()
+            value = sum(
+                (1 << i) for i, v in enumerate(bits) if model[v]
+            )
+            allowed.add(value)
+            solver.add_clause(
+                [(-v if model[v] else v) for v in bits]
+            )
+        assert allowed == set(range(constant))
+
+    def test_constant_above_range_is_noop(self):
+        formula = CnfFormula()
+        bits = formula.new_vars(2)
+        encode_less_than_constant(formula, bits, 4)
+        assert formula.num_clauses == 0
+
+    def test_nonpositive_rejected(self):
+        formula = CnfFormula()
+        bits = formula.new_vars(2)
+        with pytest.raises(EncodingError):
+            encode_less_than_constant(formula, bits, 0)
+
+
+class TestBruteForceHelper:
+    def test_brute_model_satisfies(self):
+        formula = CnfFormula()
+        a, b = formula.new_vars(2)
+        formula.add_clause([a, b])
+        formula.add_clause([-a])
+        model = brute_force_model(formula)
+        assert model is not None and model[b]

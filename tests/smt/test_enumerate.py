@@ -1,0 +1,79 @@
+"""Unit tests for partition enumeration."""
+
+import pytest
+
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.exceptions import EncodingError
+from repro.core.paper_matrices import equation_2, figure_3
+from repro.smt.enumerate import count_optimal_partitions, enumerate_partitions
+
+
+class TestEnumeratePartitions:
+    def test_identity_unique(self):
+        partitions = list(
+            enumerate_partitions(BinaryMatrix.identity(3), 3)
+        )
+        assert len(partitions) == 1
+        partitions[0].validate(BinaryMatrix.identity(3))
+
+    def test_all_ones_unique(self):
+        assert (
+            len(list(enumerate_partitions(BinaryMatrix.all_ones(2, 3), 1)))
+            == 1
+        )
+
+    def test_figure_3_has_unique_optimum(self):
+        assert count_optimal_partitions(figure_3()) == 1
+
+    def test_equation_2_has_six_optima(self):
+        """[[1,1,0],[0,1,1],[1,1,1]] at depth 3: each of the 2x choices
+        of attaching the middle column's cells yields a distinct
+        partition — 6 total (verified independently by hand/B&B)."""
+        assert count_optimal_partitions(equation_2()) == 6
+
+    def test_all_distinct_and_valid(self):
+        m = equation_2()
+        seen = set()
+        for partition in enumerate_partitions(m, 3):
+            partition.validate(m)
+            key = frozenset(partition.rectangles)
+            assert key not in seen
+            seen.add(key)
+
+    def test_limit_respected(self):
+        count = sum(1 for _ in enumerate_partitions(equation_2(), 3, limit=2))
+        assert count == 2
+
+    def test_depth_above_optimum_enumerates_more(self):
+        at_opt = len(list(enumerate_partitions(equation_2(), 3)))
+        above = len(list(enumerate_partitions(equation_2(), 4)))
+        assert above >= at_opt
+
+    def test_zero_matrix(self):
+        partitions = list(enumerate_partitions(BinaryMatrix.zeros(2, 2), 0))
+        assert len(partitions) == 1
+        assert partitions[0].depth == 0
+
+    def test_infeasible_depth_yields_nothing(self):
+        assert list(enumerate_partitions(BinaryMatrix.identity(2), 1)) == []
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(EncodingError):
+            list(enumerate_partitions(BinaryMatrix.identity(2), -1))
+
+
+class TestCountOptimal:
+    def test_known_rank_path(self):
+        assert (
+            count_optimal_partitions(
+                BinaryMatrix.identity(3), binary_rank=3
+            )
+            == 1
+        )
+
+    def test_budget_failure_raises(self):
+        from repro.benchgen.gap import gap_matrix
+
+        m = gap_matrix(10, 10, 4, seed=3)
+        with pytest.raises(EncodingError):
+            count_optimal_partitions(m, time_budget=0.0)

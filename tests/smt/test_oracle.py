@@ -1,0 +1,53 @@
+"""Unit tests for the incremental rank decision oracle."""
+
+import pytest
+
+from repro.core.exceptions import EncodingError
+from repro.core.paper_matrices import equation_2, figure_1b
+from repro.sat.solver import SolveStatus
+from repro.smt.oracle import RankDecisionOracle
+
+
+class TestIncrementalOracle:
+    def test_descent_records_queries(self):
+        oracle = RankDecisionOracle(figure_1b())
+        status, partition = oracle.check_at_most(6)
+        assert status is SolveStatus.SAT
+        assert partition is not None and partition.depth <= 6
+        status, partition = oracle.check_at_most(5)
+        assert status is SolveStatus.SAT
+        status, partition = oracle.check_at_most(4)
+        assert status is SolveStatus.UNSAT
+        assert partition is None
+        assert [q.bound for q in oracle.queries] == [6, 5, 4]
+        assert oracle.total_seconds >= 0.0
+
+    def test_widening_rejected_in_incremental_mode(self):
+        oracle = RankDecisionOracle(equation_2())
+        oracle.check_at_most(3)
+        with pytest.raises(EncodingError):
+            oracle.check_at_most(4)
+
+    def test_non_incremental_mode_allows_any_order(self):
+        oracle = RankDecisionOracle(equation_2(), incremental=False)
+        assert oracle.check_at_most(3)[0] is SolveStatus.SAT
+        assert oracle.check_at_most(4)[0] is SolveStatus.SAT
+        assert oracle.check_at_most(2)[0] is SolveStatus.UNSAT
+
+    def test_binary_encoding_oracle(self):
+        oracle = RankDecisionOracle(equation_2(), encoding="binary")
+        assert oracle.check_at_most(3)[0] is SolveStatus.SAT
+        assert oracle.check_at_most(2)[0] is SolveStatus.UNSAT
+
+    def test_partitions_are_validated(self):
+        oracle = RankDecisionOracle(figure_1b())
+        _, partition = oracle.check_at_most(5)
+        partition.validate(figure_1b())
+
+    def test_conflict_budget_unknown(self):
+        # A very tight conflict budget on a hard UNSAT query.
+        oracle = RankDecisionOracle(figure_1b(), symmetry="none")
+        status, partition = oracle.check_at_most(4, conflict_budget=1)
+        assert status in (SolveStatus.UNKNOWN, SolveStatus.UNSAT)
+        if status is SolveStatus.UNKNOWN:
+            assert partition is None

@@ -1,0 +1,68 @@
+"""Unit tests for the exact branch-and-bound solver."""
+
+import pytest
+
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.exceptions import BudgetExceeded
+from repro.core.paper_matrices import equation_2, figure_1b, figure_3
+from repro.solvers.branch_bound import binary_rank_branch_bound
+
+
+class TestKnownRanks:
+    def test_zero_matrix(self):
+        result = binary_rank_branch_bound(BinaryMatrix.zeros(2, 2))
+        assert result.binary_rank == 0
+        assert result.optimal
+
+    def test_single_cell(self):
+        result = binary_rank_branch_bound(BinaryMatrix.from_strings(["1"]))
+        assert result.binary_rank == 1
+
+    def test_identity(self):
+        result = binary_rank_branch_bound(BinaryMatrix.identity(4))
+        assert result.binary_rank == 4
+
+    def test_all_ones(self):
+        result = binary_rank_branch_bound(BinaryMatrix.all_ones(3, 4))
+        assert result.binary_rank == 1
+
+    def test_equation_2(self):
+        assert binary_rank_branch_bound(equation_2()).binary_rank == 3
+
+    def test_figure_3(self):
+        assert binary_rank_branch_bound(figure_3()).binary_rank == 4
+
+    def test_figure_1b(self):
+        assert binary_rank_branch_bound(figure_1b()).binary_rank == 5
+
+    def test_complement_of_identity(self):
+        m = BinaryMatrix.from_strings(["011", "101", "110"])
+        assert binary_rank_branch_bound(m).binary_rank == 3
+
+
+class TestCertificates:
+    def test_partition_is_valid(self, rng):
+        for _ in range(15):
+            rows, cols = rng.randint(1, 5), rng.randint(1, 5)
+            m = BinaryMatrix(
+                [rng.getrandbits(cols) for _ in range(rows)], cols
+            )
+            result = binary_rank_branch_bound(m)
+            result.partition.validate(m)
+            assert result.partition.depth == result.binary_rank
+
+    def test_nodes_counted(self):
+        result = binary_rank_branch_bound(equation_2())
+        assert result.nodes > 0
+
+
+class TestBudgets:
+    def test_node_budget_exhausted(self):
+        m = figure_1b()
+        with pytest.raises(BudgetExceeded):
+            binary_rank_branch_bound(m, node_budget=1)
+
+    def test_time_budget_zero(self):
+        m = figure_1b()
+        with pytest.raises(BudgetExceeded):
+            binary_rank_branch_bound(m, time_budget=0.0)

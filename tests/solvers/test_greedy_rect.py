@@ -1,0 +1,66 @@
+"""Unit tests for the greedy maximal-rectangle baseline."""
+
+import pytest
+
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.exceptions import SolverError
+from repro.core.paper_matrices import figure_1b
+from repro.solvers.greedy_rect import greedy_rectangle, greedy_rectangle_once
+
+
+class TestGreedyOnce:
+    def test_always_valid(self, rng):
+        for _ in range(30):
+            rows, cols = rng.randint(1, 7), rng.randint(1, 7)
+            m = BinaryMatrix(
+                [rng.getrandbits(cols) for _ in range(rows)], cols
+            )
+            partition = greedy_rectangle_once(m, seed=rng.randint(0, 999))
+            partition.validate(m)
+
+    def test_zero_matrix(self):
+        assert greedy_rectangle_once(BinaryMatrix.zeros(3, 3)).depth == 0
+
+    def test_all_ones_single_rectangle(self):
+        partition = greedy_rectangle_once(
+            BinaryMatrix.all_ones(4, 5), seed=0
+        )
+        assert partition.depth == 1
+
+    def test_block_diagonal(self):
+        m = BinaryMatrix.from_strings(["1100", "1100", "0011", "0011"])
+        partition = greedy_rectangle_once(m, seed=0)
+        partition.validate(m)
+        assert partition.depth == 2
+
+
+class TestGreedyBestOfTrials:
+    def test_valid_and_improves_with_trials(self):
+        m = figure_1b()
+        one = greedy_rectangle(m, trials=1, seed=5)
+        many = greedy_rectangle(m, trials=30, seed=5)
+        one.validate(m)
+        many.validate(m)
+        assert many.depth <= one.depth
+        assert many.depth >= 5  # can never beat r_B
+
+    def test_bad_trials_rejected(self):
+        with pytest.raises(SolverError):
+            greedy_rectangle(BinaryMatrix.identity(2), trials=0)
+
+    def test_registry_spec(self):
+        from repro.solvers.registry import make_heuristic
+
+        heuristic = make_heuristic("greedy:4")
+        partition = heuristic(figure_1b(), 0)
+        partition.validate(figure_1b())
+
+    def test_never_covers_zeros(self, rng):
+        for _ in range(15):
+            rows, cols = rng.randint(2, 6), rng.randint(2, 6)
+            m = BinaryMatrix(
+                [rng.getrandbits(cols) for _ in range(rows)], cols
+            )
+            partition = greedy_rectangle(m, trials=2, seed=1)
+            for rect in partition:
+                assert rect.within(m)

@@ -1,0 +1,80 @@
+"""Unit tests for partition post-optimization (merge pass)."""
+
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.partition import Partition
+from repro.core.rectangle import Rectangle
+from repro.solvers.postopt import improve_partition, merge_rectangles
+
+
+class TestMergeRectangles:
+    def test_same_rows_merge(self):
+        rects = [
+            Rectangle.from_sets([0, 1], [0]),
+            Rectangle.from_sets([0, 1], [2]),
+        ]
+        merged = merge_rectangles(Partition(rects, (2, 3)))
+        assert merged.depth == 1
+        assert merged[0] == Rectangle.from_sets([0, 1], [0, 2])
+
+    def test_same_cols_merge(self):
+        rects = [
+            Rectangle.from_sets([0], [1, 2]),
+            Rectangle.from_sets([2], [1, 2]),
+        ]
+        merged = merge_rectangles(Partition(rects, (3, 3)))
+        assert merged.depth == 1
+
+    def test_cascading_merges(self):
+        """Row-merge creates a column-merge opportunity: fixed point."""
+        rects = [
+            Rectangle.from_sets([0], [0]),
+            Rectangle.from_sets([0], [1]),  # merges with first: rows {0}
+            Rectangle.from_sets([1], [0, 1]),  # then merges by columns
+        ]
+        merged = merge_rectangles(Partition(rects, (2, 2)))
+        assert merged.depth == 1
+        assert merged[0] == Rectangle.from_sets([0, 1], [0, 1])
+
+    def test_no_merge_when_incompatible(self):
+        rects = [
+            Rectangle.from_sets([0], [0]),
+            Rectangle.from_sets([1], [1]),
+        ]
+        merged = merge_rectangles(Partition(rects, (2, 2)))
+        assert merged.depth == 2
+
+    def test_empty_partition(self):
+        assert merge_rectangles(Partition([], (2, 2))).depth == 0
+
+    def test_merge_preserves_covered_cells(self, rng):
+        from repro.solvers.row_packing import PackingOptions, row_packing
+
+        for _ in range(20):
+            rows, cols = rng.randint(1, 6), rng.randint(1, 6)
+            m = BinaryMatrix(
+                [rng.getrandbits(cols) for _ in range(rows)], cols
+            )
+            partition = row_packing(
+                m, options=PackingOptions(trials=1, seed=0)
+            )
+            merged = merge_rectangles(partition)
+            merged.validate(m)
+            assert merged.depth <= partition.depth
+
+
+class TestImprovePartition:
+    def test_returns_input_when_no_merge(self):
+        m = BinaryMatrix.identity(2)
+        partition = Partition(
+            [Rectangle.single(0, 0), Rectangle.single(1, 1)], (2, 2)
+        )
+        assert improve_partition(partition, m) is partition
+
+    def test_improves_and_validates(self):
+        m = BinaryMatrix.from_strings(["101"])
+        partition = Partition(
+            [Rectangle.single(0, 0), Rectangle.single(0, 2)], (1, 3)
+        )
+        improved = improve_partition(partition, m)
+        assert improved.depth == 1
+        improved.validate(m)

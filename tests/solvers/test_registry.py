@@ -1,0 +1,47 @@
+"""Unit tests for the heuristic registry."""
+
+import pytest
+
+from repro.core.exceptions import SolverError
+from repro.core.paper_matrices import figure_3
+from repro.solvers.registry import TABLE1_HEURISTICS, make_heuristic
+
+
+class TestMakeHeuristic:
+    def test_trivial(self):
+        heuristic = make_heuristic("trivial")
+        partition = heuristic(figure_3(), None)
+        partition.validate(figure_3())
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["packing:1", "packing:10", "packing_x:2", "packing_noupdate:2",
+         "packing_sorted:2"],
+    )
+    def test_packing_variants(self, spec):
+        heuristic = make_heuristic(spec)
+        partition = heuristic(figure_3(), 0)
+        partition.validate(figure_3())
+
+    def test_unknown_spec(self):
+        with pytest.raises(SolverError):
+            make_heuristic("magic")
+
+    def test_bad_trial_count(self):
+        with pytest.raises(SolverError):
+            make_heuristic("packing:many")
+
+    def test_unknown_kind_with_trials(self):
+        with pytest.raises(SolverError):
+            make_heuristic("sap:3")
+
+    def test_table1_list(self):
+        assert TABLE1_HEURISTICS[0] == "trivial"
+        for spec in TABLE1_HEURISTICS:
+            make_heuristic(spec)
+
+    def test_seed_determinism(self):
+        heuristic = make_heuristic("packing:5")
+        a = heuristic(figure_3(), 123).depth
+        b = heuristic(figure_3(), 123).depth
+        assert a == b

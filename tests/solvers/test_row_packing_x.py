@@ -1,0 +1,65 @@
+"""Unit tests for the Algorithm X row-packing variant."""
+
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.bounds import trivial_upper_bound
+from repro.core.paper_matrices import figure_3
+from repro.solvers.row_packing import PackingOptions, pack_rows_once
+from repro.solvers.row_packing_x import pack_rows_once_x, row_packing_x
+
+
+class TestPackRowsOnceX:
+    def test_exact_cover_beats_greedy_order(self):
+        """A row decomposable only by skipping an early basis vector:
+        greedy first-fit fragments it, Algorithm X covers it exactly.
+
+        basis after three rows: v0=1110, v1=1100, v2=0011.
+        row 1111 greedy: v0 fits -> residue 0001 -> new rectangle.
+        exact cover finds v1 + v2.
+        """
+        m = BinaryMatrix.from_strings(["1110", "1100", "0011", "1111"])
+        greedy = pack_rows_once(m, range(4))
+        exact = pack_rows_once_x(m, range(4))
+        greedy.validate(m)
+        exact.validate(m)
+        assert exact.depth <= greedy.depth
+        assert exact.depth == 3
+
+    def test_matches_plain_packing_when_no_cover_needed(self):
+        m = figure_3()
+        plain = pack_rows_once(m, range(5))
+        with_x = pack_rows_once_x(m, range(5))
+        with_x.validate(m)
+        assert with_x.depth <= plain.depth
+
+    def test_fallback_to_greedy_with_residue(self):
+        m = BinaryMatrix.from_strings(["1100", "0111"])
+        partition = pack_rows_once_x(m, range(2))
+        partition.validate(m)
+
+    def test_zero_matrix(self):
+        m = BinaryMatrix.zeros(2, 2)
+        assert pack_rows_once_x(m, range(2)).depth == 0
+
+
+class TestRowPackingX:
+    def test_always_valid(self, rng):
+        for _ in range(20):
+            rows, cols = rng.randint(1, 6), rng.randint(1, 6)
+            m = BinaryMatrix(
+                [rng.getrandbits(cols) for _ in range(rows)], cols
+            )
+            partition = row_packing_x(
+                m, options=PackingOptions(trials=3, seed=rng.randint(0, 99))
+            )
+            partition.validate(m)
+
+    def test_never_worse_than_trivial(self, rng):
+        for _ in range(20):
+            rows, cols = rng.randint(1, 6), rng.randint(1, 6)
+            m = BinaryMatrix(
+                [rng.getrandbits(cols) for _ in range(rows)], cols
+            )
+            partition = row_packing_x(
+                m, options=PackingOptions(trials=2, seed=0)
+            )
+            assert partition.depth <= trivial_upper_bound(m)

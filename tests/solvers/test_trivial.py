@@ -1,0 +1,48 @@
+"""Unit tests for the trivial heuristic."""
+
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.bounds import trivial_upper_bound
+from repro.core.paper_matrices import figure_1b
+from repro.solvers.trivial import trivial_partition
+
+
+class TestTrivialPartition:
+    def test_zero_matrix(self):
+        partition = trivial_partition(BinaryMatrix.zeros(3, 3))
+        assert partition.depth == 0
+
+    def test_identity(self):
+        m = BinaryMatrix.identity(4)
+        partition = trivial_partition(m)
+        partition.validate(m)
+        assert partition.depth == 4
+
+    def test_duplicate_rows_consolidated(self):
+        m = BinaryMatrix.from_strings(["101", "101", "101"])
+        partition = trivial_partition(m)
+        partition.validate(m)
+        assert partition.depth == 1
+
+    def test_chooses_column_side_when_narrower(self):
+        m = BinaryMatrix.from_strings(["10", "10", "01", "01", "11"])
+        partition = trivial_partition(m)
+        partition.validate(m)
+        assert partition.depth == 2  # 2 distinct columns < 3 distinct rows
+
+    def test_matches_trivial_upper_bound(self, rng):
+        for _ in range(25):
+            rows, cols = rng.randint(1, 7), rng.randint(1, 7)
+            m = BinaryMatrix(
+                [rng.getrandbits(cols) for _ in range(rows)], cols
+            )
+            partition = trivial_partition(m)
+            partition.validate(m)
+            assert partition.depth == trivial_upper_bound(m)
+
+    def test_figure_1b(self):
+        m = figure_1b()
+        partition = trivial_partition(m)
+        partition.validate(m)
+        # 6 distinct rows but only 5 distinct columns (col 0 == col 2),
+        # so the trivial heuristic picks the column side.
+        assert partition.depth == 5

@@ -1,0 +1,82 @@
+"""Unit tests for bit-mask helpers."""
+
+import pytest
+
+from repro.utils.bitops import (
+    bit_indices,
+    bits_from_indices,
+    is_subset,
+    iter_submasks,
+    lowest_set_bit,
+    mask_to_tuple,
+    popcount,
+)
+
+
+class TestPopcount:
+    def test_zero(self):
+        assert popcount(0) == 0
+
+    def test_single_bits(self):
+        for k in range(70):
+            assert popcount(1 << k) == 1
+
+    def test_full_mask(self):
+        assert popcount((1 << 100) - 1) == 100
+
+
+class TestBitIndices:
+    def test_empty(self):
+        assert list(bit_indices(0)) == []
+
+    def test_ascending_order(self):
+        assert list(bit_indices(0b101101)) == [0, 2, 3, 5]
+
+    def test_large_index(self):
+        assert list(bit_indices(1 << 200)) == [200]
+
+
+class TestMaskRoundTrip:
+    def test_round_trip(self):
+        mask = 0b1011001
+        assert bits_from_indices(mask_to_tuple(mask)) == mask
+
+    def test_from_indices_duplicates_collapse(self):
+        assert bits_from_indices([1, 1, 3]) == 0b1010
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            bits_from_indices([-1])
+
+
+class TestIsSubset:
+    def test_subset(self):
+        assert is_subset(0b0101, 0b1101)
+
+    def test_not_subset(self):
+        assert not is_subset(0b0101, 0b1001)
+
+    def test_zero_subset_of_everything(self):
+        assert is_subset(0, 0)
+        assert is_subset(0, 0b111)
+
+
+class TestIterSubmasks:
+    def test_counts(self):
+        mask = 0b1011
+        subs = list(iter_submasks(mask))
+        assert len(subs) == 2 ** popcount(mask)
+        assert len(set(subs)) == len(subs)
+        assert all(is_subset(s, mask) for s in subs)
+
+    def test_zero(self):
+        assert list(iter_submasks(0)) == [0]
+
+
+class TestLowestSetBit:
+    def test_basic(self):
+        assert lowest_set_bit(0b1010100) == 2
+
+    def test_zero_raises(self):
+        with pytest.raises(ValueError):
+            lowest_set_bit(0)

@@ -1,0 +1,40 @@
+"""Unit tests for deterministic RNG handling."""
+
+import random
+
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_seeds
+
+
+class TestEnsureRng:
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).random()
+        b = ensure_rng(42).random()
+        assert a == b
+
+    def test_passthrough_of_random_instance(self):
+        rng = random.Random(1)
+        assert ensure_rng(rng) is rng
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), random.Random)
+
+
+class TestSpawnSeeds:
+    def test_deterministic(self):
+        assert spawn_seeds(7, 5) == spawn_seeds(7, 5)
+
+    def test_salt_changes_stream(self):
+        assert spawn_seeds(7, 5, salt="a") != spawn_seeds(7, 5, salt="b")
+
+    def test_distinct_children(self):
+        seeds = spawn_seeds(7, 100)
+        assert len(set(seeds)) == 100
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(7, -1)
+
+    def test_zero_count(self):
+        assert spawn_seeds(7, 0) == []

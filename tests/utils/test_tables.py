@@ -1,0 +1,45 @@
+"""Unit tests for table rendering."""
+
+import pytest
+
+from repro.utils.tables import format_percent, format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "-" in lines[1]
+        assert lines[2].startswith("a")
+
+    def test_title(self):
+        text = format_table(["x"], [["1"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_right_alignment_of_numeric_columns(self):
+        text = format_table(["label", "n"], [["a", 5], ["b", 500]])
+        rows = text.splitlines()[2:]
+        assert rows[0].endswith("  5".rstrip()) or rows[0].endswith("5")
+        # both rows end-align on the same column
+        assert len(rows[0]) == len(rows[0].rstrip())
+
+    def test_mismatched_row_width_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestFormatPercent:
+    def test_rounding(self):
+        assert format_percent(1, 3) == "33%"
+        assert format_percent(2, 3) == "67%"
+
+    def test_full(self):
+        assert format_percent(5, 5) == "100%"
+
+    def test_zero_denominator(self):
+        assert format_percent(0, 0) == "n/a"

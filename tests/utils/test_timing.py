@@ -1,0 +1,62 @@
+"""Unit tests for the stopwatch and deadline helpers."""
+
+import time
+
+import pytest
+
+from repro.utils.timing import Deadline, Stopwatch
+
+
+class TestStopwatch:
+    def test_accumulates_phases(self):
+        watch = Stopwatch()
+        with watch.time("a"):
+            pass
+        with watch.time("a"):
+            pass
+        with watch.time("b"):
+            pass
+        assert watch.total("a") >= 0
+        assert set(watch.totals) == {"a", "b"}
+        assert watch.total() == pytest.approx(
+            watch.total("a") + watch.total("b")
+        )
+
+    def test_unknown_phase_total_is_zero(self):
+        assert Stopwatch().total("missing") == 0.0
+
+    def test_double_start_rejected(self):
+        watch = Stopwatch()
+        watch.start("x")
+        with pytest.raises(RuntimeError):
+            watch.start("x")
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop("x")
+
+    def test_measures_elapsed_time(self):
+        watch = Stopwatch()
+        with watch.time("sleep"):
+            time.sleep(0.01)
+        assert watch.total("sleep") >= 0.005
+
+
+class TestDeadline:
+    def test_none_never_expires(self):
+        deadline = Deadline(None)
+        assert not deadline.expired()
+        assert deadline.remaining() is None
+
+    def test_zero_budget_expires(self):
+        deadline = Deadline(0.0)
+        time.sleep(0.001)
+        assert deadline.expired()
+        assert deadline.remaining() == 0.0
+
+    def test_generous_budget_not_expired(self):
+        assert not Deadline(60.0).expired()
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline(-1.0)

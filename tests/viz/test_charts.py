@@ -1,0 +1,133 @@
+"""Chart builder tests."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.viz.charts import (
+    BarLayer,
+    LineSeries,
+    axis_ticks,
+    line_chart,
+    nice_ceiling,
+    stacked_bar_chart,
+)
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def elements(canvas, tag):
+    root = ET.fromstring(canvas.to_string())
+    return root.findall(f"{SVG_NS}{tag}")
+
+
+class TestAxisHelpers:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(0.5, 0.5), (1.0, 1.0), (3.0, 5.0), (7.0, 10.0), (12.0, 20.0),
+         (99.0, 100.0), (0.0, 1.0)],
+    )
+    def test_nice_ceiling(self, value, expected):
+        assert nice_ceiling(value) == expected
+
+    @given(st.floats(min_value=1e-6, max_value=1e9))
+    @settings(max_examples=60, deadline=None)
+    def test_nice_ceiling_dominates(self, value):
+        ceiling = nice_ceiling(value)
+        assert ceiling >= value
+        assert ceiling <= 10 * value
+
+    def test_axis_ticks_span(self):
+        ticks = axis_ticks(10.0, count=5)
+        assert ticks[0] == 0.0
+        assert ticks[-1] == 10.0
+        assert len(ticks) == 6
+
+    def test_axis_ticks_zero(self):
+        assert axis_ticks(0.0) == [0.0]
+
+
+class TestStackedBarChart:
+    def _chart(self, secondary=None):
+        return stacked_bar_chart(
+            ["a", "b", "c"],
+            [
+                BarLayer("packing", [0.1, 0.2, 0.3]),
+                BarLayer("smt", [1.0, 2.0, 0.5]),
+            ],
+            title="t",
+            y_label="sec",
+            secondary=secondary,
+        )
+
+    def test_bar_count(self):
+        canvas = self._chart()
+        rects = elements(canvas, "rect")
+        # 3 categories x 2 layers + 2 legend swatches.
+        assert len(rects) == 3 * 2 + 2
+
+    def test_secondary_line_adds_markers(self):
+        line = LineSeries("rank", [3, 5, 4])
+        canvas = self._chart(secondary=line)
+        assert len(elements(canvas, "circle")) == 3
+        assert len(elements(canvas, "polyline")) == 1
+
+    def test_requires_matching_lengths(self):
+        with pytest.raises(ValueError, match="values"):
+            stacked_bar_chart(["a"], [BarLayer("x", [1.0, 2.0])])
+
+    def test_requires_categories(self):
+        with pytest.raises(ValueError, match="category"):
+            stacked_bar_chart([], [BarLayer("x", [])])
+
+    def test_secondary_length_checked(self):
+        with pytest.raises(ValueError, match="secondary"):
+            stacked_bar_chart(
+                ["a"],
+                [BarLayer("x", [1.0])],
+                secondary=LineSeries("r", [1, 2]),
+            )
+
+    def test_well_formed(self):
+        canvas = self._chart(secondary=LineSeries("rank", [1, 2, 3]))
+        ET.fromstring(canvas.to_string())
+
+
+class TestLineChart:
+    def test_series_rendering(self):
+        canvas = line_chart(
+            ["1", "10", "100"],
+            [
+                LineSeries("g2", [29, 88, 100]),
+                LineSeries("g5", [84, 90, 94]),
+            ],
+            y_max=100.0,
+        )
+        assert len(elements(canvas, "polyline")) == 2
+        # 2 series x 3 markers.
+        assert len(elements(canvas, "circle")) == 6
+
+    def test_single_point_series(self):
+        canvas = line_chart(["only"], [LineSeries("s", [5])])
+        assert len(elements(canvas, "polyline")) == 0
+        assert len(elements(canvas, "circle")) == 1
+
+    def test_markers_disabled(self):
+        canvas = line_chart(
+            ["a", "b"], [LineSeries("s", [1, 2], markers=False)]
+        )
+        assert len(elements(canvas, "circle")) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_chart([], [LineSeries("s", [])])
+        with pytest.raises(ValueError):
+            line_chart(["a"], [])
+        with pytest.raises(ValueError):
+            line_chart(["a"], [LineSeries("s", [1, 2])])
+
+    def test_zero_values_produce_valid_axis(self):
+        canvas = line_chart(["a", "b"], [LineSeries("s", [0, 0])])
+        ET.fromstring(canvas.to_string())

@@ -1,0 +1,93 @@
+"""Figure adapter tests (matrix/partition SVG and experiment figures)."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.core.exceptions import InvalidPartitionError
+from repro.core.paper_matrices import equation_2, figure_1b
+from repro.solvers.sap import SapOptions, sap_solve
+from repro.viz.figures import partition_figure, table1_saturation_svg
+from repro.viz.matrix_svg import matrix_svg, partition_svg
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(canvas):
+    return ET.fromstring(canvas.to_string())
+
+
+class TestMatrixSvg:
+    def test_plain_matrix_heatmap(self):
+        canvas = matrix_svg(equation_2())
+        root = parse(canvas)
+        rects = root.findall(f"{SVG_NS}rect")
+        assert len(rects) == 9  # one per cell
+
+    def test_partition_coloring(self):
+        matrix = figure_1b()
+        result = sap_solve(matrix, options=SapOptions(trials=10, seed=1))
+        canvas = partition_svg(matrix, result.partition)
+        root = parse(canvas)
+        # 36 cells + 5 legend swatches.
+        rects = root.findall(f"{SVG_NS}rect")
+        assert len(rects) == 36 + result.partition.depth
+
+    def test_fooling_rings(self):
+        matrix = figure_1b()
+        result = sap_solve(matrix, options=SapOptions(trials=10, seed=1))
+        canvas = partition_figure(
+            matrix, result.partition, with_fooling=True, title="Fig 1b"
+        )
+        root = parse(canvas)
+        circles = root.findall(f"{SVG_NS}circle")
+        # Figure 1b has a size-5 maximum fooling set.
+        assert len(circles) == 5
+
+    def test_shape_mismatch_rejected(self):
+        matrix = figure_1b()
+        result = sap_solve(equation_2(), options=SapOptions(trials=5, seed=1))
+        with pytest.raises(InvalidPartitionError):
+            partition_svg(matrix, result.partition)
+
+    def test_fooling_cell_must_be_one(self):
+        matrix = equation_2()
+        with pytest.raises(InvalidPartitionError):
+            partition_svg(matrix, None, fooling_cells=[(0, 2)])
+
+
+class TestExperimentFigures:
+    def test_figure4_svg_structure(self):
+        from repro.experiments.figure4 import Figure4Config, run_figure4
+
+        result = run_figure4(
+            Figure4Config(scale="quick", top_n=4, smt_time_budget=10.0)
+        )
+        from repro.viz.figures import figure4_svg
+
+        canvas = figure4_svg(result)
+        root = parse(canvas)
+        polylines = root.findall(f"{SVG_NS}polyline")
+        assert len(polylines) >= 1  # the real-rank overlay
+
+    def test_figure4_requires_cases(self):
+        from repro.experiments.figure4 import Figure4Config, Figure4Result
+        from repro.viz.figures import figure4_svg
+
+        with pytest.raises(ValueError):
+            figure4_svg(Figure4Result(config=Figure4Config()))
+
+    def test_table1_saturation_curves(self):
+        from repro.experiments.table1 import Table1Config, run_table1
+
+        result = run_table1(
+            Table1Config(
+                scale="quick",
+                heuristics=("trivial", "packing:1", "packing:10"),
+                smt_time_budget=10.0,
+                include_large=False,
+            )
+        )
+        canvas = table1_saturation_svg(result)
+        root = parse(canvas)
+        assert root.findall(f"{SVG_NS}polyline")

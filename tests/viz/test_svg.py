@@ -1,0 +1,81 @@
+"""SVG canvas primitive tests."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.viz.svg import SvgCanvas, _fmt
+
+
+def parse(canvas: SvgCanvas) -> ET.Element:
+    return ET.fromstring(canvas.to_string())
+
+
+class TestFormatting:
+    def test_integers_render_bare(self):
+        assert _fmt(10.0) == "10"
+
+    def test_fractions_trimmed(self):
+        assert _fmt(10.50) == "10.5"
+        assert _fmt(0.25) == "0.25"
+
+    def test_rounding(self):
+        assert _fmt(1.005) in ("1", "1.01")  # float repr dependent
+        assert _fmt(2.999) == "3"
+
+
+class TestCanvas:
+    def test_rejects_empty_canvas(self):
+        with pytest.raises(ValueError):
+            SvgCanvas(0, 100)
+
+    def test_document_is_well_formed_xml(self):
+        canvas = SvgCanvas(100, 50)
+        canvas.rect(0, 0, 10, 10, fill="#ff0000")
+        canvas.line(0, 0, 100, 50)
+        canvas.circle(5, 5, 2)
+        canvas.text(10, 10, "hello & <world>")
+        canvas.polyline([(0, 0), (1, 1), (2, 0)])
+        root = parse(canvas)
+        assert root.tag.endswith("svg")
+        assert canvas.num_elements == 5
+
+    def test_text_is_escaped(self):
+        canvas = SvgCanvas(10, 10)
+        canvas.text(0, 0, "a<b&c")
+        assert "a&lt;b&amp;c" in canvas.to_string()
+
+    def test_polyline_needs_two_points(self):
+        canvas = SvgCanvas(10, 10)
+        with pytest.raises(ValueError):
+            canvas.polyline([(0, 0)])
+
+    def test_deterministic_output(self):
+        def build():
+            canvas = SvgCanvas(64, 64)
+            canvas.rect(1, 2, 3, 4, fill="#123456", stroke="#000")
+            canvas.text(5, 6, "t", rotate=-90)
+            return canvas.to_string()
+
+        assert build() == build()
+
+    def test_viewbox_matches_size(self):
+        root = parse(SvgCanvas(320, 200))
+        assert root.get("viewBox") == "0 0 320 200"
+
+    def test_write_to_disk(self, tmp_path):
+        canvas = SvgCanvas(10, 10)
+        canvas.rect(0, 0, 5, 5, fill="#000")
+        path = tmp_path / "out.svg"
+        canvas.write(str(path))
+        assert path.read_text().startswith("<svg")
+
+    def test_optional_attributes(self):
+        canvas = SvgCanvas(10, 10)
+        canvas.rect(0, 0, 1, 1, opacity=0.5, rx=2)
+        canvas.line(0, 0, 1, 1, dash="2,2")
+        canvas.circle(0, 0, 1, stroke="#fff")
+        text = canvas.to_string()
+        assert 'opacity="0.5"' in text
+        assert 'stroke-dasharray="2,2"' in text
+        parse(canvas)
