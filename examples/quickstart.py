@@ -57,6 +57,45 @@ def main() -> None:
     print()
     print(f"simulation: {report.summary()}")
 
+    batch_demo()
+
+
+def batch_demo() -> None:
+    """Many patterns at once: the portfolio service.
+
+    ``solve_batch`` races heuristics and the exact backend per instance,
+    fans instances across worker processes, and caches results by matrix
+    content — re-solving the same pattern is a dictionary lookup.  The
+    same service backs ``python -m repro solve-batch``.
+    """
+    from repro import ResultCache, solve_batch
+    from repro.core.paper_matrices import equation_2, figure_1b, figure_3
+
+    print()
+    print("Batch solving via the portfolio service:")
+    cache = ResultCache(capacity=64)
+    patterns = [
+        ("figure_1b", figure_1b()),
+        ("equation_2", equation_2()),
+        ("figure_3", figure_3()),
+    ]
+    for attempt in ("cold", "warm"):
+        records = solve_batch(
+            patterns,
+            members=("trivial", "packing:8", "sap"),
+            seed=2024,
+            workers=2,
+            cache=cache,
+        )
+        for record in records:
+            result = record.result
+            print(
+                f"  [{attempt}] {record.case_id}: depth {result.depth} "
+                f"(winner {result.winner}, "
+                f"{'optimal' if result.optimal else 'upper bound'}, "
+                f"{'cache hit' if result.from_cache else 'solved'})"
+            )
+
 
 if __name__ == "__main__":
     main()

@@ -54,6 +54,13 @@ from repro.ftqc import (
     two_level_solve,
 )
 from repro.linalg import gf2_rank, real_rank
+from repro.service import (
+    PortfolioBudget,
+    PortfolioResult,
+    ResultCache,
+    solve_batch,
+    solve_portfolio,
+)
 from repro.solvers import (
     PackingOptions,
     SapOptions,
@@ -78,8 +85,11 @@ __all__ = [
     "MaskedMatrix",
     "PackingOptions",
     "Partition",
+    "PortfolioBudget",
+    "PortfolioResult",
     "QubitArray",
     "Rectangle",
+    "ResultCache",
     "SapOptions",
     "SapResult",
     "SapStatus",
@@ -107,6 +117,8 @@ __all__ = [
     "row_packing",
     "row_packing_x",
     "sap_solve",
+    "solve_batch",
+    "solve_portfolio",
     "tensor_partition",
     "tensor_rank_bounds",
     "trivial_partition",

@@ -40,6 +40,19 @@ def _per_cell_count(scale: str, paper_count: int, quick_count: int) -> int:
     return paper_count if scale == "paper" else quick_count
 
 
+def flatten_suites(
+    suites: Dict[str, List[BenchmarkCase]]
+) -> List[BenchmarkCase]:
+    """All cases of all families in stable (family, then case) order.
+
+    The flat list is what :func:`repro.service.batch.solve_batch`
+    consumes — a ``BenchmarkCase`` already quacks like a batch item
+    (``case_id`` + ``matrix``), so experiment runners can fan a whole
+    table out through the service without conversion code.
+    """
+    return [case for cases in suites.values() for case in cases]
+
+
 def random_suite(
     shape: Sequence[int],
     occupancies: Sequence[float],

@@ -4,6 +4,7 @@ Usage (also installed as ``python -m repro``):
 
     python -m repro rank PATTERN_FILE [--budget SECONDS]
     python -m repro solve PATTERN_FILE [--heuristic-only] [--trials N]
+    python -m repro solve-batch PATTERN_FILE [...] [--workers N] [--cache F]
     python -m repro compile PATTERN_FILE [--theta T] [--vacancy-char C]
     python -m repro bounds PATTERN_FILE
     python -m repro audit PATTERN_FILE [--budget SECONDS]
@@ -94,6 +95,64 @@ def cmd_solve(args: argparse.Namespace) -> int:
             render_matrix(matrix), render_partition(partition, matrix)
         )
     )
+    return 0
+
+
+def cmd_solve_batch(args: argparse.Namespace) -> int:
+    from repro.core.exceptions import ReproError
+    from repro.experiments.common import write_json
+    from repro.service.batch import solve_batch
+    from repro.service.cache import ResultCache
+    from repro.utils.tables import format_table
+
+    members = tuple(spec for spec in args.members.split(",") if spec)
+    try:
+        items = [(path, _read_pattern(path)) for path in args.patterns]
+        cache = None
+        if args.cache:
+            cache = ResultCache(path=args.cache)
+        records = solve_batch(
+            items,
+            members=members,
+            seed=args.seed,
+            workers=args.workers,
+            cache=cache,
+            budget_per_instance=args.budget,
+        )
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    rows = [
+        [
+            record.case_id,
+            f"{record.result.partition.shape[0]}x"
+            f"{record.result.partition.shape[1]}",
+            record.depth,
+            record.result.winner,
+            "yes" if record.result.optimal else "no",
+            "hit" if record.from_cache else "miss",
+            f"{record.result.wall_seconds:.3f}s",
+        ]
+        for record in records
+    ]
+    print(
+        format_table(
+            ["pattern", "shape", "depth", "winner", "optimal", "cache", "time"],
+            rows,
+            title=f"portfolio batch — {len(records)} instances, "
+            f"{args.workers} worker(s), members: {', '.join(members)}",
+        )
+    )
+    if cache is not None:
+        stats = cache.stats
+        print(f"cache: {stats.hits} hits, {stats.misses} misses -> {args.cache}")
+    if args.json:
+        try:
+            write_json(args.json, [record.provenance() for record in records])
+        except OSError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -289,6 +348,30 @@ def build_parser() -> argparse.ArgumentParser:
     common(p_solve)
     p_solve.add_argument("--heuristic-only", action="store_true")
     p_solve.set_defaults(func=cmd_solve)
+
+    p_batch = sub.add_parser(
+        "solve-batch",
+        help="race the solver portfolio over many patterns",
+    )
+    p_batch.add_argument(
+        "patterns", nargs="+", help="pattern files (one instance each)"
+    )
+    p_batch.add_argument(
+        "--members", default="trivial,packing:32,sap",
+        help="comma-separated portfolio members (default trivial,packing:32,sap)",
+    )
+    p_batch.add_argument("--workers", type=int, default=1)
+    p_batch.add_argument("--seed", type=int, default=2024)
+    p_batch.add_argument(
+        "--budget", type=float, default=None,
+        help="wall-clock budget per instance (seconds; default unlimited)",
+    )
+    p_batch.add_argument(
+        "--cache", default=None,
+        help="JSON result-cache file (read if present, written after the batch)",
+    )
+    p_batch.add_argument("--json", default=None, help="provenance output path")
+    p_batch.set_defaults(func=cmd_solve_batch)
 
     p_compile = sub.add_parser(
         "compile", help="compile and verify an AOD schedule"

@@ -20,11 +20,21 @@ import argparse
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.benchgen.suite import BenchmarkCase, table1_suites
-from repro.core.bounds import rank_lower_bound
-from repro.experiments.common import case_seed, resolve_scale, write_json
-from repro.solvers.registry import TABLE1_HEURISTICS, make_heuristic
-from repro.solvers.sap import SapOptions, sap_solve
+from repro.benchgen.suite import BenchmarkCase, flatten_suites, table1_suites
+from repro.experiments.common import (
+    resolve_scale,
+    resolve_workers,
+    service_members,
+    write_json,
+)
+from repro.service.batch import BatchItem, instance_seed, solve_batch
+from repro.service.budget import PortfolioBudget
+from repro.service.portfolio import (
+    CERTIFIED_BY_RANK,
+    PortfolioResult,
+    solve_portfolio,
+)
+from repro.solvers.registry import TABLE1_HEURISTICS
 from repro.utils.tables import format_percent, format_table
 
 QUICK_HEURISTICS = ("trivial", "packing:1", "packing:10", "packing:100")
@@ -37,6 +47,7 @@ class Table1Config:
     heuristics: Sequence[str] = ()
     smt_time_budget: float = 20.0
     include_large: bool = True
+    workers: Optional[int] = None  # None -> REPRO_WORKERS, else 1
 
     def __post_init__(self) -> None:
         if not self.heuristics:
@@ -132,52 +143,69 @@ class Table1Result:
         }
 
 
-def evaluate_case(
+def _case_members(
     case: BenchmarkCase, config: Table1Config
-) -> CaseRecord:
-    """Run every heuristic and certify the optimum for one instance."""
+) -> Tuple[str, ...]:
+    """Portfolio members for one instance: heuristic columns, plus the
+    SAP certifier when the instance is small enough and not already
+    certified by construction (Set 2)."""
     matrix = case.matrix
-    real_rank = rank_lower_bound(matrix)
+    certify = case.known_binary_rank is None and (
+        matrix.num_rows <= 10 or matrix.num_cols <= 10
+    )
+    return service_members(config.heuristics, certify=certify)
 
+
+def _record_from_result(
+    case: BenchmarkCase, config: Table1Config, result: PortfolioResult
+) -> CaseRecord:
+    """Translate portfolio provenance into the Table I record shape."""
     heuristic_depths: Dict[str, int] = {}
     for name in config.heuristics:
-        heuristic = make_heuristic(name)
-        seed = case_seed(config.seed, case.case_id, salt=name)
-        heuristic_depths[name] = heuristic(matrix, seed).depth
+        depth = result.member(name).depth
+        if depth is None:
+            raise RuntimeError(
+                f"heuristic {name!r} produced no depth for {case.case_id}: "
+                f"{result.member(name).error}"
+            )
+        heuristic_depths[name] = depth
 
     optimal_depth: Optional[int] = None
     certified_by: Optional[str] = None
     if case.known_binary_rank is not None:
         optimal_depth = case.known_binary_rank
         certified_by = "construction"
-    elif matrix.num_rows <= 10 or matrix.num_cols <= 10:
-        result = sap_solve(
-            matrix,
-            options=SapOptions(
-                trials=32,
-                seed=case_seed(config.seed, case.case_id, salt="sap"),
-                time_budget=config.smt_time_budget,
-            ),
+    elif result.optimal:
+        optimal_depth = result.depth
+        certified_by = (
+            "rank-match" if result.certifier == CERTIFIED_BY_RANK else "sap"
         )
-        if result.proved_optimal:
-            optimal_depth = result.depth
-            certified_by = "sap"
-    if optimal_depth is None:
-        best = min(heuristic_depths.values())
-        if best == real_rank:
-            optimal_depth = best
-            certified_by = "rank-match"
     return CaseRecord(
         case_id=case.case_id,
         family=case.family,
-        real_rank=real_rank,
+        real_rank=result.lower_bound,
         heuristic_depths=heuristic_depths,
         optimal_depth=optimal_depth,
         certified_by=certified_by,
     )
 
 
+def evaluate_case(
+    case: BenchmarkCase, config: Table1Config
+) -> CaseRecord:
+    """Race every heuristic (plus the certifier) on one instance."""
+    result = solve_portfolio(
+        case.matrix,
+        members=_case_members(case, config),
+        seed=instance_seed(config.seed, case.case_id),
+        budget=PortfolioBudget(per_member_seconds=config.smt_time_budget),
+        stop_when_optimal=False,
+    )
+    return _record_from_result(case, config, result)
+
+
 def run_table1(config: Optional[Table1Config] = None) -> Table1Result:
+    """Fan the whole benchmark suite through the portfolio service."""
     if config is None:
         config = Table1Config(scale=resolve_scale())
     suites = table1_suites(
@@ -185,10 +213,23 @@ def run_table1(config: Optional[Table1Config] = None) -> Table1Result:
         seed=config.seed,
         include_large=config.include_large,
     )
+    cases = flatten_suites(suites)
+    records = solve_batch(
+        [
+            BatchItem(case.case_id, case.matrix, _case_members(case, config))
+            for case in cases
+        ],
+        seed=config.seed,
+        workers=resolve_workers(config.workers),
+        budget_per_member=config.smt_time_budget,
+        stop_when_optimal=False,
+    )
+    by_id = {record.case_id: record.result for record in records}
     result = Table1Result(config=config)
-    for family_cases in suites.values():
-        for case in family_cases:
-            result.records.append(evaluate_case(case, config))
+    for case in cases:
+        result.records.append(
+            _record_from_result(case, config, by_id[case.case_id])
+        )
     return result
 
 

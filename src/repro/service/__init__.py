@@ -1,0 +1,55 @@
+"""Portfolio solver service: batched, parallel, cached EBMF solving.
+
+The layer between the solver library and traffic: per-instance solver
+races with provenance (:mod:`portfolio`), batch fan-out over a process
+pool (:mod:`batch`), a content-addressed result cache (:mod:`cache`),
+and shared wall-clock accounting (:mod:`budget`).
+"""
+
+from repro.service.batch import (
+    BatchItem,
+    BatchRecord,
+    as_batch_items,
+    instance_seed,
+    solve_batch,
+    solve_context,
+)
+from repro.service.budget import PortfolioBudget
+from repro.service.cache import CacheStats, ResultCache, matrix_key
+from repro.service.portfolio import (
+    DEFAULT_PORTFOLIO,
+    EXACT_MEMBERS,
+    MemberOutcome,
+    PortfolioResult,
+    is_exact_member,
+    member_seed,
+    result_from_dict,
+    result_to_dict,
+    run_member,
+    solve_portfolio,
+    validate_members,
+)
+
+__all__ = [
+    "BatchItem",
+    "BatchRecord",
+    "CacheStats",
+    "DEFAULT_PORTFOLIO",
+    "EXACT_MEMBERS",
+    "MemberOutcome",
+    "PortfolioBudget",
+    "PortfolioResult",
+    "ResultCache",
+    "as_batch_items",
+    "instance_seed",
+    "is_exact_member",
+    "matrix_key",
+    "member_seed",
+    "result_from_dict",
+    "result_to_dict",
+    "run_member",
+    "solve_batch",
+    "solve_context",
+    "solve_portfolio",
+    "validate_members",
+]

@@ -1,0 +1,263 @@
+"""Batched portfolio solving over a process pool.
+
+``solve_batch`` fans a list of instances across ``workers`` processes,
+checking the result cache first and writing fresh results back.  Every
+instance gets a root seed derived from the batch seed and its own
+``case_id`` — never from its position or from which worker picked it
+up — so a batch produces identical provenance for any pool size,
+including the in-process ``workers=1`` path.
+
+Workers exchange plain picklable payloads (row masks in, result dicts
+out) rather than live objects, which keeps the pool start-method
+agnostic and the records trivially JSON-able.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.exceptions import SolverError
+from repro.service.budget import BudgetLike, PortfolioBudget
+from repro.service.cache import ResultCache, matrix_key
+from repro.service.portfolio import (
+    DEFAULT_PORTFOLIO,
+    PortfolioResult,
+    result_from_dict,
+    result_to_dict,
+    solve_portfolio,
+    validate_members,
+)
+from repro.utils.rng import spawn_seeds
+
+
+@dataclass(frozen=True)
+class BatchItem:
+    """One instance of a batch: an id, a matrix, optional member override."""
+
+    case_id: str
+    matrix: BinaryMatrix
+    members: Optional[Tuple[str, ...]] = None
+
+
+CaseLike = Union[BatchItem, BinaryMatrix, Tuple[str, BinaryMatrix], Any]
+
+
+def as_batch_items(
+    cases: Sequence[CaseLike],
+    *,
+    members: Optional[Sequence[str]] = None,
+) -> List[BatchItem]:
+    """Normalize heterogeneous case inputs into :class:`BatchItem` s.
+
+    Accepts ready items, bare matrices (ids are synthesized from the
+    position), ``(case_id, matrix)`` pairs, and anything with
+    ``case_id``/``matrix`` attributes (e.g.
+    :class:`repro.benchgen.suite.BenchmarkCase`).
+    """
+    override = None if members is None else tuple(members)
+    items: List[BatchItem] = []
+    for index, case in enumerate(cases):
+        if isinstance(case, BatchItem):
+            item = case
+            if override is not None and item.members is None:
+                item = BatchItem(item.case_id, item.matrix, override)
+        elif isinstance(case, BinaryMatrix):
+            item = BatchItem(f"case-{index:04d}", case, override)
+        elif isinstance(case, tuple) and len(case) == 2:
+            item = BatchItem(str(case[0]), case[1], override)
+        elif hasattr(case, "case_id") and hasattr(case, "matrix"):
+            item = BatchItem(case.case_id, case.matrix, override)
+        else:
+            raise SolverError(f"cannot interpret {case!r} as a batch item")
+        items.append(item)
+    seen: Dict[str, int] = {}
+    for item in items:
+        seen[item.case_id] = seen.get(item.case_id, 0) + 1
+    duplicates = sorted(cid for cid, count in seen.items() if count > 1)
+    if duplicates:
+        raise SolverError(
+            f"duplicate case ids in batch: {duplicates[:5]} "
+            "(per-instance seeding requires unique ids)"
+        )
+    return items
+
+
+def instance_seed(batch_seed: Optional[int], case_id: str) -> Optional[int]:
+    """Root seed for one instance; independent of batch order and pool."""
+    if batch_seed is None:
+        return None
+    return spawn_seeds(batch_seed, 1, salt=f"batch/{case_id}")[0]
+
+
+def solve_context(
+    members: Tuple[str, ...],
+    seed: Optional[int],
+    budget_total: Optional[float],
+    budget_per_member: Optional[float],
+    stop_when_optimal: bool,
+) -> str:
+    """Cache-key context for one configured solve.
+
+    Folded into :func:`repro.service.cache.matrix_key` so a cache can
+    never serve a result computed under a different member set, seed,
+    or budget for the same matrix content.
+    """
+    return (
+        f"members={','.join(members)}|seed={seed}|total={budget_total}"
+        f"|per={budget_per_member}|stop={stop_when_optimal}"
+    )
+
+
+@dataclass
+class BatchRecord:
+    """One instance's result plus batch-level provenance."""
+
+    case_id: str
+    key: str
+    result: PortfolioResult
+
+    @property
+    def from_cache(self) -> bool:
+        return self.result.from_cache
+
+    @property
+    def depth(self) -> int:
+        return self.result.depth
+
+    def provenance(self, *, include_timing: bool = True) -> Dict[str, Any]:
+        payload = self.result.provenance(include_timing=include_timing)
+        payload["case_id"] = self.case_id
+        payload["key"] = self.key
+        return payload
+
+
+# ----------------------------------------------------------------------
+# Worker side (must be module-level for pickling)
+# ----------------------------------------------------------------------
+def _solve_payload(
+    payload: Tuple[
+        str,  # case_id
+        Tuple[int, ...],  # row masks
+        int,  # num_cols
+        Tuple[str, ...],  # members
+        Optional[int],  # instance seed
+        Optional[float],  # per-instance budget (seconds)
+        Optional[float],  # per-member budget (seconds)
+        bool,  # stop_when_optimal
+    ]
+) -> Tuple[str, Dict[str, Any]]:
+    case_id, row_masks, num_cols, members, seed, total, per_member, stop = (
+        payload
+    )
+    matrix = BinaryMatrix(row_masks, num_cols)
+    result = solve_portfolio(
+        matrix,
+        members=members,
+        seed=seed,
+        budget=PortfolioBudget(total, per_member_seconds=per_member),
+        stop_when_optimal=stop,
+    )
+    return case_id, result_to_dict(result)
+
+
+# ----------------------------------------------------------------------
+def solve_batch(
+    cases: Sequence[CaseLike],
+    *,
+    members: Sequence[str] = DEFAULT_PORTFOLIO,
+    seed: Optional[int] = 2024,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    budget_per_instance: BudgetLike = None,
+    budget_per_member: Optional[float] = None,
+    stop_when_optimal: bool = True,
+) -> List[BatchRecord]:
+    """Solve every case with the portfolio, in input order.
+
+    Cached instances are answered without touching the pool; misses are
+    solved (in-process for ``workers=1``, otherwise on a
+    ``multiprocessing`` pool) and written back, and the cache's disk
+    tier is flushed once at the end.  Records come back in input order
+    regardless of completion order.  ``budget_per_instance`` caps one
+    instance's whole race, ``budget_per_member`` one solver within it.
+    """
+    if workers < 1:
+        raise SolverError(f"workers must be >= 1, got {workers}")
+    budget_seconds: Optional[float]
+    if budget_per_instance is None:
+        budget_seconds = None
+    else:
+        pot = PortfolioBudget.coerce(budget_per_instance)
+        budget_seconds = pot.total_seconds
+        if budget_per_member is None:
+            budget_per_member = pot.per_member_seconds
+    items = as_batch_items(cases, members=members)
+    # Fail on malformed specs here, not from inside a pool worker.
+    for member_set in {
+        item.members if item.members is not None else tuple(members)
+        for item in items
+    }:
+        validate_members(member_set)
+
+    def item_context(item: BatchItem) -> str:
+        return solve_context(
+            item.members if item.members is not None else tuple(members),
+            instance_seed(seed, item.case_id),
+            budget_seconds,
+            budget_per_member,
+            stop_when_optimal,
+        )
+
+    results: Dict[str, PortfolioResult] = {}
+    keys: Dict[str, str] = {}
+    pending: List[Tuple[Any, ...]] = []
+    for item in items:
+        keys[item.case_id] = matrix_key(item.matrix, item_context(item))
+        cached = (
+            None
+            if cache is None
+            else cache.get_by_key(keys[item.case_id])
+        )
+        if cached is not None:
+            results[item.case_id] = cached
+            continue
+        pending.append(
+            (
+                item.case_id,
+                item.matrix.row_masks,
+                item.matrix.num_cols,
+                item.members if item.members is not None else tuple(members),
+                instance_seed(seed, item.case_id),
+                budget_seconds,
+                budget_per_member,
+                stop_when_optimal,
+            )
+        )
+
+    if pending:
+        if workers == 1 or len(pending) == 1:
+            solved = [_solve_payload(payload) for payload in pending]
+        else:
+            with multiprocessing.Pool(processes=workers) as pool:
+                solved = pool.map(_solve_payload, pending, chunksize=1)
+        for case_id, payload in solved:
+            results[case_id] = result_from_dict(payload)
+
+    if cache is not None:
+        for item in items:
+            result = results[item.case_id]
+            if not result.from_cache:
+                cache.put(item.matrix, result, item_context(item))
+        cache.flush()
+
+    return [
+        BatchRecord(
+            case_id=item.case_id,
+            key=keys[item.case_id],
+            result=results[item.case_id],
+        )
+        for item in items
+    ]

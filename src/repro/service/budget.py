@@ -1,0 +1,90 @@
+"""Shared wall-clock accounting for portfolio members.
+
+A :class:`PortfolioBudget` is one pot of wall-clock seconds that every
+member of a portfolio race draws from.  Members are cooperative (the
+solvers poll :class:`repro.utils.timing.Deadline` at convenient points),
+so the budget hands each member the smaller of its per-member slice and
+whatever remains of the total, and keeps a ledger of who spent what —
+the ledger feeds the provenance records of
+:mod:`repro.service.portfolio`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from repro.core.exceptions import SolverError
+from repro.utils.timing import Deadline
+
+BudgetLike = Union[None, int, float, "PortfolioBudget"]
+
+
+class PortfolioBudget:
+    """A pot of wall-clock seconds shared across portfolio members.
+
+    ``total_seconds=None`` means unlimited; ``per_member_seconds`` caps
+    any single member regardless of what remains in the pot.  The clock
+    starts at construction, so build the budget immediately before the
+    race it governs.
+    """
+
+    def __init__(
+        self,
+        total_seconds: Optional[float] = None,
+        *,
+        per_member_seconds: Optional[float] = None,
+    ) -> None:
+        for label, value in (
+            ("total_seconds", total_seconds),
+            ("per_member_seconds", per_member_seconds),
+        ):
+            if value is not None and value < 0:
+                raise SolverError(f"{label} must be >= 0, got {value}")
+        self.total_seconds = total_seconds
+        self.per_member_seconds = per_member_seconds
+        self.ledger: Dict[str, float] = {}
+        self._deadline = Deadline(total_seconds)
+
+    @classmethod
+    def coerce(cls, value: BudgetLike) -> "PortfolioBudget":
+        """Accept ``None`` (unlimited), bare seconds, or a ready budget."""
+        if value is None:
+            return cls()
+        if isinstance(value, PortfolioBudget):
+            return value
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return cls(total_seconds=float(value))
+        raise SolverError(
+            f"cannot interpret {value!r} as a portfolio budget"
+        )
+
+    # ------------------------------------------------------------------
+    def member_budget(self) -> Optional[float]:
+        """Seconds the next member may spend (``None`` = unlimited)."""
+        remaining = self._deadline.remaining()
+        if remaining is None:
+            return self.per_member_seconds
+        if self.per_member_seconds is None:
+            return remaining
+        return min(remaining, self.per_member_seconds)
+
+    def charge(self, member: str, seconds: float) -> None:
+        """Record ``seconds`` spent by ``member`` in the ledger."""
+        self.ledger[member] = self.ledger.get(member, 0.0) + seconds
+
+    def spent(self) -> float:
+        """Total seconds charged so far."""
+        return sum(self.ledger.values())
+
+    def remaining(self) -> Optional[float]:
+        return self._deadline.remaining()
+
+    def expired(self) -> bool:
+        return self._deadline.expired()
+
+    def __repr__(self) -> str:
+        total = "inf" if self.total_seconds is None else f"{self.total_seconds:g}s"
+        return (
+            f"PortfolioBudget(total={total}, spent={self.spent():.3f}s, "
+            f"members={len(self.ledger)})"
+        )

@@ -1,0 +1,178 @@
+"""Content-addressed result cache for the portfolio service.
+
+Results are keyed on the matrix's canonical content hash — the row-mask
+tuple plus the column count, exactly the fields :class:`BinaryMatrix`
+hashes on — so any reconstruction of an equal matrix hits the same
+entry.  The in-memory tier is a bounded LRU; an optional JSON file
+persists entries across processes (the batch runner flushes it after
+every batch).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.exceptions import SolverError
+from repro.service.portfolio import (
+    PortfolioResult,
+    result_from_dict,
+    result_to_dict,
+)
+
+CACHE_FORMAT_VERSION = 1
+
+
+def matrix_key(matrix: BinaryMatrix, context: str = "") -> str:
+    """Canonical content hash of a matrix (hex SHA-256).
+
+    Equal matrices — including ones rebuilt from strings, numpy arrays,
+    or cells — produce equal keys; the column count is included so a
+    matrix and its zero-padded widening never collide.  ``context``
+    folds the solving configuration (members, seed, budgets) into the
+    key so results computed under different configurations never shadow
+    each other — see :func:`repro.service.batch.solve_context`.
+    """
+    digest = hashlib.sha256()
+    digest.update(f"{matrix.num_cols}:".encode("ascii"))
+    for row in matrix.row_masks:
+        digest.update(f"{row:x},".encode("ascii"))
+    if context:
+        digest.update(b"|")
+        digest.update(context.encode("utf-8"))
+    return digest.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+class ResultCache:
+    """LRU cache of :class:`PortfolioResult` keyed by matrix content.
+
+    Entries are stored as JSON-able dicts, so a hit reconstructs a
+    fresh result object (flagged ``from_cache=True``) and the disk tier
+    round-trips losslessly.  ``capacity`` bounds the in-memory tier;
+    eviction drops the least recently used entry.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        *,
+        path: Optional[Union[str, Path]] = None,
+    ) -> None:
+        if capacity < 1:
+            raise SolverError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.path = None if path is None else Path(path)
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        if self.path is not None and self.path.exists():
+            self._load(self.path)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, matrix: BinaryMatrix) -> bool:
+        return matrix_key(matrix) in self._entries
+
+    def get(
+        self, matrix: BinaryMatrix, context: str = ""
+    ) -> Optional[PortfolioResult]:
+        return self.get_by_key(matrix_key(matrix, context))
+
+    def get_by_key(self, key: str) -> Optional[PortfolioResult]:
+        payload = self._entries.get(key)
+        if payload is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return result_from_dict(payload, from_cache=True)
+
+    def put(
+        self,
+        matrix: BinaryMatrix,
+        result: PortfolioResult,
+        context: str = "",
+    ) -> str:
+        """Insert (or refresh) the entry for ``matrix``; returns its key."""
+        key = matrix_key(matrix, context)
+        self._entries[key] = result_to_dict(result)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return key
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    # ------------------------------------------------------------------
+    # Disk tier
+    # ------------------------------------------------------------------
+    def flush(self) -> Optional[Path]:
+        """Write all entries to ``path`` (no-op without a path).
+
+        Entries are serialized in LRU order (least recent first) and
+        ``sort_keys`` is off for them, so a reload reconstructs the
+        same recency order and capacity-driven evictions after a round
+        trip still drop the least recently used entry.
+        """
+        if self.path is None:
+            return None
+        payload = {
+            "version": CACHE_FORMAT_VERSION,
+            "type": "portfolio_cache",
+            "entries": dict(self._entries),
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "w") as stream:
+            json.dump(payload, stream, indent=2)
+            stream.write("\n")
+        return self.path
+
+    def _load(self, path: Path) -> None:
+        try:
+            with open(path) as stream:
+                payload = json.load(stream)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SolverError(f"cannot load cache {path}: {exc}") from exc
+        if payload.get("type") != "portfolio_cache":
+            raise SolverError(
+                f"{path} is not a portfolio cache "
+                f"(type={payload.get('type')!r})"
+            )
+        if payload.get("version", 0) > CACHE_FORMAT_VERSION:
+            raise SolverError(
+                f"cache {path} has version {payload['version']}, newer than "
+                f"supported {CACHE_FORMAT_VERSION}"
+            )
+        for key, entry in payload["entries"].items():
+            self._entries[key] = entry
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache({len(self._entries)}/{self.capacity} entries, "
+            f"hits={self.stats.hits}, misses={self.stats.misses})"
+        )

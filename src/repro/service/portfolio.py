@@ -1,0 +1,399 @@
+"""Portfolio solving: race heuristics and exact backends per instance.
+
+The paper solves each EBMF instance with one solver at a time; a
+production service wants the standard portfolio recipe instead (cf.
+Rosenbaum 2013; Goubault de Brugiere & Martiel 2023): run the cheap
+heuristics first, feed their best depth to the exact backends as an
+upper hint, stop as soon as optimality is certified, and record *who*
+won and *how long* everyone took.  :func:`solve_portfolio` is that
+recipe for one matrix; :mod:`repro.service.batch` fans it over many.
+
+Member specs
+------------
+
+* any heuristic spec the registry knows (``trivial``, ``packing:K``,
+  ``packing_x:K``, ``packing_noupdate:K``, ``packing_sorted:K``,
+  ``greedy:K``);
+* ``sap`` / ``sap:K`` — the paper's Algorithm 1 (SMT descent, ``K``
+  packing trials, default 32), proves optimality;
+* ``branch_bound`` — the SMT-independent exact search, proves
+  optimality (small matrices only; budget-limited).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.bounds import rank_lower_bound
+from repro.core.exceptions import (
+    BudgetExceeded,
+    InvalidPartitionError,
+    SolverError,
+)
+from repro.core.partition import Partition
+from repro.io import partition_from_dict, partition_to_dict
+from repro.service.budget import BudgetLike, PortfolioBudget
+from repro.solvers.branch_bound import binary_rank_branch_bound
+from repro.solvers.registry import make_heuristic
+from repro.solvers.sap import SapOptions, sap_solve
+from repro.solvers.trivial import trivial_partition
+from repro.utils.rng import spawn_seeds
+
+EXACT_MEMBERS = ("sap", "branch_bound")
+"""Member kinds that can certify optimality on their own."""
+
+DEFAULT_PORTFOLIO = ("trivial", "packing:32", "sap")
+"""Heuristics first (cheap upper bounds), then the exact closer."""
+
+CERTIFIED_BY_RANK = "rank-bound"
+"""Certifier label when the Eq. 3 lower bound alone proves optimality."""
+
+RESULT_FORMAT_VERSION = 1
+
+
+def is_exact_member(name: str) -> bool:
+    """True for members that can prove optimality themselves."""
+    return name.partition(":")[0] in EXACT_MEMBERS
+
+
+def validate_members(members: Sequence[str]) -> None:
+    """Reject malformed member specs before any solving starts.
+
+    A typo'd spec is a configuration error, not a solver failure — it
+    must fail the whole call rather than be absorbed into a per-member
+    ``error`` record and papered over by the trivial fallback.
+    """
+    if not members:
+        raise SolverError("portfolio needs at least one member")
+    for name in members:
+        if is_exact_member(name):
+            _parse_trials(name, 32)
+        else:
+            make_heuristic(name)
+
+
+def member_seed(root_seed: Optional[int], name: str) -> Optional[int]:
+    """Deterministic per-member seed, independent of execution order."""
+    if root_seed is None:
+        return None
+    return spawn_seeds(root_seed, 1, salt=f"portfolio/{name}")[0]
+
+
+@dataclass(frozen=True)
+class MemberOutcome:
+    """What one portfolio member did on one instance.
+
+    ``partition`` is kept in memory for cross-validation but dropped by
+    serialization (the depth survives in ``depth``).
+    """
+
+    name: str
+    depth: Optional[int]
+    seconds: float
+    proved_optimal: bool = False
+    error: Optional[str] = None
+    skipped: bool = False
+    partition: Optional[Partition] = field(
+        default=None, compare=False, repr=False
+    )
+
+    def as_dict(self, *, include_timing: bool = True) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "name": self.name,
+            "depth": self.depth,
+            "proved_optimal": self.proved_optimal,
+            "error": self.error,
+            "skipped": self.skipped,
+        }
+        if include_timing:
+            payload["seconds"] = self.seconds
+        return payload
+
+
+@dataclass
+class PortfolioResult:
+    """Best partition found plus full provenance of the race."""
+
+    partition: Partition
+    winner: str
+    optimal: bool
+    lower_bound: int
+    certifier: Optional[str]
+    seed: Optional[int]
+    wall_seconds: float
+    outcomes: Tuple[MemberOutcome, ...]
+    from_cache: bool = False
+
+    @property
+    def depth(self) -> int:
+        return self.partition.depth
+
+    def member(self, name: str) -> MemberOutcome:
+        for outcome in self.outcomes:
+            if outcome.name == name:
+                return outcome
+        raise KeyError(f"no portfolio member named {name!r}")
+
+    def member_depths(self) -> Dict[str, int]:
+        """Depths of every member that produced a partition."""
+        return {
+            outcome.name: outcome.depth
+            for outcome in self.outcomes
+            if outcome.depth is not None
+        }
+
+    def provenance(self, *, include_timing: bool = True) -> Dict[str, Any]:
+        """JSON-able provenance record.
+
+        ``include_timing=False`` drops every wall-clock field, leaving a
+        record that is byte-identical across runs and pool sizes — the
+        determinism-regression contract of :func:`solve_batch`.
+        """
+        payload: Dict[str, Any] = {
+            "depth": self.depth,
+            "winner": self.winner,
+            "optimal": self.optimal,
+            "lower_bound": self.lower_bound,
+            "certifier": self.certifier,
+            "seed": self.seed,
+            "from_cache": self.from_cache,
+            "members": [
+                outcome.as_dict(include_timing=include_timing)
+                for outcome in self.outcomes
+            ],
+        }
+        if include_timing:
+            payload["wall_seconds"] = self.wall_seconds
+        return payload
+
+
+# ----------------------------------------------------------------------
+# Serialization (the cache and the batch workers move results as dicts)
+# ----------------------------------------------------------------------
+def result_to_dict(result: PortfolioResult) -> Dict[str, Any]:
+    return {
+        "version": RESULT_FORMAT_VERSION,
+        "type": "portfolio_result",
+        "partition": partition_to_dict(result.partition),
+        "winner": result.winner,
+        "optimal": result.optimal,
+        "lower_bound": result.lower_bound,
+        "certifier": result.certifier,
+        "seed": result.seed,
+        "wall_seconds": result.wall_seconds,
+        "outcomes": [outcome.as_dict() for outcome in result.outcomes],
+    }
+
+
+def result_from_dict(
+    payload: Dict[str, Any], *, from_cache: bool = False
+) -> PortfolioResult:
+    if payload.get("type") != "portfolio_result":
+        raise SolverError(
+            f"expected a portfolio_result payload, got {payload.get('type')!r}"
+        )
+    outcomes = tuple(
+        MemberOutcome(
+            name=entry["name"],
+            depth=entry["depth"],
+            seconds=entry.get("seconds", 0.0),
+            proved_optimal=entry["proved_optimal"],
+            error=entry["error"],
+            skipped=entry["skipped"],
+        )
+        for entry in payload["outcomes"]
+    )
+    return PortfolioResult(
+        partition=partition_from_dict(payload["partition"]),
+        winner=payload["winner"],
+        optimal=payload["optimal"],
+        lower_bound=payload["lower_bound"],
+        certifier=payload["certifier"],
+        seed=payload["seed"],
+        wall_seconds=payload["wall_seconds"],
+        outcomes=outcomes,
+        from_cache=from_cache,
+    )
+
+
+# ----------------------------------------------------------------------
+# Running one member
+# ----------------------------------------------------------------------
+def _parse_trials(name: str, default: int) -> int:
+    kind, _, trials_text = name.partition(":")
+    if not trials_text:
+        return default
+    try:
+        trials = int(trials_text)
+    except ValueError:
+        raise SolverError(
+            f"bad trial count {trials_text!r} in member spec {name!r}"
+        ) from None
+    if trials < 1:
+        raise SolverError(
+            f"trial count must be >= 1 in member spec {name!r}, got {trials}"
+        )
+    return trials
+
+
+def run_member(
+    matrix: BinaryMatrix,
+    name: str,
+    *,
+    seed: Optional[int] = None,
+    time_budget: Optional[float] = None,
+    upper_hint: Optional[Partition] = None,
+) -> MemberOutcome:
+    """Run one portfolio member and validate whatever it returns.
+
+    Never raises on solver failure: budget exhaustion and invalid
+    output become ``error`` on the outcome so one bad member cannot
+    take down the race.
+    """
+    began = time.perf_counter()
+    partition: Optional[Partition] = None
+    proved = False
+    error: Optional[str] = None
+    try:
+        kind = name.partition(":")[0]
+        if kind == "sap":
+            result = sap_solve(
+                matrix,
+                options=SapOptions(
+                    trials=_parse_trials(name, 32),
+                    seed=seed,
+                    time_budget=time_budget,
+                ),
+            )
+            partition = result.partition
+            proved = result.proved_optimal
+        elif kind == "branch_bound":
+            bb = binary_rank_branch_bound(
+                matrix, upper_hint=upper_hint, time_budget=time_budget
+            )
+            partition = bb.partition
+            proved = bb.optimal
+        else:
+            partition = make_heuristic(name)(matrix, seed)
+        if partition is not None:
+            partition.validate(matrix)
+    except (BudgetExceeded, SolverError, InvalidPartitionError) as exc:
+        partition = None
+        proved = False
+        error = f"{type(exc).__name__}: {exc}"
+    seconds = time.perf_counter() - began
+    return MemberOutcome(
+        name=name,
+        depth=None if partition is None else partition.depth,
+        seconds=seconds,
+        proved_optimal=proved,
+        error=error,
+        partition=partition,
+    )
+
+
+# ----------------------------------------------------------------------
+# The race
+# ----------------------------------------------------------------------
+def solve_portfolio(
+    matrix: BinaryMatrix,
+    *,
+    members: Sequence[str] = DEFAULT_PORTFOLIO,
+    seed: Optional[int] = None,
+    budget: BudgetLike = None,
+    stop_when_optimal: bool = True,
+) -> PortfolioResult:
+    """Race ``members`` on ``matrix`` and return the best partition found.
+
+    Members run in the given order, each with a slice of the shared
+    ``budget`` and a seed derived deterministically from ``seed`` and
+    its own name (so results do not depend on member order or on how
+    instances are distributed over batch workers).  With
+    ``stop_when_optimal`` the race short-circuits once the best depth
+    is certified — either by an exact member's proof or by matching the
+    Eq. 3 rank lower bound; remaining members are recorded as skipped.
+    """
+    validate_members(members)
+    pot = PortfolioBudget.coerce(budget)
+    began = time.perf_counter()
+    lower = rank_lower_bound(matrix)
+
+    best: Optional[Partition] = None
+    winner: Optional[str] = None
+    certifier: Optional[str] = None
+    outcomes: List[MemberOutcome] = []
+
+    def certified() -> bool:
+        return certifier is not None
+
+    for name in members:
+        if stop_when_optimal and certified():
+            outcomes.append(
+                MemberOutcome(name=name, depth=None, seconds=0.0, skipped=True)
+            )
+            continue
+        if pot.expired():
+            outcomes.append(
+                MemberOutcome(
+                    name=name,
+                    depth=None,
+                    seconds=0.0,
+                    skipped=True,
+                    error="portfolio budget exhausted",
+                )
+            )
+            continue
+        outcome = run_member(
+            matrix,
+            name,
+            seed=member_seed(seed, name),
+            time_budget=pot.member_budget(),
+            upper_hint=best,
+        )
+        pot.charge(name, outcome.seconds)
+        outcomes.append(outcome)
+        if outcome.partition is not None and (
+            best is None or outcome.partition.depth < best.depth
+        ):
+            best = outcome.partition
+            winner = name
+        if outcome.proved_optimal and certifier is None:
+            certifier = name
+        if best is not None and best.depth <= lower and certifier is None:
+            certifier = CERTIFIED_BY_RANK
+
+    if best is None:
+        # Every member failed or was starved; the trivial partition is
+        # free and always valid, so the service still returns a result.
+        best = trivial_partition(matrix)
+        winner = "trivial"
+        if best.depth <= lower and certifier is None:
+            certifier = CERTIFIED_BY_RANK
+        outcomes.append(
+            MemberOutcome(
+                name="trivial",
+                depth=best.depth,
+                seconds=0.0,
+                error="fallback: no member produced a partition",
+                partition=best,
+            )
+        )
+
+    return PortfolioResult(
+        partition=best,
+        winner=winner or members[0],
+        optimal=certified(),
+        lower_bound=lower,
+        certifier=certifier,
+        seed=seed,
+        wall_seconds=time.perf_counter() - began,
+        outcomes=tuple(outcomes),
+    )
+
+
+def mark_cached(result: PortfolioResult) -> PortfolioResult:
+    """A copy of ``result`` flagged as served from cache."""
+    return replace(result, from_cache=True)

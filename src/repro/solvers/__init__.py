@@ -6,7 +6,11 @@ from repro.solvers.branch_bound import (
 )
 from repro.solvers.greedy_rect import greedy_rectangle, greedy_rectangle_once
 from repro.solvers.postopt import improve_partition, merge_rectangles
-from repro.solvers.registry import TABLE1_HEURISTICS, make_heuristic
+from repro.solvers.registry import (
+    KNOWN_KINDS,
+    TABLE1_HEURISTICS,
+    make_heuristic,
+)
 from repro.solvers.row_packing import (
     ORDERINGS,
     PackingOptions,
@@ -26,6 +30,7 @@ from repro.solvers.trivial import trivial_partition
 
 __all__ = [
     "BranchBoundResult",
+    "KNOWN_KINDS",
     "ORDERINGS",
     "PackingOptions",
     "PackingTrace",

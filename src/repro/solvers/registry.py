@@ -18,22 +18,51 @@ from repro.utils.rng import RngLike
 
 Heuristic = Callable[..., Partition]
 
+KNOWN_KINDS = (
+    "packing",
+    "packing_x",
+    "packing_noupdate",
+    "packing_sorted",
+    "greedy",
+)
+"""Spec kinds accepted with a ``:K`` trial count (plus bare ``trivial``)."""
+
+
+def _spec_error(name: str, problem: str) -> SolverError:
+    """Uniform spec-parse error: the problem, the spec, the valid forms."""
+    return SolverError(
+        f"bad heuristic spec {name!r}: {problem}; expected 'trivial' or "
+        f"KIND:TRIALS with KIND in {KNOWN_KINDS} and TRIALS >= 1"
+    )
+
 
 def make_heuristic(name: str) -> Callable[[BinaryMatrix, RngLike], Partition]:
     """Build a ``(matrix, seed) -> partition`` callable from a spec name.
 
     Recognized names: ``trivial``, ``packing:K`` (K trials),
     ``packing_x:K``, ``packing_noupdate:K`` (basis update disabled),
-    ``packing_sorted:K`` (sparse-first ordering).
+    ``packing_sorted:K`` (sparse-first ordering), ``greedy:K``.
+
+    Malformed specs — unknown kinds, missing/non-integer/non-positive
+    trial counts, empty names — all raise :class:`SolverError` at build
+    time with a uniform message, never from inside the returned callable.
     """
+    if not name or not name.strip():
+        raise _spec_error(name, "empty spec")
     if name == "trivial":
         return lambda matrix, seed=None: trivial_partition(matrix)
     if ":" in name:
         kind, _, trials_text = name.partition(":")
+        if kind not in KNOWN_KINDS:
+            raise _spec_error(name, f"unknown kind {kind!r}")
         try:
             trials = int(trials_text)
         except ValueError:
-            raise SolverError(f"bad trial count in heuristic spec {name!r}")
+            raise _spec_error(
+                name, f"trial count {trials_text!r} is not an integer"
+            ) from None
+        if trials < 1:
+            raise _spec_error(name, f"trial count must be >= 1, got {trials}")
         if kind == "packing":
             return lambda matrix, seed=None: row_packing(
                 matrix, options=PackingOptions(trials=trials, seed=seed)
@@ -56,13 +85,13 @@ def make_heuristic(name: str) -> Callable[[BinaryMatrix, RngLike], Partition]:
                     trials=trials, seed=seed, ordering="sparse_first"
                 ),
             )
-        if kind == "greedy":
-            from repro.solvers.greedy_rect import greedy_rectangle
+        # kind == "greedy" (KNOWN_KINDS is exhaustive above)
+        from repro.solvers.greedy_rect import greedy_rectangle
 
-            return lambda matrix, seed=None: greedy_rectangle(
-                matrix, trials=trials, seed=seed
-            )
-    raise SolverError(f"unknown heuristic spec {name!r}")
+        return lambda matrix, seed=None: greedy_rectangle(
+            matrix, trials=trials, seed=seed
+        )
+    raise _spec_error(name, f"unknown name {name!r}")
 
 
 TABLE1_HEURISTICS = (

@@ -56,3 +56,41 @@ def nonzero_binary_matrices(draw, max_rows: int = 6, max_cols: int = 6):
 @pytest.fixture
 def rng():
     return random.Random(0xC0FFEE)
+
+
+SERVICE_SEED = 20240131
+"""Root seed shared by every service-layer test (portfolio/batch/cache)."""
+
+
+@pytest.fixture(scope="session")
+def service_seed() -> int:
+    return SERVICE_SEED
+
+
+@pytest.fixture(scope="session")
+def service_matrices():
+    """Deterministic (case_id, matrix) sample for the service tests.
+
+    Small random instances across the occupancy range, drawn once per
+    session from seeds derived from :data:`SERVICE_SEED` — the batch
+    determinism tests rely on these being identical across pool sizes.
+    """
+    from repro.benchgen.random_matrices import random_nonempty_matrix
+    from repro.utils.rng import spawn_seeds
+
+    specs = [
+        (5, 5, 0.3),
+        (5, 5, 0.6),
+        (6, 6, 0.4),
+        (6, 6, 0.8),
+        (4, 8, 0.5),
+        (8, 4, 0.5),
+    ]
+    seeds = spawn_seeds(SERVICE_SEED, len(specs), salt="service-matrices")
+    return [
+        (
+            f"svc-{rows}x{cols}-occ{occupancy:g}",
+            random_nonempty_matrix(rows, cols, occupancy, seed=seed),
+        )
+        for (rows, cols, occupancy), seed in zip(specs, seeds)
+    ]

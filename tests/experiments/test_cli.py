@@ -70,6 +70,51 @@ class TestCompile:
         assert "Rz(0.25)" in capsys.readouterr().out
 
 
+class TestSolveBatch:
+    def test_batch_over_patterns(self, pattern_file, masked_file, tmp_path, capsys):
+        other = tmp_path / "other.txt"
+        other.write_text("10\n01\n")
+        assert main(["solve-batch", pattern_file, str(other)]) == 0
+        out = capsys.readouterr().out
+        assert "portfolio batch — 2 instances" in out
+        assert "winner" in out
+
+    def test_batch_cache_and_json(self, pattern_file, tmp_path, capsys):
+        import json
+
+        cache_path = str(tmp_path / "cache.json")
+        json_path = str(tmp_path / "out.json")
+        assert main(
+            ["solve-batch", pattern_file, "--cache", cache_path,
+             "--json", json_path]
+        ) == 0
+        assert "1 misses" in capsys.readouterr().out
+        payload = json.loads(open(json_path).read())
+        assert payload[0]["winner"]
+        assert payload[0]["optimal"] is True
+        # second run is served from the persisted cache
+        assert main(["solve-batch", pattern_file, "--cache", cache_path]) == 0
+        out = capsys.readouterr().out
+        assert "hit" in out
+        assert "1 hits" in out
+
+    def test_batch_errors_exit_cleanly(self, pattern_file, capsys):
+        # typo'd member spec, duplicate pattern, missing file: exit 2
+        # with a one-line error, never a traceback
+        assert main(["solve-batch", pattern_file, "--members", "magic:3"]) == 2
+        assert "unknown kind 'magic'" in capsys.readouterr().err
+        assert main(["solve-batch", pattern_file, pattern_file]) == 2
+        assert "duplicate case ids" in capsys.readouterr().err
+        assert main(["solve-batch", "/nonexistent/pattern.txt"]) == 2
+        assert "No such file" in capsys.readouterr().err
+
+    def test_batch_unwritable_json_exits_cleanly(self, pattern_file, capsys):
+        assert main(
+            ["solve-batch", pattern_file, "--json", "/proc/no/such/dir.json"]
+        ) == 2
+        assert "error:" in capsys.readouterr().err
+
+
 class TestMisc:
     def test_examples_listing(self, capsys):
         assert main(["examples"]) == 0

@@ -1,0 +1,198 @@
+"""Determinism regression: batches reproduce byte-for-byte.
+
+``solve_batch`` with a fixed seed must yield identical canonical
+provenance (timing fields stripped) across repeated runs and across
+pool sizes — 1 in-process worker versus a real multiprocessing pool.
+"""
+
+import json
+
+import pytest
+
+from repro.service.batch import as_batch_items, instance_seed, solve_batch
+from repro.service.cache import ResultCache
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.exceptions import SolverError
+
+MEMBERS = ("trivial", "packing:4", "sap")
+
+
+def _canonical(records):
+    return json.dumps(
+        [record.provenance(include_timing=False) for record in records],
+        sort_keys=True,
+    ).encode()
+
+
+class TestSeeding:
+    def test_instance_seed_depends_only_on_id(self, service_seed):
+        a = instance_seed(service_seed, "case-a")
+        assert a == instance_seed(service_seed, "case-a")
+        assert a != instance_seed(service_seed, "case-b")
+        assert a != instance_seed(service_seed + 1, "case-a")
+        assert instance_seed(None, "case-a") is None
+
+    def test_duplicate_ids_rejected(self, service_matrices):
+        case_id, matrix = service_matrices[0]
+        with pytest.raises(SolverError):
+            solve_batch([(case_id, matrix), (case_id, matrix)], seed=1)
+
+    def test_malformed_members_rejected_before_solving(self, service_matrices):
+        with pytest.raises(SolverError):
+            solve_batch(service_matrices, members=("magic:3",), seed=1)
+        with pytest.raises(SolverError):
+            solve_batch(service_matrices, members=(), seed=1)
+
+    def test_normalization_accepts_mixed_inputs(self, service_matrices):
+        case_id, matrix = service_matrices[0]
+        items = as_batch_items(
+            [matrix, (case_id, matrix)], members=MEMBERS
+        )
+        assert items[0].case_id == "case-0000"
+        assert items[1].case_id == case_id
+        assert items[0].members == MEMBERS
+
+
+class TestByteIdentity:
+    def test_identical_across_runs(self, service_matrices, service_seed):
+        first = solve_batch(
+            service_matrices, members=MEMBERS, seed=service_seed, workers=1
+        )
+        second = solve_batch(
+            service_matrices, members=MEMBERS, seed=service_seed, workers=1
+        )
+        assert _canonical(first) == _canonical(second)
+
+    def test_identical_across_pool_sizes(self, service_matrices, service_seed):
+        solo = solve_batch(
+            service_matrices, members=MEMBERS, seed=service_seed, workers=1
+        )
+        pooled = solve_batch(
+            service_matrices, members=MEMBERS, seed=service_seed, workers=3
+        )
+        assert _canonical(solo) == _canonical(pooled)
+
+    def test_order_of_cases_does_not_change_per_case_records(
+        self, service_matrices, service_seed
+    ):
+        forward = solve_batch(
+            service_matrices, members=MEMBERS, seed=service_seed
+        )
+        backward = solve_batch(
+            list(reversed(service_matrices)), members=MEMBERS, seed=service_seed
+        )
+        by_id = {record.case_id: record for record in backward}
+        for record in forward:
+            twin = by_id[record.case_id]
+            assert (
+                record.provenance(include_timing=False)
+                == twin.provenance(include_timing=False)
+            )
+
+    def test_results_in_input_order(self, service_matrices, service_seed):
+        records = solve_batch(
+            service_matrices, members=MEMBERS, seed=service_seed, workers=2
+        )
+        assert [r.case_id for r in records] == [
+            case_id for case_id, _ in service_matrices
+        ]
+
+
+class TestCacheInteraction:
+    def test_cached_rerun_preserves_canonical_record(
+        self, service_matrices, service_seed
+    ):
+        cache = ResultCache(capacity=64)
+        cold = solve_batch(
+            service_matrices, members=MEMBERS, seed=service_seed, cache=cache
+        )
+        warm = solve_batch(
+            service_matrices, members=MEMBERS, seed=service_seed, cache=cache
+        )
+        assert all(not record.from_cache for record in cold)
+        assert all(record.from_cache for record in warm)
+        for before, after in zip(cold, warm):
+            lhs = before.provenance(include_timing=False)
+            rhs = after.provenance(include_timing=False)
+            # from_cache is the only field allowed to differ.
+            lhs.pop("from_cache")
+            rhs.pop("from_cache")
+            assert lhs == rhs
+
+    def test_cache_never_serves_other_configurations(
+        self, service_matrices, service_seed
+    ):
+        """Same matrices, different member set / seed -> cache misses."""
+        cache = ResultCache(capacity=256)
+        solve_batch(
+            service_matrices, members=("trivial",), seed=service_seed,
+            cache=cache,
+        )
+        other_members = solve_batch(
+            service_matrices, members=MEMBERS, seed=service_seed, cache=cache
+        )
+        assert all(not record.from_cache for record in other_members)
+        assert all(record.result.member("sap") for record in other_members)
+        other_seed = solve_batch(
+            service_matrices, members=MEMBERS, seed=service_seed + 1,
+            cache=cache,
+        )
+        assert all(not record.from_cache for record in other_seed)
+        same_again = solve_batch(
+            service_matrices, members=MEMBERS, seed=service_seed, cache=cache
+        )
+        assert all(record.from_cache for record in same_again)
+
+    def test_per_member_budget_survives_budget_object(self, service_matrices):
+        from repro.service.budget import PortfolioBudget
+        from repro.service.cache import matrix_key
+        from repro.service.batch import solve_context
+
+        # per_member_seconds riding on the budget object must reach the
+        # worker (observable through the cache-key context).
+        _, matrix = service_matrices[0]
+        cache = ResultCache(capacity=8)
+        solve_batch(
+            [("one", matrix)],
+            members=("trivial",),
+            seed=3,
+            cache=cache,
+            budget_per_instance=PortfolioBudget(
+                60.0, per_member_seconds=5.0
+            ),
+        )
+        context = solve_context(
+            ("trivial",), instance_seed(3, "one"), 60.0, 5.0, True
+        )
+        assert cache.get_by_key(matrix_key(matrix, context)) is not None
+
+    def test_every_record_is_valid_and_attributed(
+        self, service_matrices, service_seed
+    ):
+        records = solve_batch(
+            service_matrices, members=MEMBERS, seed=service_seed
+        )
+        by_id = dict(service_matrices)
+        for record in records:
+            record.result.partition.validate(by_id[record.case_id])
+            assert record.result.winner in MEMBERS
+            assert record.result.wall_seconds >= 0.0
+
+
+@pytest.mark.slow
+class TestPoolStress:
+    def test_large_batch_across_pool(self, service_seed):
+        """A bigger, repetition-heavy batch stays deterministic pooled."""
+        from repro.benchgen.random_matrices import random_matrix
+        from repro.utils.rng import spawn_seeds
+
+        seeds = spawn_seeds(service_seed, 24, salt="stress")
+        cases = [
+            (f"stress-{i}", random_matrix(6, 6, 0.5, seed=seeds[i]))
+            for i in range(24)
+        ]
+        solo = solve_batch(cases, members=MEMBERS, seed=service_seed)
+        pooled = solve_batch(
+            cases, members=MEMBERS, seed=service_seed, workers=4
+        )
+        assert _canonical(solo) == _canonical(pooled)

@@ -1,0 +1,157 @@
+"""Cross-solver equivalence: every portfolio member must agree.
+
+For every paper matrix and a seeded random sample, each member must
+return a *valid* partition (validated both as an EBMF and as a cover),
+the exact backends (SAP, branch and bound) must agree on the optimal
+depth, and every heuristic must land at or above it.
+"""
+
+import pytest
+
+from repro.core.paper_matrices import (
+    equation_2,
+    figure_1b,
+    figure_3,
+    section_2_nonbinary_example,
+)
+from repro.cover.validate import validate_cover
+from repro.service.portfolio import (
+    run_member,
+    member_seed,
+    solve_portfolio,
+)
+from tests.conftest import SERVICE_SEED
+
+HEURISTIC_MEMBERS = ("trivial", "packing:8", "packing_x:4", "greedy:4")
+EXACT_MEMBERS = ("sap", "branch_bound")
+ALL_MEMBERS = HEURISTIC_MEMBERS + EXACT_MEMBERS
+
+PAPER_CASES = [
+    ("figure_1b", figure_1b()),
+    ("equation_2", equation_2()),
+    ("figure_3", figure_3()),
+    ("section_2", section_2_nonbinary_example()),
+]
+
+PAPER_OPTIMA = {
+    "figure_1b": 5,
+    "equation_2": 3,
+    "figure_3": 4,
+    "section_2": 3,
+}
+
+
+def _all_cases(service_matrices):
+    return PAPER_CASES + list(service_matrices)
+
+
+class TestEveryMemberValid:
+    @pytest.mark.parametrize(
+        "case_id,matrix", PAPER_CASES, ids=[c[0] for c in PAPER_CASES]
+    )
+    @pytest.mark.parametrize("member", ALL_MEMBERS)
+    def test_member_valid_on_paper_matrices(self, case_id, matrix, member):
+        outcome = run_member(
+            matrix, member, seed=member_seed(SERVICE_SEED, member)
+        )
+        assert outcome.error is None
+        assert outcome.partition is not None
+        outcome.partition.validate(matrix)
+        validate_cover(matrix, outcome.partition)
+        assert outcome.depth == outcome.partition.depth
+
+    def test_member_valid_on_random_sample(self, service_matrices):
+        for case_id, matrix in service_matrices:
+            for member in ALL_MEMBERS:
+                outcome = run_member(
+                    matrix, member, seed=member_seed(SERVICE_SEED, member)
+                )
+                assert outcome.partition is not None, (case_id, member)
+                outcome.partition.validate(matrix)
+                validate_cover(matrix, outcome.partition)
+
+
+class TestExactBackendsAgree:
+    def test_exact_agree_and_heuristics_dominate(self, service_matrices):
+        for case_id, matrix in _all_cases(service_matrices):
+            result = solve_portfolio(
+                matrix,
+                members=ALL_MEMBERS,
+                seed=SERVICE_SEED,
+                stop_when_optimal=False,
+            )
+            depths = result.member_depths()
+            exact_depths = {
+                name: depths[name]
+                for name in EXACT_MEMBERS
+                if result.member(name).proved_optimal
+            }
+            assert set(exact_depths) == set(EXACT_MEMBERS), (
+                f"{case_id}: exact member failed to prove optimality"
+            )
+            optimum = exact_depths["sap"]
+            assert exact_depths["branch_bound"] == optimum, case_id
+            assert result.optimal
+            assert result.depth == optimum
+            assert result.lower_bound <= optimum
+            for name in HEURISTIC_MEMBERS:
+                assert depths[name] >= optimum, (case_id, name)
+
+    def test_paper_optima(self):
+        for case_id, matrix in PAPER_CASES:
+            result = solve_portfolio(
+                matrix,
+                members=("packing:8", "sap", "branch_bound"),
+                seed=SERVICE_SEED,
+                stop_when_optimal=False,
+            )
+            assert result.depth == PAPER_OPTIMA[case_id], case_id
+
+
+class TestProvenance:
+    def test_every_result_carries_provenance(self, service_matrices):
+        for case_id, matrix in _all_cases(service_matrices):
+            result = solve_portfolio(
+                matrix, members=("trivial", "packing:4", "sap"),
+                seed=SERVICE_SEED,
+            )
+            payload = result.provenance()
+            assert payload["winner"] in ("trivial", "packing:4", "sap")
+            assert isinstance(payload["wall_seconds"], float)
+            assert isinstance(payload["optimal"], bool)
+            assert payload["depth"] == result.depth
+            assert len(payload["members"]) == 3
+            ran = [m for m in payload["members"] if not m["skipped"]]
+            assert ran, case_id
+            for entry in ran:
+                assert entry["seconds"] >= 0.0
+
+    def test_stop_when_optimal_skips_tail(self):
+        matrix = equation_2()  # trivial is already optimal (r_B = 3 = rows)
+        result = solve_portfolio(
+            matrix,
+            members=("trivial", "packing:8", "sap"),
+            seed=SERVICE_SEED,
+            stop_when_optimal=True,
+        )
+        assert result.optimal
+        assert result.member("sap").skipped
+        assert result.member("packing:8").skipped
+
+    def test_malformed_member_specs_fail_fast(self):
+        from repro.core.exceptions import SolverError
+
+        for bad in (("magic:3",), ("packing:0", "sap"), (), ("trivial", "")):
+            with pytest.raises(SolverError):
+                solve_portfolio(figure_3(), members=bad, seed=SERVICE_SEED)
+
+    def test_budget_starvation_falls_back_to_trivial(self):
+        result = solve_portfolio(
+            figure_1b(),
+            members=("sap",),
+            seed=SERVICE_SEED,
+            budget=0.0,
+        )
+        result.partition.validate(figure_1b())
+        assert result.member("sap").skipped
+        assert result.winner == "trivial"

@@ -35,6 +35,55 @@ class TestMakeHeuristic:
         with pytest.raises(SolverError):
             make_heuristic("sap:3")
 
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "",  # empty name
+            "   ",  # whitespace-only name
+            "packing:0",  # zero trials
+            "packing:-5",  # negative trials
+            "packing_x:0",
+            "greedy:-1",
+            "packing:",  # missing trial count
+            "packing:1.5",  # non-integer trial count
+            ":5",  # empty kind
+            "trivial:5",  # trivial takes no trial count
+            "Packing:3",  # kinds are case-sensitive
+            "packing:1:2",  # trailing garbage
+        ],
+    )
+    def test_malformed_specs_raise_at_build_time(self, spec):
+        """Every malformed spec fails eagerly in make_heuristic, never
+        from inside the returned callable."""
+        with pytest.raises(SolverError):
+            make_heuristic(spec)
+
+    @pytest.mark.parametrize(
+        "spec,fragment",
+        [
+            ("", "empty spec"),
+            ("magic", "unknown name"),
+            ("sap:3", "unknown kind"),
+            ("packing:many", "not an integer"),
+            ("packing:0", "must be >= 1"),
+        ],
+    )
+    def test_error_messages_are_uniform(self, spec, fragment):
+        with pytest.raises(SolverError) as excinfo:
+            make_heuristic(spec)
+        message = str(excinfo.value)
+        assert message.startswith(f"bad heuristic spec {spec!r}")
+        assert fragment in message
+        assert "expected 'trivial' or KIND:TRIALS" in message
+
+    def test_known_kinds_all_buildable(self):
+        from repro.solvers.registry import KNOWN_KINDS
+
+        for kind in KNOWN_KINDS:
+            heuristic = make_heuristic(f"{kind}:2")
+            partition = heuristic(figure_3(), 0)
+            partition.validate(figure_3())
+
     def test_table1_list(self):
         assert TABLE1_HEURISTICS[0] == "trivial"
         for spec in TABLE1_HEURISTICS:
