@@ -58,6 +58,7 @@ def main() -> None:
     print(f"simulation: {report.summary()}")
 
     batch_demo()
+    streaming_demo()
 
 
 def batch_demo() -> None:
@@ -95,6 +96,54 @@ def batch_demo() -> None:
                 f"{'optimal' if result.optimal else 'upper bound'}, "
                 f"{'cache hit' if result.from_cache else 'solved'})"
             )
+
+
+def streaming_demo() -> None:
+    """Results as they finish: the async streaming engine.
+
+    ``solve_batch`` barriers on the whole batch; the server layer's
+    :class:`AsyncSolveEngine` streams per-instance events instead —
+    ``queued``, ``started``, one ``member_finished`` per portfolio
+    member, then ``done`` — so a caller can act on fast instances while
+    slow ones are still solving.  ``race="concurrent"`` additionally
+    runs the exact backends as a cancel-the-losers thread race.  The
+    same engine backs ``python -m repro serve`` / ``submit``.
+    """
+    import asyncio
+
+    from repro import AsyncSolveEngine
+    from repro.core.paper_matrices import equation_2, figure_1b, figure_3
+
+    print()
+    print("Streaming the same patterns through the async engine:")
+    patterns = [
+        ("figure_1b", figure_1b()),
+        ("equation_2", equation_2()),
+        ("figure_3", figure_3()),
+    ]
+
+    async def run() -> None:
+        async with AsyncSolveEngine(
+            members=("trivial", "packing:8", "sap"),
+            seed=2024,
+            workers=2,
+            race="concurrent",
+        ) as engine:
+            async for event in engine.stream(patterns):
+                if event.kind == "member_finished":
+                    depth = "-" if event.depth is None else event.depth
+                    print(
+                        f"    {event.case_id}: {event.member} -> {depth}"
+                    )
+                elif event.kind == "done":
+                    result = event.record.result
+                    print(
+                        f"  [done] {event.case_id}: depth {result.depth} "
+                        f"(winner {result.winner}, "
+                        f"{'optimal' if result.optimal else 'upper bound'})"
+                    )
+
+    asyncio.run(run())
 
 
 if __name__ == "__main__":

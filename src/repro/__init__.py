@@ -54,6 +54,7 @@ from repro.ftqc import (
     two_level_solve,
 )
 from repro.linalg import gf2_rank, real_rank
+from repro.server import AsyncSolveEngine, SolveEvent
 from repro.service import (
     PortfolioBudget,
     PortfolioResult,
@@ -81,6 +82,7 @@ __all__ = [
     "AddressingSimulator",
     "AodConfiguration",
     "AodConstraints",
+    "AsyncSolveEngine",
     "BinaryMatrix",
     "MaskedMatrix",
     "PackingOptions",
@@ -93,6 +95,7 @@ __all__ = [
     "SapOptions",
     "SapResult",
     "SapStatus",
+    "SolveEvent",
     "__version__",
     "binary_rank",
     "binary_rank_bounds",

@@ -5,6 +5,8 @@ Usage (also installed as ``python -m repro``):
     python -m repro rank PATTERN_FILE [--budget SECONDS]
     python -m repro solve PATTERN_FILE [--heuristic-only] [--trials N]
     python -m repro solve-batch PATTERN_FILE [...] [--workers N] [--cache F]
+    python -m repro serve [--socket PATH] [--workers N] [--cache-dir DIR]
+    python -m repro submit PATTERN_FILE [...] [--socket PATH]
     python -m repro compile PATTERN_FILE [--theta T] [--vacancy-char C]
     python -m repro bounds PATTERN_FILE
     python -m repro audit PATTERN_FILE [--budget SECONDS]
@@ -109,8 +111,14 @@ def cmd_solve_batch(args: argparse.Namespace) -> int:
     try:
         items = [(path, _read_pattern(path)) for path in args.patterns]
         cache = None
+        if args.cache and args.cache_dir:
+            print("error: pass --cache or --cache-dir, not both",
+                  file=sys.stderr)
+            return 2
         if args.cache:
             cache = ResultCache(path=args.cache)
+        elif args.cache_dir:
+            cache = ResultCache.sharded(args.cache_dir)
         records = solve_batch(
             items,
             members=members,
@@ -118,6 +126,7 @@ def cmd_solve_batch(args: argparse.Namespace) -> int:
             workers=args.workers,
             cache=cache,
             budget_per_instance=args.budget,
+            race=args.race,
         )
     except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
@@ -145,7 +154,8 @@ def cmd_solve_batch(args: argparse.Namespace) -> int:
     )
     if cache is not None:
         stats = cache.stats
-        print(f"cache: {stats.hits} hits, {stats.misses} misses -> {args.cache}")
+        target = args.cache or args.cache_dir
+        print(f"cache: {stats.hits} hits, {stats.misses} misses -> {target}")
     if args.json:
         try:
             write_json(args.json, [record.provenance() for record in records])
@@ -154,6 +164,122 @@ def cmd_solve_batch(args: argparse.Namespace) -> int:
             return 2
         print(f"wrote {args.json}")
     return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.core.exceptions import ReproError
+    from repro.server.daemon import default_socket_path, run_daemon
+    from repro.service.cache import ResultCache
+
+    members = tuple(spec for spec in args.members.split(",") if spec)
+    socket_path = args.socket or default_socket_path()
+    cache = None
+    try:
+        if args.cache and args.cache_dir:
+            print("error: pass --cache or --cache-dir, not both",
+                  file=sys.stderr)
+            return 2
+        if args.cache:
+            cache = ResultCache(path=args.cache)
+        elif args.cache_dir:
+            cache = ResultCache.sharded(args.cache_dir)
+        print(
+            f"serving on {socket_path} "
+            f"(workers={args.workers}, members: {', '.join(members)}, "
+            f"race={args.race}); submit with: "
+            f"python -m repro submit PATTERN --socket {socket_path}"
+        )
+        return run_daemon(
+            socket_path,
+            members=members,
+            seed=args.seed,
+            workers=args.workers,
+            cache=cache,
+            budget_per_instance=args.budget,
+            race=args.race,
+        )
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    finally:
+        if cache is not None:
+            cache.flush()
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from repro.core.exceptions import ReproError
+    from repro.experiments.common import write_json
+    from repro.server import client
+    from repro.server.daemon import default_socket_path
+    from repro.utils.tables import format_table
+
+    socket_path = args.socket or default_socket_path()
+    options = {}
+    if args.members:
+        options["members"] = tuple(
+            spec for spec in args.members.split(",") if spec
+        )
+    if args.seed is not None:
+        options["seed"] = args.seed
+    if args.budget is not None:
+        options["budget_per_instance"] = args.budget
+    if args.race:
+        options["race"] = args.race
+    records = []
+    try:
+        cases = [(path, _read_pattern(path)) for path in args.patterns]
+        for event in client.submit(
+            socket_path, cases, timeout=args.timeout, **options
+        ):
+            kind = event.get("event")
+            case_id = event.get("case_id", "")
+            if kind == "member_finished":
+                depth = event.get("depth")
+                print(
+                    f"  {case_id}: {event.get('member')} -> "
+                    f"{'depth ' + str(depth) if depth is not None else 'no result'}"
+                )
+            elif kind == "done":
+                records.append(event)
+                source = "cache" if event.get("from_cache") else "solved"
+                print(f"{case_id}: depth {event.get('depth')} ({source})")
+            elif kind in ("cancelled", "failed"):
+                records.append(event)
+                print(f"{case_id}: {kind} ({event.get('error')})")
+            elif kind in ("queued", "started"):
+                print(f"  {case_id}: {kind}")
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    done = [e for e in records if e.get("event") == "done"]
+    rows = [
+        [
+            event.get("case_id"),
+            event.get("depth"),
+            event.get("provenance", {}).get("winner", "-"),
+            "yes" if event.get("provenance", {}).get("optimal") else "no",
+            "hit" if event.get("from_cache") else "miss",
+        ]
+        for event in done
+    ]
+    if rows:
+        print(
+            format_table(
+                ["pattern", "depth", "winner", "optimal", "cache"],
+                rows,
+                title=f"daemon batch — {len(done)}/{len(records)} solved",
+            )
+        )
+    if args.json:
+        try:
+            write_json(
+                args.json, [event.get("provenance") for event in done]
+            )
+        except OSError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(f"wrote {args.json}")
+    return 0 if len(done) == len(records) else 1
 
 
 def cmd_compile(args: argparse.Namespace) -> int:
@@ -370,8 +496,75 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache", default=None,
         help="JSON result-cache file (read if present, written after the batch)",
     )
+    p_batch.add_argument(
+        "--cache-dir", default=None,
+        help="sharded result-cache directory (safe to share between "
+        "concurrent runners; migrates a --cache file given its path)",
+    )
+    p_batch.add_argument(
+        "--race", default="sequential",
+        choices=["sequential", "concurrent"],
+        help="run exact backends sequentially or as a cancel-the-losers race",
+    )
     p_batch.add_argument("--json", default=None, help="provenance output path")
     p_batch.set_defaults(func=cmd_solve_batch)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="long-lived streaming solve daemon on a unix socket",
+    )
+    p_serve.add_argument(
+        "--socket", default=None,
+        help="unix socket path (default: $XDG_RUNTIME_DIR/repro-solve-UID.sock)",
+    )
+    p_serve.add_argument(
+        "--members", default="trivial,packing:32,sap",
+        help="default portfolio members (requests may override)",
+    )
+    p_serve.add_argument("--workers", type=int, default=1)
+    p_serve.add_argument("--seed", type=int, default=2024)
+    p_serve.add_argument(
+        "--budget", type=float, default=None,
+        help="default wall-clock budget per instance (seconds)",
+    )
+    p_serve.add_argument(
+        "--cache", default=None, help="JSON result-cache file"
+    )
+    p_serve.add_argument(
+        "--cache-dir", default=None, help="sharded result-cache directory"
+    )
+    p_serve.add_argument(
+        "--race", default="sequential",
+        choices=["sequential", "concurrent"],
+    )
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit",
+        help="stream patterns through a running solve daemon",
+    )
+    p_submit.add_argument(
+        "patterns", nargs="+", help="pattern files (one instance each)"
+    )
+    p_submit.add_argument("--socket", default=None, help="daemon socket path")
+    p_submit.add_argument(
+        "--members", default=None,
+        help="comma-separated member override for this request",
+    )
+    p_submit.add_argument("--seed", type=int, default=None)
+    p_submit.add_argument(
+        "--budget", type=float, default=None,
+        help="wall-clock budget per instance (seconds)",
+    )
+    p_submit.add_argument(
+        "--race", default=None, choices=["sequential", "concurrent"],
+    )
+    p_submit.add_argument(
+        "--timeout", type=float, default=300.0,
+        help="per-read socket timeout (seconds)",
+    )
+    p_submit.add_argument("--json", default=None, help="provenance output path")
+    p_submit.set_defaults(func=cmd_submit)
 
     p_compile = sub.add_parser(
         "compile", help="compile and verify an AOD schedule"

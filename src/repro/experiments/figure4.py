@@ -10,6 +10,11 @@ solution.
 This runner reproduces the data series: it solves a pool of gap and
 random instances, ranks them by total time, and reports the per-phase
 split, the real rank, and whether the final oracle query was UNSAT.
+
+The pool runs through :func:`repro.service.batch.solve_batch` (one
+``sap`` member per instance), so ``REPRO_WORKERS`` fans the hard cases
+over a process pool; the per-phase split and the final oracle query
+status ride along on the member outcome's ``detail`` record.
 """
 
 from __future__ import annotations
@@ -19,10 +24,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.benchgen.suite import gap_suite, random_suite
-from repro.core.bounds import rank_lower_bound
-from repro.experiments.common import case_seed, resolve_scale, write_json
-from repro.sat.solver import SolveStatus
-from repro.solvers.sap import SapOptions, sap_solve
+from repro.experiments.common import (
+    resolve_scale,
+    resolve_workers,
+    write_json,
+)
+from repro.service.batch import BatchItem, solve_batch
 from repro.utils.tables import format_table
 
 
@@ -32,6 +39,7 @@ class Figure4Config:
     seed: int = 2024
     top_n: int = 8
     smt_time_budget: float = 30.0
+    workers: Optional[int] = None  # None -> REPRO_WORKERS, else 1
 
 
 @dataclass
@@ -147,30 +155,41 @@ def _case_pool(config: Figure4Config):
 def run_figure4(config: Optional[Figure4Config] = None) -> Figure4Result:
     if config is None:
         config = Figure4Config(scale=resolve_scale())
+    trials = 100 if config.scale == "paper" else 20
+    member = f"sap:{trials}"
+    cases = _case_pool(config)
+    records = solve_batch(
+        [
+            BatchItem(case.case_id, case.matrix, (member,))
+            for case in cases
+        ],
+        seed=config.seed,
+        workers=resolve_workers(config.workers),
+        budget_per_member=config.smt_time_budget,
+        stop_when_optimal=False,
+    )
+    by_id = {record.case_id: record for record in records}
     result = Figure4Result(config=config)
-    for case in _case_pool(config):
-        sap = sap_solve(
-            case.matrix,
-            options=SapOptions(
-                trials=100 if config.scale == "paper" else 20,
-                seed=case_seed(config.seed, case.case_id, salt="fig4"),
-                time_budget=config.smt_time_budget,
-            ),
-        )
-        final_unsat = bool(
-            sap.queries and sap.queries[-1].status is SolveStatus.UNSAT
-        )
+    for case in cases:
+        record = by_id[case.case_id]
+        outcome = record.result.member(member)
+        if outcome.depth is None:
+            raise RuntimeError(
+                f"sap produced no result for {case.case_id}: {outcome.error}"
+            )
+        detail = outcome.detail or {}
+        phases = detail.get("phase_seconds", {})
         result.cases.append(
             HardCase(
                 case_id=case.case_id,
                 family=case.family,
-                total_seconds=sum(sap.phase_seconds.values()),
-                packing_seconds=sap.packing_seconds,
-                smt_seconds=sap.smt_seconds,
-                real_rank=rank_lower_bound(case.matrix),
-                depth=sap.depth,
-                proved_optimal=sap.proved_optimal,
-                final_query_unsat=final_unsat,
+                total_seconds=sum(phases.values()),
+                packing_seconds=phases.get("packing", 0.0),
+                smt_seconds=phases.get("smt", 0.0),
+                real_rank=record.result.lower_bound,
+                depth=outcome.depth,
+                proved_optimal=outcome.proved_optimal,
+                final_query_unsat=bool(detail.get("final_query_unsat")),
             )
         )
     return result

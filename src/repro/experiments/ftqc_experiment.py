@@ -19,7 +19,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.benchgen.random_matrices import random_nonempty_matrix
-from repro.experiments.common import case_seed, resolve_scale, write_json
+from repro.experiments.common import (
+    case_seed,
+    resolve_scale,
+    resolve_workers,
+    write_json,
+)
 from repro.ftqc.surface_code import (
     SurfaceCodeGrid,
     boundary_row_patch_mask,
@@ -27,8 +32,11 @@ from repro.ftqc.surface_code import (
     transversal_patch_mask,
 )
 from repro.ftqc.two_level import two_level_solve
-from repro.solvers.sap import SapOptions, sap_solve
+from repro.service.batch import BatchItem, solve_batch
 from repro.utils.tables import format_table
+
+DIRECT_MEMBER = "sap:20"
+"""The flat direct solve raced against the two-level construction."""
 
 
 @dataclass
@@ -40,6 +48,7 @@ class FtqcConfig:
     patch_cols: int = 3
     samples: int = 4
     smt_time_budget: float = 15.0
+    workers: Optional[int] = None  # None -> REPRO_WORKERS, else 1
 
 
 @dataclass
@@ -125,6 +134,12 @@ def run_ftqc(config: Optional[FtqcConfig] = None) -> FtqcResult:
     }
 
     result = FtqcResult(config=config)
+
+    # The expensive flat solves go through the batch service (so
+    # REPRO_WORKERS fans them out); the cheap two-level constructions
+    # stay in-process, keyed by the same per-sample seeds.
+    pool: List[BatchItem] = []
+    plans = []
     for sample in range(config.samples):
         logical_seed = case_seed(config.seed, f"logical-{sample}", "ftqc")
         logical_mask = random_nonempty_matrix(
@@ -133,33 +148,40 @@ def run_ftqc(config: Optional[FtqcConfig] = None) -> FtqcResult:
         for patch_kind, patch_mask in patch_masks.items():
             case_id = f"ftqc-{sample}-{patch_kind}"
             physical = grid.physical_pattern(logical_mask, patch_mask)
-            two_level = two_level_solve(
-                physical,
-                (config.distance, config.distance),
-                seed=logical_seed,
-                time_budget=config.smt_time_budget,
+            pool.append(BatchItem(case_id, physical, (DIRECT_MEMBER,)))
+            plans.append((case_id, patch_kind, physical, logical_seed))
+
+    records = {
+        record.case_id: record
+        for record in solve_batch(
+            pool,
+            seed=config.seed,
+            workers=resolve_workers(config.workers),
+            budget_per_member=config.smt_time_budget,
+            stop_when_optimal=False,
+        )
+    }
+    for case_id, patch_kind, physical, logical_seed in plans:
+        two_level = two_level_solve(
+            physical,
+            (config.distance, config.distance),
+            seed=logical_seed,
+            time_budget=config.smt_time_budget,
+        )
+        direct = records[case_id].result.member(DIRECT_MEMBER)
+        bounds = two_level.bounds
+        result.cases.append(
+            FtqcCase(
+                case_id=case_id,
+                patch_kind=patch_kind,
+                two_level_depth=two_level.depth,
+                direct_depth=direct.depth,
+                direct_optimal=direct.proved_optimal,
+                eq5_lower=bounds.lower if bounds else None,
+                eq5_upper=bounds.upper if bounds else None,
+                two_level_proved_optimal=two_level.proved_optimal,
             )
-            direct = sap_solve(
-                physical,
-                options=SapOptions(
-                    trials=20,
-                    seed=logical_seed,
-                    time_budget=config.smt_time_budget,
-                ),
-            )
-            bounds = two_level.bounds
-            result.cases.append(
-                FtqcCase(
-                    case_id=case_id,
-                    patch_kind=patch_kind,
-                    two_level_depth=two_level.depth,
-                    direct_depth=direct.depth,
-                    direct_optimal=direct.proved_optimal,
-                    eq5_lower=bounds.lower if bounds else None,
-                    eq5_upper=bounds.upper if bounds else None,
-                    two_level_proved_optimal=two_level.proved_optimal,
-                )
-            )
+        )
     return result
 
 

@@ -16,14 +16,22 @@ import argparse
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.experiments.common import case_seed, resolve_scale, write_json
+from repro.experiments.common import (
+    case_seed,
+    resolve_scale,
+    resolve_workers,
+    write_json,
+)
 from repro.ftqc.qldpc import (
     BlockLayout,
     full_rank_fraction,
     row_addressing_depth,
-    row_addressing_sufficient,
 )
+from repro.service.batch import BatchItem, solve_batch
 from repro.utils.tables import format_table
+
+SUFFICIENCY_MEMBER = "sap:32"
+"""The exact member that decides row-addressing optimality per layout."""
 
 
 @dataclass
@@ -37,6 +45,7 @@ class QldpcConfig:
     block_size: int = 12
     qubits_per_block: int = 4
     smt_time_budget: float = 10.0
+    workers: Optional[int] = None  # None -> REPRO_WORKERS, else 1
 
 
 @dataclass
@@ -104,24 +113,38 @@ def run_qldpc(config: Optional[QldpcConfig] = None) -> QldpcResult:
             )
         result.full_rank_rows.append(row)
 
+    # The sufficiency sweep is the expensive half (one exact solve per
+    # random layout): fan it over the batch service.  A layout counts
+    # as decided when the portfolio certifies the optimum — by SAP's
+    # proof or by the Eq. 3 rank bound.
     layout = BlockLayout(config.num_blocks, config.block_size)
+    patterns = {
+        f"layout-{sample}": layout.random_pattern(
+            config.qubits_per_block,
+            seed=case_seed(config.seed, f"layout-{sample}", "qldpc"),
+        )
+        for sample in range(config.layout_samples)
+    }
+    records = solve_batch(
+        [
+            BatchItem(case_id, pattern, (SUFFICIENCY_MEMBER,))
+            for case_id, pattern in patterns.items()
+        ],
+        seed=config.seed,
+        workers=resolve_workers(config.workers),
+        budget_per_member=config.smt_time_budget,
+    )
     sufficient = 0
     decided = 0
     undecided = 0
-    for sample in range(config.layout_samples):
-        seed = case_seed(config.seed, f"layout-{sample}", "qldpc")
-        pattern = layout.random_pattern(
-            config.qubits_per_block, seed=seed
-        )
-        verdict = row_addressing_sufficient(
-            pattern, seed=seed, time_budget=config.smt_time_budget
-        )
-        if verdict is None:
+    for record in records:
+        if not record.result.optimal:
             undecided += 1
-        else:
-            decided += 1
-            if verdict:
-                sufficient += 1
+            continue
+        decided += 1
+        row_depth = row_addressing_depth(patterns[record.case_id])
+        if record.result.depth == row_depth:
+            sufficient += 1
     result.sufficiency = {
         "sufficient": sufficient,
         "decided": decided,

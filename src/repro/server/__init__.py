@@ -1,0 +1,51 @@
+"""Streaming solve server: the traffic-facing layer above the service.
+
+Where :mod:`repro.service` turns one batch into results, this package
+turns a *stream of requests* into a *stream of results*:
+
+* :mod:`engine` — :class:`AsyncSolveEngine`, an asyncio front over an
+  executor that yields per-instance :class:`SolveEvent` s as they
+  complete, with bounded in-flight backpressure and per-instance
+  cancellation;
+* :mod:`racing` — intra-instance racing of the exact backends with
+  cooperative loser cancellation (``race="concurrent"`` on the
+  portfolio/batch/engine entry points);
+* :mod:`shards` — a hash-prefix-sharded, ``fcntl``-locked disk tier so
+  concurrent runners on one host share a result cache safely
+  (``ResultCache.sharded``);
+* :mod:`daemon` / :mod:`client` — a JSON-lines unix-socket server
+  (``python -m repro serve``) and client (``python -m repro submit``)
+  that amortize pool and cache warmup across requests.
+"""
+
+from repro.server.engine import (
+    AsyncSolveEngine,
+    CANCELLED,
+    DONE,
+    FAILED,
+    MEMBER_FINISHED,
+    QUEUED,
+    STARTED,
+    SolveEvent,
+    TERMINAL_EVENTS,
+)
+from repro.server.racing import RaceToken, race_members
+from repro.server.shards import ShardedDiskTier
+from repro.utils.fileio import atomic_write_json, locked_file
+
+__all__ = [
+    "AsyncSolveEngine",
+    "CANCELLED",
+    "DONE",
+    "FAILED",
+    "MEMBER_FINISHED",
+    "QUEUED",
+    "RaceToken",
+    "STARTED",
+    "ShardedDiskTier",
+    "SolveEvent",
+    "TERMINAL_EVENTS",
+    "atomic_write_json",
+    "locked_file",
+    "race_members",
+]

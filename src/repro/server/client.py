@@ -1,0 +1,128 @@
+"""Synchronous client for the solve daemon's JSON-lines protocol.
+
+Deliberately plain ``socket`` + blocking reads: the client side of
+``python -m repro submit`` is a short-lived CLI (or a test fixture)
+that wants to print events as they arrive — an asyncio reactor buys it
+nothing.  Each request opens one connection; the daemon closes the
+connection when the response stream ends, so iteration terminates
+naturally without a sentinel.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.exceptions import SolverError
+
+
+class DaemonError(SolverError):
+    """The daemon answered with an ``error`` event."""
+
+
+def stream_request(
+    socket_path: Union[str, Path],
+    request: Dict[str, Any],
+    *,
+    timeout: Optional[float] = None,
+) -> Iterator[Dict[str, Any]]:
+    """Send one request; yield each JSON-line response as it arrives.
+
+    ``timeout`` bounds each blocking read (not the whole stream): a
+    daemon that stops talking raises ``socket.timeout`` instead of
+    hanging the client forever.
+    """
+    path = str(socket_path)
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+        sock.settimeout(timeout)
+        try:
+            sock.connect(path)
+        except OSError as exc:
+            raise SolverError(
+                f"cannot reach solve daemon at {path}: {exc} "
+                "(is `python -m repro serve` running?)"
+            ) from exc
+        sock.sendall(json.dumps(request).encode() + b"\n")
+        with sock.makefile("r", encoding="utf-8") as stream:
+            for line in stream:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise SolverError(
+                        f"daemon sent malformed JSON: {line[:200]!r}"
+                    ) from exc
+                yield payload
+
+
+def request_once(
+    socket_path: Union[str, Path],
+    request: Dict[str, Any],
+    *,
+    timeout: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Single-line ops (``ping`` / ``stats`` / ``cancel`` / ``shutdown``)."""
+    for payload in stream_request(socket_path, request, timeout=timeout):
+        if payload.get("event") == "error":
+            raise DaemonError(payload.get("error", "unknown daemon error"))
+        return payload
+    raise SolverError("daemon closed the connection without answering")
+
+
+def matrix_to_case(
+    case_id: str, matrix: BinaryMatrix
+) -> Dict[str, Any]:
+    """Wire form of one instance (compact mask encoding)."""
+    return {
+        "case_id": case_id,
+        "row_masks": list(matrix.row_masks),
+        "num_cols": matrix.num_cols,
+    }
+
+
+def submit(
+    socket_path: Union[str, Path],
+    cases: Sequence[Tuple[str, BinaryMatrix]],
+    *,
+    timeout: Optional[float] = None,
+    **options: Any,
+) -> Iterator[Dict[str, Any]]:
+    """Stream solve events for ``(case_id, matrix)`` pairs.
+
+    ``options`` are the request-level overrides the daemon accepts
+    (``members``, ``seed``, ``budget_per_instance``,
+    ``budget_per_member``, ``stop_when_optimal``, ``race``).  Error
+    events raise :class:`DaemonError`; the terminating ``batch_done``
+    line is yielded last so callers can read the completion counts.
+    """
+    request: Dict[str, Any] = {
+        "op": "solve",
+        "cases": [
+            matrix_to_case(case_id, matrix) for case_id, matrix in cases
+        ],
+    }
+    request.update(options)
+    for payload in stream_request(socket_path, request, timeout=timeout):
+        if payload.get("event") == "error":
+            raise DaemonError(payload.get("error", "unknown daemon error"))
+        yield payload
+
+
+def collect(
+    socket_path: Union[str, Path],
+    cases: Sequence[Tuple[str, BinaryMatrix]],
+    *,
+    timeout: Optional[float] = None,
+    **options: Any,
+) -> List[Dict[str, Any]]:
+    """Just the ``done`` provenance records, in completion order."""
+    records: List[Dict[str, Any]] = []
+    for payload in submit(socket_path, cases, timeout=timeout, **options):
+        if payload.get("event") == "done":
+            records.append(payload)
+    return records

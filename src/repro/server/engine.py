@@ -1,0 +1,575 @@
+"""Async streaming solve engine: results as they finish, not as a batch.
+
+:func:`repro.service.batch.solve_batch` barriers on the whole batch —
+callers see nothing until the slowest instance lands, even though EBMF
+suites mix microsecond heuristic hits with multi-second exact proofs.
+:class:`AsyncSolveEngine` runs the same portfolio solves on an executor
+behind an :mod:`asyncio` front and yields :class:`SolveEvent` s through
+an async iterator the moment each stage completes::
+
+    engine = AsyncSolveEngine(members=("trivial", "packing:8", "sap"))
+    async for event in engine.stream(cases):
+        ...  # queued -> started -> member_finished* -> done, per case
+
+Backpressure is bounded by ``workers``: at most that many instances are
+in flight on the executor at once; the rest wait in submission order.
+Each in-flight instance can be cancelled cooperatively by case id
+(:meth:`cancel`), which aborts the exact backends at their next
+deadline poll.
+
+The default executor runs solver threads in-process — on CPython the
+GIL serializes the pure-Python solvers, so threads trade no throughput
+away on a single core while keeping live ``member_finished`` events and
+mid-flight cancellation.  ``executor="process"`` fans instances over a
+:class:`concurrent.futures.ProcessPoolExecutor` instead (real
+parallelism on multi-core hosts), at the cost of member-level events
+and of cancellation only taking effect before an instance starts.
+
+A long-lived engine amortizes executor and cache warmup across many
+``stream``/``solve`` calls — that is what
+:mod:`repro.server.daemon` serves over a unix socket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    AsyncIterator,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.core.exceptions import SolverError
+from repro.service.batch import (
+    BatchRecord,
+    CaseLike,
+    _solve_payload,
+    as_batch_items,
+    instance_seed,
+    solve_context,
+)
+from repro.service.budget import PortfolioBudget
+from repro.service.cache import ResultCache, matrix_key
+from repro.service.portfolio import (
+    DEFAULT_PORTFOLIO,
+    RACE_MODES,
+    MemberOutcome,
+    PortfolioResult,
+    is_exact_member,
+    result_from_dict,
+    solve_portfolio,
+    validate_members,
+)
+from repro.server.racing import RaceToken
+
+EXECUTOR_KINDS = ("thread", "process")
+
+QUEUED = "queued"
+STARTED = "started"
+MEMBER_FINISHED = "member_finished"
+DONE = "done"
+CANCELLED = "cancelled"
+FAILED = "failed"
+
+TERMINAL_EVENTS = (DONE, CANCELLED, FAILED)
+"""Exactly one of these ends each submitted case's event stream."""
+
+
+@dataclass(frozen=True)
+class SolveEvent:
+    """One step of one instance's life inside the engine."""
+
+    kind: str
+    case_id: str
+    member: Optional[str] = None
+    depth: Optional[int] = None
+    proved_optimal: bool = False
+    skipped: bool = False
+    from_cache: bool = False
+    error: Optional[str] = None
+    record: Optional[BatchRecord] = field(default=None, repr=False)
+
+    @property
+    def terminal(self) -> bool:
+        return self.kind in TERMINAL_EVENTS
+
+    def as_dict(self, *, include_timing: bool = True) -> Dict[str, Any]:
+        """JSON-lines wire form (the daemon protocol)."""
+        payload: Dict[str, Any] = {
+            "event": self.kind,
+            "case_id": self.case_id,
+        }
+        if self.member is not None:
+            payload["member"] = self.member
+            payload["proved_optimal"] = self.proved_optimal
+            payload["skipped"] = self.skipped
+        if self.depth is not None:
+            payload["depth"] = self.depth
+        if self.from_cache:
+            payload["from_cache"] = True
+        if self.error is not None:
+            payload["error"] = self.error
+        if self.record is not None:
+            payload["provenance"] = self.record.provenance(
+                include_timing=include_timing
+            )
+        return payload
+
+
+def cancellation_affected(result: PortfolioResult) -> bool:
+    """Did a cancel flag actually cut this solve short?
+
+    A cancel that lands *after* the solve finished leaves a complete
+    result — throwing it away (and not caching it) would waste the work
+    already paid for.  Conservative in the other direction: an exact
+    member that finished unproven without an error may have absorbed
+    the cancel silently mid-descent, so it counts as affected.
+    """
+    for outcome in result.outcomes:
+        if outcome.skipped and outcome.error == "cancelled":
+            return True
+        if outcome.error is not None and "cancelled" in outcome.error:
+            return True
+        if (
+            is_exact_member(outcome.name)
+            and not outcome.skipped
+            and not outcome.proved_optimal
+            and outcome.error is None
+        ):
+            return True
+    return False
+
+
+def _member_event(case_id: str, outcome: MemberOutcome) -> SolveEvent:
+    return SolveEvent(
+        kind=MEMBER_FINISHED,
+        case_id=case_id,
+        member=outcome.name,
+        depth=outcome.depth,
+        proved_optimal=outcome.proved_optimal,
+        skipped=outcome.skipped,
+        error=outcome.error,
+    )
+
+
+@dataclass(frozen=True)
+class _StreamOptions:
+    """One stream call's resolved configuration."""
+
+    members: Tuple[str, ...]
+    seed: Optional[int]
+    budget_per_instance: Optional[float]
+    budget_per_member: Optional[float]
+    stop_when_optimal: bool
+    race: str
+
+
+class AsyncSolveEngine:
+    """Streaming portfolio solves over a shared executor and cache."""
+
+    def __init__(
+        self,
+        *,
+        members: Sequence[str] = DEFAULT_PORTFOLIO,
+        seed: Optional[int] = 2024,
+        workers: int = 1,
+        cache: Optional[ResultCache] = None,
+        budget_per_instance: Optional[float] = None,
+        budget_per_member: Optional[float] = None,
+        stop_when_optimal: bool = True,
+        race: str = "sequential",
+        executor: str = "thread",
+    ) -> None:
+        if workers < 1:
+            raise SolverError(f"workers must be >= 1, got {workers}")
+        if race not in RACE_MODES:
+            raise SolverError(
+                f"race must be one of {RACE_MODES}, got {race!r}"
+            )
+        if executor not in EXECUTOR_KINDS:
+            raise SolverError(
+                f"executor must be one of {EXECUTOR_KINDS}, got {executor!r}"
+            )
+        validate_members(members)
+        self.members = tuple(members)
+        self.seed = seed
+        self.workers = workers
+        self.cache = cache
+        self.budget_per_instance = budget_per_instance
+        self.budget_per_member = budget_per_member
+        self.stop_when_optimal = stop_when_optimal
+        self.race = race
+        self.executor_kind = executor
+        self._executor: Optional[concurrent.futures.Executor] = None
+        self._semaphore: Optional[asyncio.Semaphore] = None
+        self._semaphore_loop: Optional[asyncio.AbstractEventLoop] = None
+        self._active: Dict[str, RaceToken] = {}
+        self._solved = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_executor(self) -> concurrent.futures.Executor:
+        if self._executor is None:
+            if self.executor_kind == "process":
+                self._executor = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=self.workers
+                )
+            else:
+                self._executor = concurrent.futures.ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix="solve-engine",
+                )
+        return self._executor
+
+    def _in_flight_semaphore(self) -> asyncio.Semaphore:
+        # Semaphores bind to the running loop; recreate when the engine
+        # outlives an ``asyncio.run`` (tests, repeated CLI calls).
+        loop = asyncio.get_running_loop()
+        if self._semaphore is None or self._semaphore_loop is not loop:
+            self._semaphore = asyncio.Semaphore(self.workers)
+            self._semaphore_loop = loop
+        return self._semaphore
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    async def __aenter__(self) -> "AsyncSolveEngine":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Cancellation
+    # ------------------------------------------------------------------
+    def cancel(self, case_id: str) -> bool:
+        """Cooperatively cancel an in-flight or queued instance.
+
+        Returns whether the id named an active instance.  A queued
+        instance reports ``cancelled`` without ever starting; a running
+        one aborts at its solvers' next deadline poll and reports
+        ``cancelled`` with whatever partial work completed.
+        """
+        token = self._active.get(case_id)
+        if token is None:
+            return False
+        token.set()
+        return True
+
+    def stats(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "members": list(self.members),
+            "workers": self.workers,
+            "race": self.race,
+            "executor": self.executor_kind,
+            "active": len(self._active),
+            "solved": self._solved,
+        }
+        if self.cache is not None:
+            payload["cache"] = self.cache.stats.as_dict()
+            payload["cache_entries"] = len(self.cache)
+        return payload
+
+    # ------------------------------------------------------------------
+    # Streaming
+    # ------------------------------------------------------------------
+    def _resolve_options(
+        self,
+        members: Optional[Sequence[str]],
+        seed: Optional[int],
+        budget_per_instance: Optional[float],
+        budget_per_member: Optional[float],
+        stop_when_optimal: Optional[bool],
+        race: Optional[str],
+    ) -> _StreamOptions:
+        if members is not None:
+            validate_members(members)
+        if race is not None and race not in RACE_MODES:
+            raise SolverError(
+                f"race must be one of {RACE_MODES}, got {race!r}"
+            )
+        return _StreamOptions(
+            members=(
+                self.members if members is None else tuple(members)
+            ),
+            seed=self.seed if seed is None else seed,
+            budget_per_instance=(
+                self.budget_per_instance
+                if budget_per_instance is None
+                else budget_per_instance
+            ),
+            budget_per_member=(
+                self.budget_per_member
+                if budget_per_member is None
+                else budget_per_member
+            ),
+            stop_when_optimal=(
+                self.stop_when_optimal
+                if stop_when_optimal is None
+                else stop_when_optimal
+            ),
+            race=self.race if race is None else race,
+        )
+
+    async def stream(
+        self,
+        cases: Sequence[CaseLike],
+        *,
+        members: Optional[Sequence[str]] = None,
+        seed: Optional[int] = None,
+        budget_per_instance: Optional[float] = None,
+        budget_per_member: Optional[float] = None,
+        stop_when_optimal: Optional[bool] = None,
+        race: Optional[str] = None,
+    ) -> AsyncIterator[SolveEvent]:
+        """Yield events for ``cases`` as instances progress.
+
+        Per-call keyword arguments override the engine defaults for
+        this stream only.  Events for different instances interleave in
+        completion order; each instance's own events are ordered
+        ``queued``, (``started``, ``member_finished``...,) then exactly
+        one terminal ``done`` / ``cancelled`` / ``failed``.  Results
+        are cached and the cache is flushed when the stream drains.
+        """
+        options = self._resolve_options(
+            members,
+            seed,
+            budget_per_instance,
+            budget_per_member,
+            stop_when_optimal,
+            race,
+        )
+        items = as_batch_items(list(cases), members=options.members)
+        for member_set in {item.members for item in items}:
+            if member_set is not None:
+                validate_members(member_set)
+
+        queue: "asyncio.Queue[SolveEvent]" = asyncio.Queue()
+        tokens: Dict[str, RaceToken] = {}
+        tasks: List[asyncio.Task] = []
+        for item in items:
+            token = RaceToken()
+            tokens[item.case_id] = token
+            self._active[item.case_id] = token
+            tasks.append(
+                asyncio.create_task(
+                    self._solve_one(item, options, queue, token),
+                    name=f"solve-{item.case_id}",
+                )
+            )
+
+        remaining = len(items)
+        try:
+            while remaining:
+                event = await queue.get()
+                if event.terminal:
+                    remaining -= 1
+                yield event
+        finally:
+            if remaining:
+                # The consumer abandoned the stream: stop the work, not
+                # just the bookkeeping tasks.
+                for token in tokens.values():
+                    token.set()
+                for task in tasks:
+                    task.cancel()
+            for task in tasks:
+                try:
+                    await task
+                except (asyncio.CancelledError, Exception):
+                    pass
+            for case_id, token in tokens.items():
+                if self._active.get(case_id) is token:
+                    del self._active[case_id]
+            if self.cache is not None:
+                self.cache.flush()
+
+    async def _solve_one(
+        self,
+        item: Any,
+        options: _StreamOptions,
+        queue: "asyncio.Queue[SolveEvent]",
+        token: RaceToken,
+    ) -> None:
+        case_id = item.case_id
+        await queue.put(SolveEvent(kind=QUEUED, case_id=case_id))
+        try:
+            async with self._in_flight_semaphore():
+                if token.is_set():
+                    await queue.put(
+                        SolveEvent(
+                            kind=CANCELLED,
+                            case_id=case_id,
+                            error="cancelled before start",
+                        )
+                    )
+                    return
+                item_members = (
+                    item.members
+                    if item.members is not None
+                    else options.members
+                )
+                context = solve_context(
+                    tuple(item_members),
+                    instance_seed(options.seed, case_id),
+                    options.budget_per_instance,
+                    options.budget_per_member,
+                    options.stop_when_optimal,
+                    options.race,
+                )
+                key = matrix_key(item.matrix, context)
+                if self.cache is not None:
+                    cached = self.cache.get_by_key(key)
+                    if cached is not None:
+                        await queue.put(
+                            SolveEvent(
+                                kind=DONE,
+                                case_id=case_id,
+                                depth=cached.depth,
+                                from_cache=True,
+                                record=BatchRecord(
+                                    case_id=case_id,
+                                    key=key,
+                                    result=cached,
+                                ),
+                            )
+                        )
+                        return
+                await queue.put(SolveEvent(kind=STARTED, case_id=case_id))
+                result = await self._solve_in_executor(
+                    item, options, queue, token
+                )
+                if token.is_set() and cancellation_affected(result):
+                    await queue.put(
+                        SolveEvent(
+                            kind=CANCELLED,
+                            case_id=case_id,
+                            depth=result.depth,
+                            error="cancelled mid-solve",
+                        )
+                    )
+                    return
+                # A cancel that arrived after the solve completed (or
+                # never touched it) leaves a full result: keep it.
+                if self.cache is not None:
+                    self.cache.put(item.matrix, result, context)
+                self._solved += 1
+                await queue.put(
+                    SolveEvent(
+                        kind=DONE,
+                        case_id=case_id,
+                        depth=result.depth,
+                        record=BatchRecord(
+                            case_id=case_id, key=key, result=result
+                        ),
+                    )
+                )
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # every case must emit a terminal event,
+            # or the stream would wait forever on an internal error.
+            await queue.put(
+                SolveEvent(
+                    kind=FAILED,
+                    case_id=case_id,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            )
+
+    async def _solve_in_executor(
+        self,
+        item: Any,
+        options: _StreamOptions,
+        queue: "asyncio.Queue[SolveEvent]",
+        token: RaceToken,
+    ) -> PortfolioResult:
+        loop = asyncio.get_running_loop()
+        case_id = item.case_id
+        members = (
+            item.members if item.members is not None else options.members
+        )
+        seed = instance_seed(options.seed, case_id)
+        executor = self._ensure_executor()
+
+        if self.executor_kind == "process":
+            # Cross-process: reuse the batch worker payload.  Member
+            # events and mid-run cancellation don't cross the pickle
+            # boundary; cancellation still applies up to the start.
+            payload = (
+                case_id,
+                item.matrix.row_masks,
+                item.matrix.num_cols,
+                tuple(members),
+                seed,
+                options.budget_per_instance,
+                options.budget_per_member,
+                options.stop_when_optimal,
+                options.race,
+            )
+            _, result_dict = await loop.run_in_executor(
+                executor, _solve_payload, payload
+            )
+            return result_from_dict(result_dict)
+
+        def on_member(outcome: MemberOutcome) -> None:
+            # Called from the solver thread; hop back onto the loop.
+            loop.call_soon_threadsafe(
+                queue.put_nowait, _member_event(case_id, outcome)
+            )
+
+        def solve() -> PortfolioResult:
+            return solve_portfolio(
+                item.matrix,
+                members=members,
+                seed=seed,
+                budget=PortfolioBudget(
+                    options.budget_per_instance,
+                    per_member_seconds=options.budget_per_member,
+                ),
+                stop_when_optimal=options.stop_when_optimal,
+                race=options.race,
+                cancel=token,
+                on_member=on_member,
+            )
+
+        return await loop.run_in_executor(executor, solve)
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    async def solve(
+        self, cases: Sequence[CaseLike], **overrides: Any
+    ) -> List[BatchRecord]:
+        """Drain a stream into input-ordered records (async solve_batch).
+
+        Raises :class:`SolverError` if any instance failed or was
+        cancelled — callers that need partial results should consume
+        :meth:`stream` directly.
+        """
+        by_id: Dict[str, BatchRecord] = {}
+        problems: List[str] = []
+        order: List[str] = []
+        async for event in self.stream(cases, **overrides):
+            if event.kind == QUEUED:
+                order.append(event.case_id)
+            elif event.kind == DONE:
+                assert event.record is not None
+                by_id[event.case_id] = event.record
+            elif event.kind in (CANCELLED, FAILED):
+                problems.append(
+                    f"{event.case_id}: {event.error or event.kind}"
+                )
+        if problems:
+            raise SolverError(
+                "streaming solve incomplete: " + "; ".join(problems)
+            )
+        return [by_id[case_id] for case_id in order]

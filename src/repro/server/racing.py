@@ -1,0 +1,153 @@
+"""Intra-instance racing: run exact backends concurrently, cancel losers.
+
+The sequential portfolio gives each exact backend its own time slice;
+when SAP certifies in milliseconds, a ``branch_bound`` member that was
+*earlier* in the spec burns its whole slice first.  Racing runs every
+exact member in its own thread against the same wall clock and delivers
+a cooperative cancel to the losers the moment one proves optimality —
+the branch-and-bound search polls its deadline every 64 nodes and the
+SMT descent between oracle queries, so losers die quickly.
+
+Determinism contract
+--------------------
+
+A race's *completion order* is scheduler noise, so two rules keep the
+provenance reproducible:
+
+* a certifying racer only cancels members **later in spec order** —
+  earlier members always run to completion, so the first-prover-in-spec
+  -order resolution of :func:`repro.service.portfolio._resolve` cannot
+  flip between runs;
+* outcomes are returned in spec order regardless of completion order.
+
+Member order is therefore a priority order: put the backend you trust
+to certify fastest first (the default portfolio puts ``sap`` before
+``branch_bound``).
+
+The GIL makes the race concurrent rather than parallel for these pure
+Python solvers; the win is *latency* — the portfolio no longer waits
+for a loser's full budget slice — not extra throughput.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.partition import Partition
+
+RACE_LOSS = "cancelled: lost intra-instance race"
+"""Error recorded on racers aborted because a peer certified first."""
+
+
+class RaceToken:
+    """Cooperative cancellation flag, optionally chained to a parent.
+
+    ``is_set()`` reads true once this token *or any ancestor* is set, so
+    a per-instance cancel from :class:`repro.server.engine
+    .AsyncSolveEngine` propagates into every racer without the racers
+    sharing one event (racers must be cancellable individually).
+    """
+
+    def __init__(self, parent: Optional[object] = None) -> None:
+        self._event = threading.Event()
+        self._parent = parent
+
+    def set(self) -> None:
+        self._event.set()
+
+    def is_set(self) -> bool:
+        if self._event.is_set():
+            return True
+        parent = self._parent
+        return parent is not None and parent.is_set()
+
+    def __repr__(self) -> str:
+        return f"RaceToken(set={self.is_set()})"
+
+
+def race_members(
+    matrix: BinaryMatrix,
+    members: Sequence[str],
+    *,
+    seeds: Optional[Dict[str, Optional[int]]] = None,
+    time_budget: Optional[float] = None,
+    upper_hint: Optional[Partition] = None,
+    cancel: Optional[object] = None,
+    cancel_losers: bool = True,
+) -> List["MemberOutcome"]:
+    """Run ``members`` concurrently on ``matrix``; outcomes in spec order.
+
+    Every member gets the same ``time_budget`` (they overlap on the wall
+    clock, so the budget is a per-racer bound, not a shared pot) and the
+    same ``upper_hint``.  With ``cancel_losers`` a proof of optimality
+    cancels all members later in spec order; losers that abort report a
+    ``cancelled: ...`` error instead of a bare budget exhaustion.
+    ``cancel`` chains an external per-instance abort into every racer.
+    """
+    from repro.service.portfolio import MemberOutcome, run_member
+
+    names = list(members)
+    if not names:
+        return []
+    seeds = seeds or {}
+    if len(names) == 1:
+        # No peers to race; keep the call single-threaded.
+        return [
+            run_member(
+                matrix,
+                names[0],
+                seed=seeds.get(names[0]),
+                time_budget=time_budget,
+                upper_hint=upper_hint,
+                cancel=cancel,
+            )
+        ]
+
+    tokens = {name: RaceToken(parent=cancel) for name in names}
+    outcomes: List[Optional[MemberOutcome]] = [None] * len(names)
+    lock = threading.Lock()
+
+    def work(index: int, name: str) -> None:
+        outcome = run_member(
+            matrix,
+            name,
+            seed=seeds.get(name),
+            time_budget=time_budget,
+            upper_hint=upper_hint,
+            cancel=tokens[name],
+        )
+        with lock:
+            outcomes[index] = outcome
+            if cancel_losers and outcome.proved_optimal:
+                for loser in names[index + 1:]:
+                    tokens[loser].set()
+
+    threads = [
+        threading.Thread(
+            target=work,
+            args=(index, name),
+            name=f"race-{name}",
+            daemon=True,
+        )
+        for index, name in enumerate(names)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    settled: List[MemberOutcome] = []
+    for name, outcome in zip(names, outcomes):
+        assert outcome is not None  # every thread writes its slot
+        aborted = (
+            tokens[name].is_set()
+            and not outcome.proved_optimal
+            and outcome.error is not None
+        )
+        if aborted and (cancel is None or not cancel.is_set()):
+            outcome = replace(outcome, error=RACE_LOSS)
+        settled.append(outcome)
+    return settled

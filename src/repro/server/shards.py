@@ -1,0 +1,203 @@
+"""Hash-prefix-sharded disk tier for the result cache.
+
+The single-file JSON tier rewrites the whole cache on every flush, so
+two batch runners sharing one cache file on a host would silently drop
+each other's entries (last writer wins).  This tier spreads entries over
+``16**prefix_len`` shard files keyed by the leading hex digits of the
+content hash, and makes every shard update a *merge* under an exclusive
+file lock followed by an atomic tempfile + ``os.replace`` — concurrent
+writers interleave per shard instead of clobbering each other, and a
+crash mid-write can never leave a torn shard behind.
+
+Locking uses ``fcntl.flock`` on a sidecar ``.lock`` file (never the
+shard itself: ``os.replace`` swaps inodes, and a lock on a replaced
+inode protects nothing).  On platforms without ``fcntl`` the tier
+degrades to lock-free atomic replaces — still torn-proof, but
+concurrent merges may then lose races; the repo only targets POSIX.
+
+A :class:`ShardedDiskTier` pointed at an existing single-file JSON
+cache migrates it in place on first open: the file's entries are
+resharded into a directory of the same name.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Set, Union
+
+from repro.core.exceptions import SolverError
+from repro.utils.fileio import atomic_write_json, locked_file
+
+SHARD_FORMAT_VERSION = 1
+SHARD_TYPE = "portfolio_cache_shard"
+SINGLE_FILE_TYPE = "portfolio_cache"
+
+
+class ShardedDiskTier:
+    """Disk storage for :class:`repro.service.cache.ResultCache`.
+
+    Implements the pluggable-storage protocol (``load`` / ``get`` /
+    ``store`` / ``location``): ``load`` returns nothing so the memory
+    tier starts cold and reads through per key, ``get`` fetches one
+    entry from its shard, and ``store`` merges dirty entries into their
+    shards under per-shard locks.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        *,
+        prefix_len: int = 2,
+    ) -> None:
+        if not 1 <= prefix_len <= 4:
+            raise SolverError(
+                f"shard prefix length must be in [1, 4], got {prefix_len}"
+            )
+        self.root = Path(root)
+        self.prefix_len = prefix_len
+        self._open()
+
+    # -- layout --------------------------------------------------------
+    @property
+    def location(self) -> Path:
+        return self.root
+
+    def shard_path(self, key: str) -> Path:
+        prefix = key[: self.prefix_len].lower()
+        if len(prefix) < self.prefix_len or any(
+            c not in "0123456789abcdef" for c in prefix
+        ):
+            raise SolverError(f"cache key {key!r} is not a hex digest")
+        return self.root / f"shard-{prefix}.json"
+
+    def _lock_path(self, shard: Path) -> Path:
+        return shard.with_suffix(".lock")
+
+    def _global_lock(self) -> Path:
+        return self.root.parent / f"{self.root.name}.open.lock"
+
+    # -- open / migrate ------------------------------------------------
+    def _open(self) -> None:
+        # The global lock serializes first-open races: two processes
+        # may otherwise both see the single-file layout and fight over
+        # the migration.
+        with locked_file(self._global_lock()):
+            sidecar = self.root.with_name(self.root.name + ".migrating")
+            if self.root.is_file() or sidecar.exists():
+                self._migrate_single_file()
+            self.root.mkdir(parents=True, exist_ok=True)
+
+    def _migrate_single_file(self) -> None:
+        """Reshard a legacy single-file cache found at :attr:`root`.
+
+        The legacy file is renamed aside first and deleted only after
+        every shard write landed, so a crash mid-migration leaves
+        either the sidecar or the shards — never neither.  (A leftover
+        sidecar from a crashed migration is resumed on the next open.)
+        """
+        path = self.root
+        sidecar = path.with_name(path.name + ".migrating")
+        source = path if path.is_file() else sidecar
+        try:
+            with open(source) as stream:
+                payload = json.load(stream)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SolverError(
+                f"cannot migrate cache {source}: {exc}"
+            ) from exc
+        if payload.get("type") != SINGLE_FILE_TYPE:
+            raise SolverError(
+                f"{source} is not a portfolio cache "
+                f"(type={payload.get('type')!r}); refusing to migrate"
+            )
+        if source is path:
+            os.replace(path, sidecar)
+        entries = payload.get("entries", {})
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._merge(entries)
+        sidecar.unlink()
+
+    # -- shard IO ------------------------------------------------------
+    def _read_shard(self, shard: Path) -> Dict[str, Dict[str, Any]]:
+        try:
+            with open(shard) as stream:
+                payload = json.load(stream)
+        except FileNotFoundError:
+            return {}
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SolverError(f"cannot load cache shard {shard}: {exc}") from exc
+        if payload.get("type") != SHARD_TYPE:
+            raise SolverError(
+                f"{shard} is not a cache shard (type={payload.get('type')!r})"
+            )
+        if payload.get("version", 0) > SHARD_FORMAT_VERSION:
+            raise SolverError(
+                f"cache shard {shard} has version {payload['version']}, "
+                f"newer than supported {SHARD_FORMAT_VERSION}"
+            )
+        return payload["entries"]
+
+    def _write_shard(
+        self, shard: Path, entries: Dict[str, Dict[str, Any]]
+    ) -> None:
+        atomic_write_json(
+            shard,
+            {
+                "version": SHARD_FORMAT_VERSION,
+                "type": SHARD_TYPE,
+                "entries": entries,
+            },
+        )
+
+    def _merge(self, entries: Mapping[str, Dict[str, Any]]) -> None:
+        by_shard: Dict[Path, Dict[str, Dict[str, Any]]] = {}
+        for key, payload in entries.items():
+            by_shard.setdefault(self.shard_path(key), {})[key] = payload
+        for shard, fresh in sorted(by_shard.items()):
+            with locked_file(self._lock_path(shard)):
+                merged = self._read_shard(shard)
+                merged.update(fresh)
+                self._write_shard(shard, merged)
+
+    # -- storage protocol ----------------------------------------------
+    def load(self) -> Dict[str, Dict[str, Any]]:
+        """Nothing eagerly: shards are read through per key."""
+        return {}
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        shard = self.shard_path(key)
+        with locked_file(self._lock_path(shard)):
+            return self._read_shard(shard).get(key)
+
+    def store(
+        self,
+        entries: Mapping[str, Dict[str, Any]],
+        dirty: Optional[Set[str]] = None,
+    ) -> None:
+        """Merge ``entries`` (restricted to ``dirty`` keys) into shards."""
+        if dirty is not None:
+            entries = {
+                key: entries[key] for key in dirty if key in entries
+            }
+        if entries:
+            self._merge(entries)
+
+    # -- introspection -------------------------------------------------
+    def keys(self) -> Set[str]:
+        """Every key currently on disk (reads all shards; test/debug)."""
+        found: Set[str] = set()
+        for shard in sorted(self.root.glob("shard-*.json")):
+            with locked_file(self._lock_path(shard)):
+                found.update(self._read_shard(shard))
+        return found
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedDiskTier({str(self.root)!r}, "
+            f"prefix_len={self.prefix_len})"
+        )

@@ -15,10 +15,17 @@ from repro.service.batch import (
     solve_context,
 )
 from repro.service.budget import PortfolioBudget
-from repro.service.cache import CacheStats, ResultCache, matrix_key
+from repro.service.cache import (
+    CacheStats,
+    CacheStorage,
+    JsonFileTier,
+    ResultCache,
+    matrix_key,
+)
 from repro.service.portfolio import (
     DEFAULT_PORTFOLIO,
     EXACT_MEMBERS,
+    RACE_MODES,
     MemberOutcome,
     PortfolioResult,
     is_exact_member,
@@ -34,11 +41,14 @@ __all__ = [
     "BatchItem",
     "BatchRecord",
     "CacheStats",
+    "CacheStorage",
     "DEFAULT_PORTFOLIO",
     "EXACT_MEMBERS",
+    "JsonFileTier",
     "MemberOutcome",
     "PortfolioBudget",
     "PortfolioResult",
+    "RACE_MODES",
     "ResultCache",
     "as_batch_items",
     "instance_seed",

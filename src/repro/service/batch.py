@@ -24,6 +24,7 @@ from repro.service.budget import BudgetLike, PortfolioBudget
 from repro.service.cache import ResultCache, matrix_key
 from repro.service.portfolio import (
     DEFAULT_PORTFOLIO,
+    RACE_MODES,
     PortfolioResult,
     result_from_dict,
     result_to_dict,
@@ -98,17 +99,24 @@ def solve_context(
     budget_total: Optional[float],
     budget_per_member: Optional[float],
     stop_when_optimal: bool,
+    race: str = "sequential",
 ) -> str:
     """Cache-key context for one configured solve.
 
     Folded into :func:`repro.service.cache.matrix_key` so a cache can
     never serve a result computed under a different member set, seed,
-    or budget for the same matrix content.
+    or budget for the same matrix content.  Concurrent racing gets its
+    own key space (per-member records legitimately differ between race
+    modes); the default stays byte-compatible with caches written
+    before the ``race`` flag existed.
     """
-    return (
+    context = (
         f"members={','.join(members)}|seed={seed}|total={budget_total}"
         f"|per={budget_per_member}|stop={stop_when_optimal}"
     )
+    if race != "sequential":
+        context += f"|race={race}"
+    return context
 
 
 @dataclass
@@ -147,11 +155,20 @@ def _solve_payload(
         Optional[float],  # per-instance budget (seconds)
         Optional[float],  # per-member budget (seconds)
         bool,  # stop_when_optimal
+        str,  # race mode
     ]
 ) -> Tuple[str, Dict[str, Any]]:
-    case_id, row_masks, num_cols, members, seed, total, per_member, stop = (
-        payload
-    )
+    (
+        case_id,
+        row_masks,
+        num_cols,
+        members,
+        seed,
+        total,
+        per_member,
+        stop,
+        race,
+    ) = payload
     matrix = BinaryMatrix(row_masks, num_cols)
     result = solve_portfolio(
         matrix,
@@ -159,6 +176,7 @@ def _solve_payload(
         seed=seed,
         budget=PortfolioBudget(total, per_member_seconds=per_member),
         stop_when_optimal=stop,
+        race=race,
     )
     return case_id, result_to_dict(result)
 
@@ -174,6 +192,7 @@ def solve_batch(
     budget_per_instance: BudgetLike = None,
     budget_per_member: Optional[float] = None,
     stop_when_optimal: bool = True,
+    race: str = "sequential",
 ) -> List[BatchRecord]:
     """Solve every case with the portfolio, in input order.
 
@@ -182,10 +201,15 @@ def solve_batch(
     ``multiprocessing`` pool) and written back, and the cache's disk
     tier is flushed once at the end.  Records come back in input order
     regardless of completion order.  ``budget_per_instance`` caps one
-    instance's whole race, ``budget_per_member`` one solver within it.
+    instance's whole race, ``budget_per_member`` one solver within it;
+    ``race="concurrent"`` turns each instance's exact-backend slice
+    into a cancel-the-losers thread race (see
+    :mod:`repro.server.racing`).
     """
     if workers < 1:
         raise SolverError(f"workers must be >= 1, got {workers}")
+    if race not in RACE_MODES:
+        raise SolverError(f"race must be one of {RACE_MODES}, got {race!r}")
     budget_seconds: Optional[float]
     if budget_per_instance is None:
         budget_seconds = None
@@ -209,6 +233,7 @@ def solve_batch(
             budget_seconds,
             budget_per_member,
             stop_when_optimal,
+            race,
         )
 
     results: Dict[str, PortfolioResult] = {}
@@ -234,6 +259,7 @@ def solve_batch(
                 budget_seconds,
                 budget_per_member,
                 stop_when_optimal,
+                race,
             )
         )
 

@@ -3,9 +3,17 @@
 Results are keyed on the matrix's canonical content hash — the row-mask
 tuple plus the column count, exactly the fields :class:`BinaryMatrix`
 hashes on — so any reconstruction of an equal matrix hits the same
-entry.  The in-memory tier is a bounded LRU; an optional JSON file
-persists entries across processes (the batch runner flushes it after
-every batch).
+entry.  The in-memory tier is a bounded LRU; a pluggable storage tier
+persists entries across processes:
+
+* :class:`JsonFileTier` — the original single-file JSON layout (one
+  writer at a time; the whole cache rewritten per flush, atomically);
+* :class:`repro.server.shards.ShardedDiskTier` — hash-prefix shard
+  files with ``fcntl`` locking and merge-on-write, safe for concurrent
+  runners sharing one cache directory (``ResultCache.sharded``).
+
+Both tiers write through an atomic tempfile + ``os.replace``, so a
+crash mid-flush can never leave a torn cache file.
 """
 
 from __future__ import annotations
@@ -15,10 +23,11 @@ import json
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, Mapping, Optional, Set, Union
 
 from repro.core.binary_matrix import BinaryMatrix
 from repro.core.exceptions import SolverError
+from repro.utils.fileio import atomic_write_json
 from repro.service.portfolio import (
     PortfolioResult,
     result_from_dict,
@@ -53,22 +62,109 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    disk_hits: int = 0
+    """Hits served by the storage tier (subset of ``hits``)."""
 
     def as_dict(self) -> Dict[str, int]:
         return {
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "disk_hits": self.disk_hits,
         }
+
+
+class CacheStorage:
+    """Storage-tier protocol for :class:`ResultCache`.
+
+    ``load`` seeds the memory tier at open (may return nothing for
+    read-through tiers); ``get`` fetches one entry on a memory miss;
+    ``store`` persists entries at flush (``dirty`` names the keys
+    written since the last flush, letting merge-style tiers touch only
+    what changed).  ``location`` is where the data lives, for logs.
+    """
+
+    location: Optional[Path] = None
+
+    def load(self) -> Dict[str, Dict[str, Any]]:
+        return {}
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        return None
+
+    def store(
+        self,
+        entries: Mapping[str, Dict[str, Any]],
+        dirty: Optional[Set[str]] = None,
+    ) -> None:
+        raise NotImplementedError
+
+
+class JsonFileTier(CacheStorage):
+    """The original single-file JSON disk tier.
+
+    Entries are serialized in LRU order (least recent first), so a
+    reload reconstructs the same recency order and capacity-driven
+    evictions after a round trip still drop the least recently used
+    entry.  The whole file is rewritten per store — atomically, via
+    tempfile + ``os.replace`` — which makes this tier safe against
+    crashes but still last-writer-wins across processes; use the
+    sharded tier when several runners share one cache.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    @property
+    def location(self) -> Path:  # type: ignore[override]
+        return self.path
+
+    def load(self) -> Dict[str, Dict[str, Any]]:
+        if not self.path.exists():
+            return {}
+        try:
+            with open(self.path) as stream:
+                payload = json.load(stream)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SolverError(
+                f"cannot load cache {self.path}: {exc}"
+            ) from exc
+        if payload.get("type") != "portfolio_cache":
+            raise SolverError(
+                f"{self.path} is not a portfolio cache "
+                f"(type={payload.get('type')!r})"
+            )
+        if payload.get("version", 0) > CACHE_FORMAT_VERSION:
+            raise SolverError(
+                f"cache {self.path} has version {payload['version']}, "
+                f"newer than supported {CACHE_FORMAT_VERSION}"
+            )
+        return dict(payload["entries"])
+
+    def store(
+        self,
+        entries: Mapping[str, Dict[str, Any]],
+        dirty: Optional[Set[str]] = None,
+    ) -> None:
+        atomic_write_json(
+            self.path,
+            {
+                "version": CACHE_FORMAT_VERSION,
+                "type": "portfolio_cache",
+                "entries": dict(entries),
+            },
+        )
 
 
 class ResultCache:
     """LRU cache of :class:`PortfolioResult` keyed by matrix content.
 
     Entries are stored as JSON-able dicts, so a hit reconstructs a
-    fresh result object (flagged ``from_cache=True``) and the disk tier
-    round-trips losslessly.  ``capacity`` bounds the in-memory tier;
-    eviction drops the least recently used entry.
+    fresh result object (flagged ``from_cache=True``) and the storage
+    tier round-trips losslessly.  ``capacity`` bounds the in-memory
+    tier; eviction drops the least recently used entry (evicted dirty
+    entries are retained off to the side until the next flush, so a
+    small memory tier cannot lose fresh results).
     """
 
     def __init__(
@@ -76,15 +172,49 @@ class ResultCache:
         capacity: int = 1024,
         *,
         path: Optional[Union[str, Path]] = None,
+        storage: Optional[CacheStorage] = None,
     ) -> None:
         if capacity < 1:
             raise SolverError(f"cache capacity must be >= 1, got {capacity}")
+        if path is not None and storage is not None:
+            raise SolverError("pass either path or storage, not both")
+        if path is not None:
+            storage = JsonFileTier(path)
         self.capacity = capacity
-        self.path = None if path is None else Path(path)
+        self.storage = storage
         self.stats = CacheStats()
         self._entries: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
-        if self.path is not None and self.path.exists():
-            self._load(self.path)
+        self._dirty: Set[str] = set()
+        self._evicted_dirty: Dict[str, Dict[str, Any]] = {}
+        if self.storage is not None:
+            for key, entry in self.storage.load().items():
+                self._entries[key] = entry
+            self._enforce_capacity()
+
+    @classmethod
+    def sharded(
+        cls,
+        root: Union[str, Path],
+        *,
+        capacity: int = 1024,
+        prefix_len: int = 2,
+    ) -> "ResultCache":
+        """A cache over the concurrent-safe sharded disk tier.
+
+        ``root`` may name an existing single-file JSON cache, which is
+        migrated into a shard directory on first open.
+        """
+        from repro.server.shards import ShardedDiskTier
+
+        return cls(
+            capacity,
+            storage=ShardedDiskTier(root, prefix_len=prefix_len),
+        )
+
+    @property
+    def path(self) -> Optional[Path]:
+        """Where the storage tier persists entries (``None`` = memory only)."""
+        return None if self.storage is None else self.storage.location
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -100,10 +230,18 @@ class ResultCache:
 
     def get_by_key(self, key: str) -> Optional[PortfolioResult]:
         payload = self._entries.get(key)
+        if payload is None and self.storage is not None:
+            payload = self._evicted_dirty.get(key)
+            if payload is None:
+                payload = self.storage.get(key)
+            if payload is not None:
+                self.stats.disk_hits += 1
+                self._insert(key, payload, dirty=False)
         if payload is None:
             self.stats.misses += 1
             return None
-        self._entries.move_to_end(key)
+        if key in self._entries:
+            self._entries.move_to_end(key)
         self.stats.hits += 1
         return result_from_dict(payload, from_cache=True)
 
@@ -115,61 +253,50 @@ class ResultCache:
     ) -> str:
         """Insert (or refresh) the entry for ``matrix``; returns its key."""
         key = matrix_key(matrix, context)
-        self._entries[key] = result_to_dict(result)
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        self._insert(key, result_to_dict(result), dirty=True)
         return key
+
+    def _insert(
+        self, key: str, payload: Dict[str, Any], *, dirty: bool
+    ) -> None:
+        self._entries[key] = payload
+        self._entries.move_to_end(key)
+        if dirty:
+            self._dirty.add(key)
+            self._evicted_dirty.pop(key, None)
+        self._enforce_capacity()
+
+    def _enforce_capacity(self) -> None:
+        while len(self._entries) > self.capacity:
+            evicted_key, evicted_payload = self._entries.popitem(last=False)
+            if evicted_key in self._dirty:
+                self._dirty.discard(evicted_key)
+                self._evicted_dirty[evicted_key] = evicted_payload
+            self.stats.evictions += 1
 
     def clear(self) -> None:
         self._entries.clear()
+        self._dirty.clear()
+        self._evicted_dirty.clear()
 
     # ------------------------------------------------------------------
-    # Disk tier
+    # Storage tier
     # ------------------------------------------------------------------
     def flush(self) -> Optional[Path]:
-        """Write all entries to ``path`` (no-op without a path).
-
-        Entries are serialized in LRU order (least recent first) and
-        ``sort_keys`` is off for them, so a reload reconstructs the
-        same recency order and capacity-driven evictions after a round
-        trip still drop the least recently used entry.
-        """
-        if self.path is None:
+        """Persist entries to the storage tier (no-op without one)."""
+        if self.storage is None:
             return None
-        payload = {
-            "version": CACHE_FORMAT_VERSION,
-            "type": "portfolio_cache",
-            "entries": dict(self._entries),
-        }
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with open(self.path, "w") as stream:
-            json.dump(payload, stream, indent=2)
-            stream.write("\n")
-        return self.path
-
-    def _load(self, path: Path) -> None:
-        try:
-            with open(path) as stream:
-                payload = json.load(stream)
-        except (OSError, json.JSONDecodeError) as exc:
-            raise SolverError(f"cannot load cache {path}: {exc}") from exc
-        if payload.get("type") != "portfolio_cache":
-            raise SolverError(
-                f"{path} is not a portfolio cache "
-                f"(type={payload.get('type')!r})"
-            )
-        if payload.get("version", 0) > CACHE_FORMAT_VERSION:
-            raise SolverError(
-                f"cache {path} has version {payload['version']}, newer than "
-                f"supported {CACHE_FORMAT_VERSION}"
-            )
-        for key, entry in payload["entries"].items():
-            self._entries[key] = entry
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        if self._evicted_dirty:
+            combined: Dict[str, Dict[str, Any]] = dict(self._evicted_dirty)
+            combined.update(self._entries)
+            dirty = self._dirty | set(self._evicted_dirty)
+        else:
+            combined = self._entries
+            dirty = set(self._dirty)
+        self.storage.store(combined, dirty=dirty)
+        self._dirty.clear()
+        self._evicted_dirty.clear()
+        return self.storage.location
 
     def __repr__(self) -> str:
         return (

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.binary_matrix import BinaryMatrix
 from repro.core.bounds import rank_lower_bound
@@ -35,6 +35,7 @@ from repro.core.exceptions import (
 )
 from repro.core.partition import Partition
 from repro.io import partition_from_dict, partition_to_dict
+from repro.sat.solver import SolveStatus
 from repro.service.budget import BudgetLike, PortfolioBudget
 from repro.solvers.branch_bound import binary_rank_branch_bound
 from repro.solvers.registry import make_heuristic
@@ -51,7 +52,15 @@ DEFAULT_PORTFOLIO = ("trivial", "packing:32", "sap")
 CERTIFIED_BY_RANK = "rank-bound"
 """Certifier label when the Eq. 3 lower bound alone proves optimality."""
 
+RACE_MODES = ("sequential", "concurrent")
+"""``sequential`` runs members one after another (the paper's recipe);
+``concurrent`` races the exact backends in threads and cancels losers —
+see :mod:`repro.server.racing`."""
+
 RESULT_FORMAT_VERSION = 1
+
+MemberCallback = Callable[["MemberOutcome"], None]
+"""Hook invoked once per member outcome as it lands (streaming events)."""
 
 
 def is_exact_member(name: str) -> bool:
@@ -99,6 +108,10 @@ class MemberOutcome:
     partition: Optional[Partition] = field(
         default=None, compare=False, repr=False
     )
+    detail: Optional[Dict[str, Any]] = field(default=None, compare=False)
+    """Backend-specific extras (SAP phase split / final query status,
+    branch-and-bound node count).  Carries wall-clock material, so it is
+    serialized only alongside the timing fields."""
 
     def as_dict(self, *, include_timing: bool = True) -> Dict[str, Any]:
         payload: Dict[str, Any] = {
@@ -110,6 +123,8 @@ class MemberOutcome:
         }
         if include_timing:
             payload["seconds"] = self.seconds
+            if self.detail is not None:
+                payload["detail"] = self.detail
         return payload
 
 
@@ -169,6 +184,27 @@ class PortfolioResult:
             payload["wall_seconds"] = self.wall_seconds
         return payload
 
+    def race_provenance(self) -> Dict[str, Any]:
+        """The race-mode-invariant slice of the provenance.
+
+        Winner, optimality, depth, bounds and certifier are resolved in
+        member-spec order (never in completion order), so for portfolios
+        that list heuristics before the exact backends this projection
+        is byte-identical between ``race="sequential"`` and
+        ``race="concurrent"`` — the regression contract of
+        :mod:`repro.server.racing`.  Per-member records are excluded:
+        a cancelled loser legitimately looks different from a skipped
+        one.
+        """
+        return {
+            "depth": self.depth,
+            "winner": self.winner,
+            "optimal": self.optimal,
+            "lower_bound": self.lower_bound,
+            "certifier": self.certifier,
+            "seed": self.seed,
+        }
+
 
 # ----------------------------------------------------------------------
 # Serialization (the cache and the batch workers move results as dicts)
@@ -203,6 +239,7 @@ def result_from_dict(
             proved_optimal=entry["proved_optimal"],
             error=entry["error"],
             skipped=entry["skipped"],
+            detail=entry.get("detail"),
         )
         for entry in payload["outcomes"]
     )
@@ -246,17 +283,21 @@ def run_member(
     seed: Optional[int] = None,
     time_budget: Optional[float] = None,
     upper_hint: Optional[Partition] = None,
+    cancel: Optional[object] = None,
 ) -> MemberOutcome:
     """Run one portfolio member and validate whatever it returns.
 
     Never raises on solver failure: budget exhaustion and invalid
     output become ``error`` on the outcome so one bad member cannot
-    take down the race.
+    take down the race.  ``cancel`` (an ``is_set()``-style flag) is
+    forwarded to the exact backends, which poll it alongside their
+    time budgets.
     """
     began = time.perf_counter()
     partition: Optional[Partition] = None
     proved = False
     error: Optional[str] = None
+    detail: Optional[Dict[str, Any]] = None
     try:
         kind = name.partition(":")[0]
         if kind == "sap":
@@ -266,16 +307,30 @@ def run_member(
                     trials=_parse_trials(name, 32),
                     seed=seed,
                     time_budget=time_budget,
+                    cancel=cancel,
                 ),
             )
             partition = result.partition
             proved = result.proved_optimal
+            detail = {
+                "phase_seconds": dict(result.phase_seconds),
+                "heuristic_depth": result.heuristic_depth,
+                "queries": len(result.queries),
+                "final_query_unsat": bool(
+                    result.queries
+                    and result.queries[-1].status is SolveStatus.UNSAT
+                ),
+            }
         elif kind == "branch_bound":
             bb = binary_rank_branch_bound(
-                matrix, upper_hint=upper_hint, time_budget=time_budget
+                matrix,
+                upper_hint=upper_hint,
+                time_budget=time_budget,
+                cancel=cancel,
             )
             partition = bb.partition
             proved = bb.optimal
+            detail = {"nodes": bb.nodes}
         else:
             partition = make_heuristic(name)(matrix, seed)
         if partition is not None:
@@ -292,78 +347,53 @@ def run_member(
         proved_optimal=proved,
         error=error,
         partition=partition,
+        detail=detail,
     )
 
 
 # ----------------------------------------------------------------------
 # The race
 # ----------------------------------------------------------------------
-def solve_portfolio(
-    matrix: BinaryMatrix,
-    *,
-    members: Sequence[str] = DEFAULT_PORTFOLIO,
-    seed: Optional[int] = None,
-    budget: BudgetLike = None,
-    stop_when_optimal: bool = True,
-) -> PortfolioResult:
-    """Race ``members`` on ``matrix`` and return the best partition found.
+def _replay(
+    outcomes: Sequence[MemberOutcome], lower: int
+) -> Tuple[Optional[Partition], Optional[str], Optional[str]]:
+    """(best, winner, certifier) from outcomes, in the order given.
 
-    Members run in the given order, each with a slice of the shared
-    ``budget`` and a seed derived deterministically from ``seed`` and
-    its own name (so results do not depend on member order or on how
-    instances are distributed over batch workers).  With
-    ``stop_when_optimal`` the race short-circuits once the best depth
-    is certified — either by an exact member's proof or by matching the
-    Eq. 3 rank lower bound; remaining members are recorded as skipped.
+    One rule set for both race modes: first strict depth improvement
+    wins, first optimality proof certifies, the Eq. 3 rank bound
+    certifies as soon as the running best matches it.
     """
-    validate_members(members)
-    pot = PortfolioBudget.coerce(budget)
-    began = time.perf_counter()
-    lower = rank_lower_bound(matrix)
-
     best: Optional[Partition] = None
     winner: Optional[str] = None
     certifier: Optional[str] = None
-    outcomes: List[MemberOutcome] = []
-
-    def certified() -> bool:
-        return certifier is not None
-
-    for name in members:
-        if stop_when_optimal and certified():
-            outcomes.append(
-                MemberOutcome(name=name, depth=None, seconds=0.0, skipped=True)
-            )
-            continue
-        if pot.expired():
-            outcomes.append(
-                MemberOutcome(
-                    name=name,
-                    depth=None,
-                    seconds=0.0,
-                    skipped=True,
-                    error="portfolio budget exhausted",
-                )
-            )
-            continue
-        outcome = run_member(
-            matrix,
-            name,
-            seed=member_seed(seed, name),
-            time_budget=pot.member_budget(),
-            upper_hint=best,
-        )
-        pot.charge(name, outcome.seconds)
-        outcomes.append(outcome)
+    for outcome in outcomes:
         if outcome.partition is not None and (
             best is None or outcome.partition.depth < best.depth
         ):
             best = outcome.partition
-            winner = name
+            winner = outcome.name
         if outcome.proved_optimal and certifier is None:
-            certifier = name
+            certifier = outcome.name
         if best is not None and best.depth <= lower and certifier is None:
             certifier = CERTIFIED_BY_RANK
+    return best, winner, certifier
+
+
+def _resolve(
+    matrix: BinaryMatrix,
+    members: Sequence[str],
+    outcomes: List[MemberOutcome],
+    lower: int,
+    *,
+    on_member: Optional[MemberCallback] = None,
+) -> Tuple[Partition, str, Optional[str], List[MemberOutcome]]:
+    """Winner / certifier / best partition from a full outcome list.
+
+    Replays the rules in *member-spec order* — never in completion
+    order — so the verdict cannot depend on which racer physically
+    finished first; that is what makes concurrent racing reproducible.
+    """
+    best, winner, certifier = _replay(outcomes, lower)
 
     if best is None:
         # Every member failed or was starved; the trivial partition is
@@ -372,20 +402,200 @@ def solve_portfolio(
         winner = "trivial"
         if best.depth <= lower and certifier is None:
             certifier = CERTIFIED_BY_RANK
-        outcomes.append(
-            MemberOutcome(
-                name="trivial",
-                depth=best.depth,
-                seconds=0.0,
-                error="fallback: no member produced a partition",
-                partition=best,
-            )
+        fallback = MemberOutcome(
+            name="trivial",
+            depth=best.depth,
+            seconds=0.0,
+            error="fallback: no member produced a partition",
+            partition=best,
         )
+        outcomes.append(fallback)
+        if on_member is not None:
+            on_member(fallback)
+    return best, winner or members[0], certifier, outcomes
+
+
+def _skipped(name: str, error: Optional[str] = None) -> MemberOutcome:
+    return MemberOutcome(
+        name=name, depth=None, seconds=0.0, skipped=True, error=error
+    )
+
+
+def _run_sequential(
+    matrix: BinaryMatrix,
+    members: Sequence[str],
+    seed: Optional[int],
+    pot: PortfolioBudget,
+    lower: int,
+    stop_when_optimal: bool,
+    cancel: Optional[object],
+    on_member: Optional[MemberCallback],
+) -> List[MemberOutcome]:
+    """The paper's recipe: members one after another, early exit on proof."""
+    best: Optional[Partition] = None
+    certifier: Optional[str] = None
+    outcomes: List[MemberOutcome] = []
+
+    def emit(outcome: MemberOutcome) -> None:
+        outcomes.append(outcome)
+        if on_member is not None:
+            on_member(outcome)
+
+    for name in members:
+        if stop_when_optimal and certifier is not None:
+            emit(_skipped(name))
+            continue
+        if cancel is not None and cancel.is_set():
+            emit(_skipped(name, error="cancelled"))
+            continue
+        if pot.expired():
+            emit(_skipped(name, error="portfolio budget exhausted"))
+            continue
+        outcome = run_member(
+            matrix,
+            name,
+            seed=member_seed(seed, name),
+            time_budget=pot.member_budget(),
+            upper_hint=best,
+            cancel=cancel,
+        )
+        pot.charge(name, outcome.seconds)
+        emit(outcome)
+        if outcome.partition is not None and (
+            best is None or outcome.partition.depth < best.depth
+        ):
+            best = outcome.partition
+        if outcome.proved_optimal and certifier is None:
+            certifier = outcome.name
+        if best is not None and best.depth <= lower and certifier is None:
+            certifier = CERTIFIED_BY_RANK
+    return outcomes
+
+
+def _run_concurrent(
+    matrix: BinaryMatrix,
+    members: Sequence[str],
+    seed: Optional[int],
+    pot: PortfolioBudget,
+    lower: int,
+    stop_when_optimal: bool,
+    cancel: Optional[object],
+    on_member: Optional[MemberCallback],
+) -> List[MemberOutcome]:
+    """Heuristics sequentially, then the exact backends as a thread race.
+
+    The heuristic members are microseconds each, so they are hoisted in
+    front of the race in spec order (their best depth seeds the racers'
+    upper hint).  The exact members then run concurrently; the moment
+    one certifies optimality, every racer *later in spec order* is
+    cancelled — earlier racers are left to finish, which keeps the
+    resolved certifier deterministic (see :func:`_resolve`).  For
+    portfolios that list heuristics before exacts (every built-in
+    portfolio does) the winner/optimality provenance is identical to
+    sequential mode.
+    """
+    from repro.server.racing import race_members
+
+    exact_names = [name for name in members if is_exact_member(name)]
+    heuristic_names = [
+        name for name in members if not is_exact_member(name)
+    ]
+
+    # The heuristic prefix is exactly a sequential sub-portfolio: same
+    # skip/cancel/budget rules, same ledger — one copy of the logic.
+    heuristic_outcomes = _run_sequential(
+        matrix, heuristic_names, seed, pot, lower, stop_when_optimal,
+        cancel, on_member=None,
+    )
+    by_name: Dict[str, MemberOutcome] = {
+        outcome.name: outcome for outcome in heuristic_outcomes
+    }
+    best, _, certifier = _replay(heuristic_outcomes, lower)
+
+    if exact_names:
+        if stop_when_optimal and certifier is not None:
+            for name in exact_names:
+                by_name[name] = _skipped(name)
+        elif cancel is not None and cancel.is_set():
+            for name in exact_names:
+                by_name[name] = _skipped(name, error="cancelled")
+        elif pot.expired():
+            for name in exact_names:
+                by_name[name] = _skipped(
+                    name, error="portfolio budget exhausted"
+                )
+        else:
+            raced = race_members(
+                matrix,
+                exact_names,
+                seeds={
+                    name: member_seed(seed, name) for name in exact_names
+                },
+                time_budget=pot.member_budget(),
+                upper_hint=best,
+                cancel=cancel,
+                cancel_losers=stop_when_optimal,
+            )
+            for outcome in raced:
+                pot.charge(outcome.name, outcome.seconds)
+                by_name[outcome.name] = outcome
+
+    ordered = [by_name[name] for name in members]
+    if on_member is not None:
+        for outcome in ordered:
+            on_member(outcome)
+    return ordered
+
+
+def solve_portfolio(
+    matrix: BinaryMatrix,
+    *,
+    members: Sequence[str] = DEFAULT_PORTFOLIO,
+    seed: Optional[int] = None,
+    budget: BudgetLike = None,
+    stop_when_optimal: bool = True,
+    race: str = "sequential",
+    cancel: Optional[object] = None,
+    on_member: Optional[MemberCallback] = None,
+) -> PortfolioResult:
+    """Race ``members`` on ``matrix`` and return the best partition found.
+
+    With ``race="sequential"`` members run in the given order, each with
+    a slice of the shared ``budget``; with ``race="concurrent"`` the
+    exact backends run as a thread race and losers are cancelled (see
+    :mod:`repro.server.racing`).  Every member gets a seed derived
+    deterministically from ``seed`` and its own name (so results do not
+    depend on member order or on how instances are distributed over
+    batch workers).  With ``stop_when_optimal`` the race short-circuits
+    once the best depth is certified — either by an exact member's
+    proof or by matching the Eq. 3 rank lower bound; remaining members
+    are recorded as skipped.  ``cancel`` (``is_set()``-style) aborts
+    the whole race cooperatively; ``on_member`` is called with each
+    :class:`MemberOutcome` as it is recorded — the streaming-event hook
+    of :class:`repro.server.engine.AsyncSolveEngine`.
+    """
+    if race not in RACE_MODES:
+        raise SolverError(
+            f"race must be one of {RACE_MODES}, got {race!r}"
+        )
+    validate_members(members)
+    pot = PortfolioBudget.coerce(budget)
+    began = time.perf_counter()
+    lower = rank_lower_bound(matrix)
+
+    runner = _run_concurrent if race == "concurrent" else _run_sequential
+    outcomes = runner(
+        matrix, members, seed, pot, lower, stop_when_optimal, cancel,
+        on_member,
+    )
+    best, winner, certifier, outcomes = _resolve(
+        matrix, members, outcomes, lower, on_member=on_member
+    )
 
     return PortfolioResult(
         partition=best,
-        winner=winner or members[0],
-        optimal=certified(),
+        winner=winner,
+        optimal=certifier is not None,
         lower_bound=lower,
         certifier=certifier,
         seed=seed,

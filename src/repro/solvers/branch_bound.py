@@ -60,11 +60,15 @@ def binary_rank_branch_bound(
     upper_hint: Optional[Partition] = None,
     time_budget: Optional[float] = None,
     node_budget: Optional[int] = None,
+    cancel: Optional[object] = None,
 ) -> BranchBoundResult:
     """Compute ``r_B(M)`` exactly (small matrices; exponential worst case).
 
     Raises :class:`BudgetExceeded` if a budget runs out before the search
-    space is exhausted.
+    space is exhausted, or if ``cancel`` (an ``is_set()``-style flag,
+    polled every 64 nodes alongside the time budget) is raised — the
+    hook that lets a concurrent portfolio race kill the exponential tail
+    the moment another backend certifies optimality.
     """
     cells: List[Cell] = list(matrix.ones())
     if not cells:
@@ -77,7 +81,7 @@ def binary_rank_branch_bound(
             matrix, options=PackingOptions(trials=8, seed=0)
         )
     lower = rank_lower_bound(matrix)
-    deadline = Deadline(time_budget)
+    deadline = Deadline(time_budget, cancel=cancel)
 
     best: Dict[str, object] = {
         "partition": upper_hint,
@@ -97,6 +101,8 @@ def binary_rank_branch_bound(
         if node_budget is not None and nodes["count"] > node_budget:
             raise BudgetExceeded(f"node budget {node_budget} exhausted")
         if nodes["count"] % 64 == 0 and deadline.expired():
+            if deadline.cancelled():
+                raise BudgetExceeded("cancelled")
             raise BudgetExceeded("time budget exhausted")
         if best["depth"] == lower:
             return

@@ -71,6 +71,10 @@ class SapOptions:
     time_budget: Optional[float] = None
     conflict_budget_per_query: Optional[int] = None
     packing: Optional[PackingOptions] = None
+    cancel: Optional[object] = None
+    """Cooperative cancellation flag (``is_set() -> bool``); checked at
+    the same points as the time budget, so setting it aborts the SMT
+    descent between oracle queries while keeping the best partition."""
 
     def __post_init__(self) -> None:
         if self.descent not in DESCENT_MODES:
@@ -131,7 +135,7 @@ def sap_solve(
         raise ValueError("pass either options or keyword arguments, not both")
 
     watch = Stopwatch()
-    deadline = Deadline(options.time_budget)
+    deadline = Deadline(options.time_budget, cancel=options.cancel)
 
     if matrix.is_zero():
         return SapResult(

@@ -1,0 +1,64 @@
+"""Crash-safe file primitives shared by the cache tiers.
+
+Layer-neutral home for the two invariants every on-disk tier relies
+on: writes are atomic (readers see the old file or the new one, never a
+prefix) and cross-process critical sections lock a stable inode.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator
+
+try:  # pragma: no cover - always present on the POSIX targets
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None  # type: ignore[assignment]
+
+
+@contextmanager
+def locked_file(lock_path: Path) -> Iterator[None]:
+    """Exclusive advisory lock held for the duration of the block.
+
+    The lock file is created on demand and never removed or replaced,
+    so every process locks the same inode (locking a file that gets
+    ``os.replace``-d protects nothing).  Blocking is fine here:
+    critical sections are a single small-file read-merge-write.  On
+    platforms without ``fcntl`` this degrades to no locking.
+    """
+    lock_path.parent.mkdir(parents=True, exist_ok=True)
+    with open(lock_path, "a+") as handle:
+        if fcntl is not None:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            if fcntl is not None:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+
+def atomic_write_json(path: Path, payload: Any) -> None:
+    """Write ``payload`` as JSON via tempfile + ``os.replace``.
+
+    Readers either see the old file or the new one, never a torn
+    prefix — so a crash mid-write cannot corrupt a cache file.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    handle, temp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=str(path.parent)
+    )
+    try:
+        with os.fdopen(handle, "w") as stream:
+            json.dump(payload, stream, indent=2)
+            stream.write("\n")
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise

@@ -57,21 +57,36 @@ class _PhaseContext:
 
 
 class Deadline:
-    """A soft wall-clock budget.
+    """A soft wall-clock budget, optionally tied to a cancellation flag.
 
     ``None`` seconds means "no limit".  Solvers poll :meth:`expired` at
-    convenient points; this is cooperative, not preemptive.
+    convenient points; this is cooperative, not preemptive.  ``cancel``
+    is any object with an ``is_set() -> bool`` method (e.g. a
+    ``threading.Event`` or :class:`repro.server.racing.RaceToken`); once
+    it reads true the deadline counts as expired with zero time left,
+    which lets a portfolio race or a streaming server abort a solver
+    mid-flight through the same polling points the time budget uses.
     """
 
-    def __init__(self, seconds: Optional[float]) -> None:
+    def __init__(
+        self, seconds: Optional[float], *, cancel: Optional[object] = None
+    ) -> None:
         if seconds is not None and seconds < 0:
             raise ValueError(f"budget must be non-negative, got {seconds}")
         self._end = None if seconds is None else time.perf_counter() + seconds
+        self._cancel = cancel
+
+    def cancelled(self) -> bool:
+        return self._cancel is not None and self._cancel.is_set()
 
     def expired(self) -> bool:
+        if self.cancelled():
+            return True
         return self._end is not None and time.perf_counter() > self._end
 
     def remaining(self) -> Optional[float]:
+        if self.cancelled():
+            return 0.0
         if self._end is None:
             return None
         return max(0.0, self._end - time.perf_counter())

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import asyncio
+import inspect
 import random
 
 import pytest
@@ -9,6 +11,32 @@ from hypothesis import HealthCheck, settings
 from hypothesis import strategies as st
 
 from repro.core.binary_matrix import BinaryMatrix
+
+
+@pytest.hookimpl(tryfirst=True)
+def pytest_pyfunc_call(pyfuncitem):
+    """Run coroutine tests via ``asyncio.run`` — no pytest-asyncio needed.
+
+    Each test gets a fresh event loop, which matches production use
+    (every CLI invocation is one ``asyncio.run``) and keeps tests from
+    leaking loop state into each other.
+    """
+    test_fn = pyfuncitem.obj
+    if not inspect.iscoroutinefunction(test_fn):
+        return None
+    kwargs = {
+        name: pyfuncitem.funcargs[name]
+        for name in pyfuncitem._fixtureinfo.argnames
+    }
+    asyncio.run(test_fn(**kwargs))
+    return True
+
+
+def pytest_collection_modifyitems(items):
+    """Auto-mark coroutine tests so `-m asyncio` selects them."""
+    for item in items:
+        if inspect.iscoroutinefunction(getattr(item, "obj", None)):
+            item.add_marker(pytest.mark.asyncio)
 
 # Property tests exercise solvers whose runtime varies by orders of
 # magnitude between examples; wall-clock deadlines would be flaky.

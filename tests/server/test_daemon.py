@@ -1,0 +1,139 @@
+"""Daemon/client round trips over a real unix socket.
+
+The daemon runs on a background thread's event loop (exactly how
+``python -m repro serve`` hosts it) while the synchronous client talks
+to it from the test thread — the same topology as production.
+"""
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.core.paper_matrices import equation_2, figure_1b, figure_3
+from repro.server import client
+from repro.server.daemon import SolveDaemon, parse_case
+from repro.server.engine import AsyncSolveEngine
+from repro.core.exceptions import SolverError
+
+MEMBERS = ("trivial", "packing:4", "sap")
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    """A live daemon on a tmp socket; torn down via the shutdown op."""
+    import asyncio
+
+    socket_path = tmp_path / "solve.sock"
+    engine = AsyncSolveEngine(members=MEMBERS, seed=7, workers=2)
+    instance = SolveDaemon(socket_path, engine)
+
+    def run() -> None:
+        asyncio.run(instance.run())
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    for _ in range(200):
+        if socket_path.exists():
+            break
+        time.sleep(0.01)
+    else:
+        pytest.fail("daemon socket never appeared")
+    yield socket_path
+    try:
+        client.request_once(socket_path, {"op": "shutdown"}, timeout=5)
+    except SolverError:
+        pass  # already shut down by the test
+    thread.join(timeout=10)
+    assert not thread.is_alive()
+
+
+class TestOps:
+    def test_ping_reports_engine_stats(self, daemon):
+        reply = client.request_once(daemon, {"op": "ping"}, timeout=5)
+        assert reply["event"] == "pong"
+        assert reply["stats"]["members"] == list(MEMBERS)
+
+    def test_unknown_op_is_an_error(self, daemon):
+        with pytest.raises(client.DaemonError):
+            client.request_once(daemon, {"op": "frobnicate"}, timeout=5)
+
+    def test_cancel_unknown_case(self, daemon):
+        reply = client.request_once(
+            daemon, {"op": "cancel", "case_id": "nope"}, timeout=5
+        )
+        assert reply == {
+            "event": "cancel", "case_id": "nope", "cancelled": False,
+        }
+
+    def test_solve_streams_events_and_terminates(self, daemon):
+        cases = [("fig1b", figure_1b()), ("eq2", equation_2())]
+        events = list(
+            client.submit(daemon, cases, timeout=30, race="concurrent")
+        )
+        kinds = [e["event"] for e in events]
+        assert kinds[-1] == "batch_done"
+        done = [e for e in events if e["event"] == "done"]
+        assert {e["case_id"] for e in done} == {"fig1b", "eq2"}
+        for record in done:
+            assert record["provenance"]["optimal"] is True
+            assert "members" in record["provenance"]
+
+    def test_repeated_requests_share_the_engine(self, daemon):
+        cases = [("fig3", figure_3())]
+        list(client.submit(daemon, cases, timeout=30))
+        list(client.submit(daemon, cases, timeout=30))
+        reply = client.request_once(daemon, {"op": "stats"}, timeout=5)
+        assert reply["stats"]["solved"] == 2
+
+    def test_collect_returns_done_records(self, daemon):
+        records = client.collect(
+            daemon, [("fig1b", figure_1b())], timeout=30
+        )
+        assert len(records) == 1
+        assert records[0]["provenance"]["winner"] in MEMBERS
+
+    def test_solve_rejects_bad_members(self, daemon):
+        with pytest.raises(client.DaemonError):
+            list(
+                client.submit(
+                    daemon,
+                    [("x", figure_3())],
+                    timeout=30,
+                    members=("magic:3",),
+                )
+            )
+
+    def test_solve_rejects_empty_cases(self, daemon):
+        # stream_request exposes raw error events; submit raises on them.
+        events = list(
+            client.stream_request(
+                daemon, {"op": "solve", "cases": []}, timeout=5
+            )
+        )
+        assert events[0]["event"] == "error"
+
+
+class TestWireParsing:
+    def test_parse_case_rows(self):
+        item = parse_case({"case_id": "a", "rows": ["10", "01"]}, 0)
+        assert item.case_id == "a"
+        assert item.matrix.shape == (2, 2)
+
+    def test_parse_case_masks(self):
+        item = parse_case({"row_masks": [3, 1], "num_cols": 2}, 4)
+        assert item.case_id == "case-0004"
+        assert item.matrix.row_masks == (3, 1)
+
+    def test_parse_case_rejects_garbage(self):
+        with pytest.raises(SolverError):
+            parse_case({"case_id": "x"}, 0)
+        with pytest.raises(SolverError):
+            parse_case("not-an-object", 0)
+
+    def test_client_reports_missing_daemon(self, tmp_path):
+        with pytest.raises(SolverError, match="cannot reach"):
+            client.request_once(
+                tmp_path / "absent.sock", {"op": "ping"}, timeout=2
+            )
