@@ -59,6 +59,7 @@ def main() -> None:
 
     batch_demo()
     streaming_demo()
+    gateway_demo()
 
 
 def batch_demo() -> None:
@@ -144,6 +145,67 @@ def streaming_demo() -> None:
                     )
 
     asyncio.run(run())
+
+
+def gateway_demo() -> None:
+    """Remote, multi-tenant solving: the TCP gateway.
+
+    ``python -m repro gateway`` fronts one shared engine for many
+    remote clients: each request carries a tenant identity, competes
+    under priority-aware admission control, and spends against a
+    rolling per-tenant compute quota.  A saturated gateway answers with
+    a structured ``retry_after`` error instead of queueing unboundedly,
+    and a ``metrics`` op reports queue depth, per-tenant usage, cache
+    hit rate, and per-solver win rates.  Here the gateway runs on a
+    background thread; in production it is its own process (the client
+    connects with ``--connect tcp://host:port``).
+    """
+    import asyncio
+    import threading
+    import time
+
+    from repro.core.paper_matrices import equation_2, figure_1b
+    from repro.server import AsyncSolveEngine, SolveGateway
+    from repro.server import client as gateway_client
+
+    print()
+    print("Solving over the multi-tenant TCP gateway:")
+    gateway = SolveGateway(
+        AsyncSolveEngine(
+            members=("trivial", "packing:8", "sap"), seed=2024, workers=2
+        ),
+        port=0,  # ephemeral; .port holds the bound value once serving
+    )
+    thread = threading.Thread(
+        target=lambda: asyncio.run(gateway.run()), daemon=True
+    )
+    thread.start()
+    while gateway.port == 0:
+        time.sleep(0.01)
+    address = ("127.0.0.1", gateway.port)
+
+    for event in gateway_client.submit(
+        address,
+        [("figure_1b", figure_1b()), ("equation_2", equation_2())],
+        tenant="quickstart",
+        timeout=60,
+    ):
+        if event["event"] == "done":
+            print(
+                f"  [done] {event['case_id']}: "
+                f"depth {event['depth']} "
+                f"(winner {event['provenance']['winner']})"
+            )
+
+    metrics = gateway_client.fetch_metrics(address, timeout=10)
+    usage = metrics["tenants"]["quickstart"]
+    print(
+        f"  tenant 'quickstart': {usage['cases_completed']} cases, "
+        f"{usage['quota']['lifetime_seconds']:.3f}s compute; "
+        f"win rates {metrics['solvers']['win_rates']}"
+    )
+    gateway_client.request_once(address, {"op": "shutdown"}, timeout=10)
+    thread.join(timeout=10)
 
 
 if __name__ == "__main__":

@@ -6,7 +6,8 @@ Usage (also installed as ``python -m repro``):
     python -m repro solve PATTERN_FILE [--heuristic-only] [--trials N]
     python -m repro solve-batch PATTERN_FILE [...] [--workers N] [--cache F]
     python -m repro serve [--socket PATH] [--workers N] [--cache-dir DIR]
-    python -m repro submit PATTERN_FILE [...] [--socket PATH]
+    python -m repro gateway [--host H] [--port P] [--tenants FILE]
+    python -m repro submit PATTERN_FILE [...] [--socket PATH | --connect tcp://H:P]
     python -m repro compile PATTERN_FILE [--theta T] [--vacancy-char C]
     python -m repro bounds PATTERN_FILE
     python -m repro audit PATTERN_FILE [--budget SECONDS]
@@ -166,37 +167,117 @@ def cmd_solve_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _server_cache(args: argparse.Namespace):
+    """Shared --cache/--cache-dir resolution for serve/gateway."""
+    from repro.service.cache import ResultCache
+
+    if args.cache and args.cache_dir:
+        print("error: pass --cache or --cache-dir, not both",
+              file=sys.stderr)
+        return 2, None
+    if args.cache:
+        return 0, ResultCache(path=args.cache)
+    if args.cache_dir:
+        return 0, ResultCache.sharded(args.cache_dir)
+    return 0, None
+
+
+def _traffic_policy(args: argparse.Namespace):
+    """Shared tenancy/admission resolution for serve/gateway."""
+    from repro.server.tenancy import AdmissionController, TenantRegistry
+
+    tenants = (
+        TenantRegistry.from_file(args.tenants) if args.tenants else None
+    )
+    admission = None
+    if args.max_in_flight is not None or args.max_waiting is not None:
+        admission = AdmissionController(
+            max_in_flight=args.max_in_flight or 4,
+            max_waiting=16 if args.max_waiting is None else args.max_waiting,
+        )
+    return tenants, admission
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.core.exceptions import ReproError
     from repro.server.daemon import default_socket_path, run_daemon
-    from repro.service.cache import ResultCache
 
     members = tuple(spec for spec in args.members.split(",") if spec)
     socket_path = args.socket or default_socket_path()
     cache = None
     try:
-        if args.cache and args.cache_dir:
-            print("error: pass --cache or --cache-dir, not both",
-                  file=sys.stderr)
-            return 2
-        if args.cache:
-            cache = ResultCache(path=args.cache)
-        elif args.cache_dir:
-            cache = ResultCache.sharded(args.cache_dir)
+        status, cache = _server_cache(args)
+        if status:
+            return status
+        tenants, admission = _traffic_policy(args)
         print(
             f"serving on {socket_path} "
-            f"(workers={args.workers}, members: {', '.join(members)}, "
-            f"race={args.race}); submit with: "
+            f"(workers={args.workers}, executor={args.executor}, "
+            f"members: {', '.join(members)}, race={args.race}); "
+            f"submit with: "
             f"python -m repro submit PATTERN --socket {socket_path}"
         )
         return run_daemon(
             socket_path,
+            tenants=tenants,
+            admission=admission,
             members=members,
             seed=args.seed,
             workers=args.workers,
             cache=cache,
             budget_per_instance=args.budget,
             race=args.race,
+            executor=args.executor,
+        )
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    finally:
+        if cache is not None:
+            cache.flush()
+
+
+def cmd_gateway(args: argparse.Namespace) -> int:
+    from repro.core.exceptions import ReproError
+    from repro.server.gateway import run_gateway
+    from repro.server.tenancy import AdmissionController
+
+    members = tuple(spec for spec in args.members.split(",") if spec)
+    cache = None
+    try:
+        status, cache = _server_cache(args)
+        if status:
+            return status
+        tenants, admission = _traffic_policy(args)
+        if admission is None:
+            # The TCP front always runs admission control: unbounded
+            # queues are exactly what it exists to prevent.
+            admission = AdmissionController()
+
+        def banner(gateway) -> None:
+            # After bind, so --port 0 advertises the real ephemeral port.
+            print(
+                f"gateway on {gateway.host}:{gateway.port} "
+                f"(workers={args.workers}, executor={args.executor}, "
+                f"members: {', '.join(members)}, race={args.race}); "
+                f"submit with: python -m repro submit PATTERN "
+                f"--connect tcp://{gateway.host}:{gateway.port}",
+                flush=True,
+            )
+
+        return run_gateway(
+            args.host,
+            args.port,
+            tenants=tenants,
+            admission=admission,
+            on_ready=banner,
+            members=members,
+            seed=args.seed,
+            workers=args.workers,
+            cache=cache,
+            budget_per_instance=args.budget,
+            race=args.race,
+            executor=args.executor,
         )
     except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
@@ -213,7 +294,7 @@ def cmd_submit(args: argparse.Namespace) -> int:
     from repro.server.daemon import default_socket_path
     from repro.utils.tables import format_table
 
-    socket_path = args.socket or default_socket_path()
+    address = args.connect or args.socket or default_socket_path()
     options = {}
     if args.members:
         options["members"] = tuple(
@@ -225,11 +306,17 @@ def cmd_submit(args: argparse.Namespace) -> int:
         options["budget_per_instance"] = args.budget
     if args.race:
         options["race"] = args.race
+    if args.tenant:
+        options["tenant"] = args.tenant
+    if args.key:
+        options["key"] = args.key
+    if args.priority is not None:
+        options["priority"] = args.priority
     records = []
     try:
         cases = [(path, _read_pattern(path)) for path in args.patterns]
         for event in client.submit(
-            socket_path, cases, timeout=args.timeout, **options
+            address, cases, timeout=args.timeout, **options
         ):
             kind = event.get("event")
             case_id = event.get("case_id", "")
@@ -249,7 +336,14 @@ def cmd_submit(args: argparse.Namespace) -> int:
             elif kind in ("queued", "started"):
                 print(f"  {case_id}: {kind}")
     except (ReproError, OSError) as error:
-        print(f"error: {error}", file=sys.stderr)
+        retry_after = getattr(error, "retry_after", None)
+        if retry_after is not None:
+            print(
+                f"error: {error} (retry after {retry_after:g}s)",
+                file=sys.stderr,
+            )
+        else:
+            print(f"error: {error}", file=sys.stderr)
         return 2
     done = [e for e in records if e.get("event") == "done"]
     rows = [
@@ -509,6 +603,48 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("--json", default=None, help="provenance output path")
     p_batch.set_defaults(func=cmd_solve_batch)
 
+    def server_flags(p: argparse.ArgumentParser) -> None:
+        """Engine + traffic-policy flags shared by serve and gateway."""
+        p.add_argument(
+            "--members", default="trivial,packing:32,sap",
+            help="default portfolio members (requests may override)",
+        )
+        p.add_argument("--workers", type=int, default=1)
+        p.add_argument("--seed", type=int, default=2024)
+        p.add_argument(
+            "--budget", type=float, default=None,
+            help="default wall-clock budget per instance (seconds)",
+        )
+        p.add_argument(
+            "--cache", default=None, help="JSON result-cache file"
+        )
+        p.add_argument(
+            "--cache-dir", default=None, help="sharded result-cache directory"
+        )
+        p.add_argument(
+            "--race", default="sequential",
+            choices=["sequential", "concurrent"],
+        )
+        p.add_argument(
+            "--executor", default="thread", choices=["thread", "process"],
+            help="solve in threads (live cancel) or a process pool "
+            "(multi-core; member events stream over a manager queue)",
+        )
+        p.add_argument(
+            "--tenants", default=None,
+            help="JSON tenancy config: per-tenant priority, quota, key "
+            "(see repro.server.tenancy.TenantRegistry.from_mapping)",
+        )
+        p.add_argument(
+            "--max-in-flight", type=int, default=None,
+            help="admission window: concurrent requests before queueing",
+        )
+        p.add_argument(
+            "--max-waiting", type=int, default=None,
+            help="admission queue bound; beyond it requests are rejected "
+            "with a retry_after hint",
+        )
+
     p_serve = sub.add_parser(
         "serve",
         help="long-lived streaming solve daemon on a unix socket",
@@ -517,27 +653,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--socket", default=None,
         help="unix socket path (default: $XDG_RUNTIME_DIR/repro-solve-UID.sock)",
     )
-    p_serve.add_argument(
-        "--members", default="trivial,packing:32,sap",
-        help="default portfolio members (requests may override)",
-    )
-    p_serve.add_argument("--workers", type=int, default=1)
-    p_serve.add_argument("--seed", type=int, default=2024)
-    p_serve.add_argument(
-        "--budget", type=float, default=None,
-        help="default wall-clock budget per instance (seconds)",
-    )
-    p_serve.add_argument(
-        "--cache", default=None, help="JSON result-cache file"
-    )
-    p_serve.add_argument(
-        "--cache-dir", default=None, help="sharded result-cache directory"
-    )
-    p_serve.add_argument(
-        "--race", default="sequential",
-        choices=["sequential", "concurrent"],
-    )
+    server_flags(p_serve)
     p_serve.set_defaults(func=cmd_serve)
+
+    p_gateway = sub.add_parser(
+        "gateway",
+        help="multi-tenant TCP front: quotas, priorities, admission control",
+    )
+    p_gateway.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default loopback; terminate TLS upstream "
+        "before exposing further)",
+    )
+    p_gateway.add_argument(
+        "--port", type=int, default=7341,
+        help="TCP port (default 7341; 0 binds an ephemeral port)",
+    )
+    server_flags(p_gateway)
+    p_gateway.set_defaults(func=cmd_gateway)
 
     p_submit = sub.add_parser(
         "submit",
@@ -547,6 +680,22 @@ def build_parser() -> argparse.ArgumentParser:
         "patterns", nargs="+", help="pattern files (one instance each)"
     )
     p_submit.add_argument("--socket", default=None, help="daemon socket path")
+    p_submit.add_argument(
+        "--connect", default=None,
+        help="TCP gateway address (tcp://host:port); overrides --socket",
+    )
+    p_submit.add_argument(
+        "--tenant", default=None,
+        help="tenant identity for quota/priority accounting",
+    )
+    p_submit.add_argument(
+        "--key", default=None, help="tenant shared key, if configured"
+    )
+    p_submit.add_argument(
+        "--priority", type=int, default=None,
+        help="priority class for this request (lower = served sooner; "
+        "clamped to the tenant's configured class)",
+    )
     p_submit.add_argument(
         "--members", default=None,
         help="comma-separated member override for this request",
@@ -615,9 +764,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro.core.exceptions import ReproError
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (ReproError, OSError) as error:
+        # Missing pattern files, bad specs, unreachable servers: one
+        # clean diagnostic and exit 2, never a traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

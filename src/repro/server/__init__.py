@@ -15,7 +15,14 @@ turns a *stream of requests* into a *stream of results*:
   (``ResultCache.sharded``);
 * :mod:`daemon` / :mod:`client` — a JSON-lines unix-socket server
   (``python -m repro serve``) and client (``python -m repro submit``)
-  that amortize pool and cache warmup across requests.
+  that amortize pool and cache warmup across requests;
+* :mod:`gateway` / :mod:`tenancy` — the multi-tenant TCP front
+  (``python -m repro gateway``): per-tenant identities, priorities and
+  rolling compute quotas, priority-aware admission control that rejects
+  with ``retry_after`` instead of queueing unboundedly, and a
+  ``metrics`` op reporting queue depth, per-tenant usage, cache hit
+  rate, and per-solver win rates.  The daemon binds the same front to
+  a unix socket, so both deployments share one stats surface.
 """
 
 from repro.server.engine import (
@@ -29,11 +36,20 @@ from repro.server.engine import (
     SolveEvent,
     TERMINAL_EVENTS,
 )
+from repro.server.gateway import SolveGateway, StreamFront
 from repro.server.racing import RaceToken, race_members
 from repro.server.shards import ShardedDiskTier
+from repro.server.tenancy import (
+    AdmissionController,
+    RequestRejected,
+    ServerMetrics,
+    TenantConfig,
+    TenantRegistry,
+)
 from repro.utils.fileio import atomic_write_json, locked_file
 
 __all__ = [
+    "AdmissionController",
     "AsyncSolveEngine",
     "CANCELLED",
     "DONE",
@@ -41,10 +57,16 @@ __all__ = [
     "MEMBER_FINISHED",
     "QUEUED",
     "RaceToken",
+    "RequestRejected",
     "STARTED",
+    "ServerMetrics",
     "ShardedDiskTier",
     "SolveEvent",
+    "SolveGateway",
+    "StreamFront",
     "TERMINAL_EVENTS",
+    "TenantConfig",
+    "TenantRegistry",
     "atomic_write_json",
     "locked_file",
     "race_members",

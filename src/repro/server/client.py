@@ -1,11 +1,21 @@
-"""Synchronous client for the solve daemon's JSON-lines protocol.
+"""Synchronous client for the solve daemon/gateway JSON-lines protocol.
 
 Deliberately plain ``socket`` + blocking reads: the client side of
 ``python -m repro submit`` is a short-lived CLI (or a test fixture)
 that wants to print events as they arrive — an asyncio reactor buys it
-nothing.  Each request opens one connection; the daemon closes the
+nothing.  Each request opens one connection; the server closes the
 connection when the response stream ends, so iteration terminates
 naturally without a sentinel.
+
+Addresses name either front:
+
+* a filesystem path (``str`` or ``Path``) — the unix-socket daemon;
+* ``"tcp://host:port"`` or a ``(host, port)`` tuple — the TCP gateway.
+
+Tenancy fields ride along as request options: ``tenant``, ``key``, and
+``priority`` are forwarded verbatim, and a gateway rejection surfaces
+as a :class:`DaemonError` carrying the machine-readable ``code`` and
+``retry_after`` back-off hint.
 """
 
 from __future__ import annotations
@@ -18,13 +28,68 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 from repro.core.binary_matrix import BinaryMatrix
 from repro.core.exceptions import SolverError
 
+Address = Union[str, Path, Tuple[str, int]]
+
+TCP_SCHEME = "tcp://"
+
 
 class DaemonError(SolverError):
-    """The daemon answered with an ``error`` event."""
+    """The server answered with an ``error`` event.
+
+    ``code`` and ``retry_after`` mirror the structured rejection events
+    of :mod:`repro.server.tenancy`; both are ``None`` for plain errors.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        code: Optional[str] = None,
+        retry_after: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        self.code = code
+        self.retry_after = retry_after
+
+    @classmethod
+    def from_event(cls, payload: Dict[str, Any]) -> "DaemonError":
+        return cls(
+            payload.get("error", "unknown server error"),
+            code=payload.get("code"),
+            retry_after=payload.get("retry_after"),
+        )
+
+
+def _connect(address: Address, timeout: Optional[float]) -> socket.socket:
+    """Open a blocking connection to either front."""
+    if isinstance(address, tuple):
+        host, port = address
+        return socket.create_connection(
+            (str(host), int(port)), timeout=timeout
+        )
+    text = str(address)
+    if text.startswith(TCP_SCHEME):
+        rest = text[len(TCP_SCHEME):]
+        host, _, port_text = rest.rpartition(":")
+        if not host or not port_text.isdigit():
+            raise SolverError(
+                f"bad TCP address {text!r} (expected tcp://host:port)"
+            )
+        return socket.create_connection(
+            (host, int(port_text)), timeout=timeout
+        )
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.settimeout(timeout)
+    try:
+        sock.connect(text)
+    except OSError:
+        sock.close()
+        raise
+    return sock
 
 
 def stream_request(
-    socket_path: Union[str, Path],
+    address: Address,
     request: Dict[str, Any],
     *,
     timeout: Optional[float] = None,
@@ -32,19 +97,18 @@ def stream_request(
     """Send one request; yield each JSON-line response as it arrives.
 
     ``timeout`` bounds each blocking read (not the whole stream): a
-    daemon that stops talking raises ``socket.timeout`` instead of
+    server that stops talking raises ``socket.timeout`` instead of
     hanging the client forever.
     """
-    path = str(socket_path)
-    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
-        sock.settimeout(timeout)
-        try:
-            sock.connect(path)
-        except OSError as exc:
-            raise SolverError(
-                f"cannot reach solve daemon at {path}: {exc} "
-                "(is `python -m repro serve` running?)"
-            ) from exc
+    try:
+        sock = _connect(address, timeout)
+    except OSError as exc:
+        raise SolverError(
+            f"cannot reach solve server at {address}: {exc} "
+            "(is `python -m repro serve` or `python -m repro gateway` "
+            "running?)"
+        ) from exc
+    with sock:
         sock.sendall(json.dumps(request).encode() + b"\n")
         with sock.makefile("r", encoding="utf-8") as stream:
             for line in stream:
@@ -55,23 +119,32 @@ def stream_request(
                     payload = json.loads(line)
                 except json.JSONDecodeError as exc:
                     raise SolverError(
-                        f"daemon sent malformed JSON: {line[:200]!r}"
+                        f"server sent malformed JSON: {line[:200]!r}"
                     ) from exc
                 yield payload
 
 
 def request_once(
-    socket_path: Union[str, Path],
+    address: Address,
     request: Dict[str, Any],
     *,
     timeout: Optional[float] = None,
 ) -> Dict[str, Any]:
-    """Single-line ops (``ping`` / ``stats`` / ``cancel`` / ``shutdown``)."""
-    for payload in stream_request(socket_path, request, timeout=timeout):
+    """Single-line ops (``ping``/``stats``/``metrics``/``cancel``/...)."""
+    for payload in stream_request(address, request, timeout=timeout):
         if payload.get("event") == "error":
-            raise DaemonError(payload.get("error", "unknown daemon error"))
+            raise DaemonError.from_event(payload)
         return payload
-    raise SolverError("daemon closed the connection without answering")
+    raise SolverError("server closed the connection without answering")
+
+
+def fetch_metrics(
+    address: Address, *, timeout: Optional[float] = None
+) -> Dict[str, Any]:
+    """The shared stats surface: queue depth, tenants, wins, cache."""
+    return request_once(address, {"op": "metrics"}, timeout=timeout)[
+        "metrics"
+    ]
 
 
 def matrix_to_case(
@@ -86,7 +159,7 @@ def matrix_to_case(
 
 
 def submit(
-    socket_path: Union[str, Path],
+    address: Address,
     cases: Sequence[Tuple[str, BinaryMatrix]],
     *,
     timeout: Optional[float] = None,
@@ -94,11 +167,13 @@ def submit(
 ) -> Iterator[Dict[str, Any]]:
     """Stream solve events for ``(case_id, matrix)`` pairs.
 
-    ``options`` are the request-level overrides the daemon accepts
-    (``members``, ``seed``, ``budget_per_instance``,
-    ``budget_per_member``, ``stop_when_optimal``, ``race``).  Error
-    events raise :class:`DaemonError`; the terminating ``batch_done``
-    line is yielded last so callers can read the completion counts.
+    ``options`` are the request-level fields the server accepts: the
+    engine overrides (``members``, ``seed``, ``budget_per_instance``,
+    ``budget_per_member``, ``stop_when_optimal``, ``race``) plus the
+    tenancy fields (``tenant``, ``key``, ``priority``).  Error events
+    raise :class:`DaemonError` (with ``retry_after`` populated on
+    admission rejections); the terminating ``batch_done`` line is
+    yielded last so callers can read the completion counts.
     """
     request: Dict[str, Any] = {
         "op": "solve",
@@ -107,14 +182,14 @@ def submit(
         ],
     }
     request.update(options)
-    for payload in stream_request(socket_path, request, timeout=timeout):
+    for payload in stream_request(address, request, timeout=timeout):
         if payload.get("event") == "error":
-            raise DaemonError(payload.get("error", "unknown daemon error"))
+            raise DaemonError.from_event(payload)
         yield payload
 
 
 def collect(
-    socket_path: Union[str, Path],
+    address: Address,
     cases: Sequence[Tuple[str, BinaryMatrix]],
     *,
     timeout: Optional[float] = None,
@@ -122,7 +197,7 @@ def collect(
 ) -> List[Dict[str, Any]]:
     """Just the ``done`` provenance records, in completion order."""
     records: List[Dict[str, Any]] = []
-    for payload in submit(socket_path, cases, timeout=timeout, **options):
+    for payload in submit(address, cases, timeout=timeout, **options):
         if payload.get("event") == "done":
             records.append(payload)
     return records

@@ -1,11 +1,14 @@
 """JSON-lines unix-socket daemon around :class:`AsyncSolveEngine`.
 
-``python -m repro serve`` keeps one engine — executor threads, result
+``python -m repro serve`` keeps one engine — executor workers, result
 cache, warm imports — alive across requests, so short-lived clients
 (``python -m repro submit``, CI hooks, notebook cells) pay none of the
-pool or cache warmup per call.  The protocol is one JSON object per
-line, chosen over a binary framing because every tool in the repo's
-orbit (jq, editors, test fixtures) already speaks it:
+pool or cache warmup per call.  The daemon is the single-host binding
+of the shared :class:`repro.server.gateway.StreamFront`: it speaks the
+same protocol, answers the same ``stats``/``metrics`` ops from the same
+counters, and accepts the same tenancy policy as the TCP
+:class:`repro.server.gateway.SolveGateway` — the only difference is the
+transport (a per-user ``AF_UNIX`` socket instead of a port).
 
 Request (first line of a connection)::
 
@@ -16,83 +19,94 @@ Request (first line of a connection)::
 Response: one line per :class:`SolveEvent` (``queued`` / ``started`` /
 ``member_finished`` / ``done`` / ``cancelled`` / ``failed``), then a
 closing ``{"event": "batch_done", ...}`` line.  Other ops — ``ping``,
-``stats``, ``cancel``, ``shutdown`` — answer with a single line.
-Writes go through ``drain()``, so a slow reader backpressures its own
-event stream without stalling other connections.
+``stats``, ``metrics``, ``cancel``, ``shutdown`` — answer with a single
+line.  Writes go through ``drain()``, so a slow reader backpressures
+its own event stream without stalling other connections.
 """
 
 from __future__ import annotations
 
 import asyncio
-import json
 import os
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Optional, Union
 
-from repro.core.binary_matrix import BinaryMatrix
-from repro.core.exceptions import ReproError, SolverError
-from repro.service.batch import BatchItem
+from repro.core.exceptions import SolverError
 from repro.server.engine import AsyncSolveEngine
-
-PROTOCOL_VERSION = 1
-
-SOLVE_OVERRIDES = (
-    "members",
-    "seed",
-    "budget_per_instance",
-    "budget_per_member",
-    "stop_when_optimal",
-    "race",
+from repro.server.gateway import (
+    PROTOCOL_VERSION,
+    SOLVE_OVERRIDES,
+    StreamFront,
+    parse_case,
+    validate_overrides,
+)
+from repro.server.tenancy import (
+    AdmissionController,
+    ServerMetrics,
+    TenantRegistry,
 )
 
+__all__ = [
+    "PROTOCOL_VERSION",
+    "SOLVE_OVERRIDES",
+    "SolveDaemon",
+    "default_socket_path",
+    "parse_case",
+    "run_daemon",
+    "serve",
+    "validate_overrides",
+]
 
-def parse_case(payload: Dict[str, Any], index: int) -> BatchItem:
-    """One wire case -> :class:`BatchItem`.
+_SUN_PATH_LIMIT = 104
+"""Portable ceiling on ``AF_UNIX`` path bytes (Linux allows 108, BSDs
+104, both including the trailing NUL).  Checked up front so an overlong
+path is a clear :class:`SolverError` naming the fix, not an
+``OSError: AF_UNIX path too long`` from deep inside ``bind``."""
 
-    Accepts ``rows`` (list of '0'/'1' strings, the pattern-file format)
-    or ``row_masks`` + ``num_cols`` (the compact form the cache and
-    batch workers use).  A missing ``case_id`` is synthesized from the
-    position.
-    """
-    if not isinstance(payload, dict):
-        raise SolverError(f"case #{index} is not an object: {payload!r}")
-    case_id = str(payload.get("case_id", f"case-{index:04d}"))
-    if "rows" in payload:
-        matrix = BinaryMatrix.from_strings(list(payload["rows"]))
-    elif "row_masks" in payload and "num_cols" in payload:
-        matrix = BinaryMatrix(
-            [int(mask) for mask in payload["row_masks"]],
-            int(payload["num_cols"]),
-        )
-    else:
+
+def check_socket_path(path: Union[str, Path]) -> None:
+    """Reject socket paths that overflow ``sun_path`` before binding."""
+    encoded = str(path).encode()
+    if len(encoded) >= _SUN_PATH_LIMIT:
         raise SolverError(
-            f"case {case_id!r} needs 'rows' or 'row_masks'+'num_cols'"
+            f"unix socket path is {len(encoded)} bytes, over the "
+            f"{_SUN_PATH_LIMIT - 1}-byte AF_UNIX limit: {str(path)!r} "
+            "— pass a shorter --socket path (e.g. under /tmp)"
         )
-    members = payload.get("members")
-    return BatchItem(
-        case_id,
-        matrix,
-        None if members is None else tuple(str(m) for m in members),
-    )
 
 
-class SolveDaemon:
-    """Serve one :class:`AsyncSolveEngine` over a unix socket."""
+class SolveDaemon(StreamFront):
+    """Serve one :class:`AsyncSolveEngine` over a unix socket.
+
+    Optional ``tenants``/``admission`` enable the same multi-tenant
+    policy as the TCP gateway; by default every caller is the anonymous
+    tenant and nothing is rejected (single-user daemon behavior).
+    """
 
     def __init__(
         self,
         socket_path: Union[str, Path],
         engine: AsyncSolveEngine,
+        *,
+        tenants: Optional[TenantRegistry] = None,
+        admission: Optional[AdmissionController] = None,
+        metrics: Optional[ServerMetrics] = None,
     ) -> None:
+        super().__init__(
+            engine, tenants=tenants, admission=admission, metrics=metrics
+        )
         self.socket_path = Path(socket_path)
-        self.engine = engine
-        self._stop = asyncio.Event()
         self._server: Optional[asyncio.AbstractServer] = None
-        self.connections = 0
+
+    @property
+    def connections(self) -> int:
+        """Lifetime connection count (see ``metrics`` for the gauge)."""
+        return self.metrics.connections_total
 
     # ------------------------------------------------------------------
     async def run(self) -> None:
         """Listen until a ``shutdown`` op (or cancellation)."""
+        check_socket_path(self.socket_path)
         if self.socket_path.exists():
             # A previous daemon's socket; connect-refused stale files
             # are safe to reclaim, a live daemon is not.
@@ -102,6 +116,7 @@ class SolveDaemon:
                 )
             self.socket_path.unlink()
         self.socket_path.parent.mkdir(parents=True, exist_ok=True)
+        self.engine.prewarm()
         self._server = await asyncio.start_unix_server(
             self._handle, path=str(self.socket_path)
         )
@@ -130,129 +145,57 @@ class SolveDaemon:
             pass
         return True
 
-    def request_shutdown(self) -> None:
-        self._stop.set()
-
-    # ------------------------------------------------------------------
-    async def _handle(
-        self,
-        reader: asyncio.StreamReader,
-        writer: asyncio.StreamWriter,
-    ) -> None:
-        self.connections += 1
-
-        async def send(payload: Dict[str, Any]) -> None:
-            writer.write(json.dumps(payload).encode() + b"\n")
-            await writer.drain()
-
-        try:
-            line = await reader.readline()
-            if not line.strip():
-                return
-            try:
-                request = json.loads(line)
-            except json.JSONDecodeError as exc:
-                await send({"event": "error", "error": f"bad JSON: {exc}"})
-                return
-            op = request.get("op")
-            if op == "solve":
-                await self._handle_solve(request, send)
-            elif op == "ping":
-                await send(
-                    {
-                        "event": "pong",
-                        "version": PROTOCOL_VERSION,
-                        "stats": self.engine.stats(),
-                    }
-                )
-            elif op == "stats":
-                await send({"event": "stats", "stats": self.engine.stats()})
-            elif op == "cancel":
-                case_id = str(request.get("case_id", ""))
-                await send(
-                    {
-                        "event": "cancel",
-                        "case_id": case_id,
-                        "cancelled": self.engine.cancel(case_id),
-                    }
-                )
-            elif op == "shutdown":
-                await send({"event": "shutdown"})
-                self.request_shutdown()
-            else:
-                await send(
-                    {"event": "error", "error": f"unknown op {op!r}"}
-                )
-        except (ConnectionResetError, BrokenPipeError):
-            pass  # client went away mid-stream; nothing to clean up
-        finally:
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except OSError:
-                pass
-
-    async def _handle_solve(self, request: Dict[str, Any], send) -> None:
-        try:
-            raw_cases = request.get("cases")
-            if not isinstance(raw_cases, list) or not raw_cases:
-                raise SolverError("'cases' must be a non-empty list")
-            items = [
-                parse_case(case, index)
-                for index, case in enumerate(raw_cases)
-            ]
-            overrides: Dict[str, Any] = {
-                key: request[key]
-                for key in SOLVE_OVERRIDES
-                if request.get(key) is not None
-            }
-            if "members" in overrides:
-                overrides["members"] = tuple(
-                    str(m) for m in overrides["members"]
-                )
-        except (ReproError, ValueError, TypeError) as exc:
-            await send({"event": "error", "error": str(exc)})
-            return
-
-        include_timing = bool(request.get("include_timing", True))
-        done = 0
-        try:
-            async for event in self.engine.stream(items, **overrides):
-                await send(event.as_dict(include_timing=include_timing))
-                if event.terminal:
-                    done += 1
-        except ReproError as exc:
-            await send({"event": "error", "error": str(exc)})
-            return
-        await send(
-            {
-                "event": "batch_done",
-                "count": len(items),
-                "completed": done,
-            }
-        )
-
 
 async def serve(
-    socket_path: Union[str, Path], **engine_options: Any
+    socket_path: Union[str, Path],
+    *,
+    tenants: Optional[TenantRegistry] = None,
+    admission: Optional[AdmissionController] = None,
+    **engine_options: Any,
 ) -> None:
     """Build an engine and serve it until shutdown (asyncio entry)."""
-    daemon = SolveDaemon(socket_path, AsyncSolveEngine(**engine_options))
+    daemon = SolveDaemon(
+        socket_path,
+        AsyncSolveEngine(**engine_options),
+        tenants=tenants,
+        admission=admission,
+    )
     await daemon.run()
 
 
 def run_daemon(
-    socket_path: Union[str, Path], **engine_options: Any
+    socket_path: Union[str, Path],
+    *,
+    tenants: Optional[TenantRegistry] = None,
+    admission: Optional[AdmissionController] = None,
+    **engine_options: Any,
 ) -> int:
     """Blocking daemon entry point used by ``python -m repro serve``."""
     try:
-        asyncio.run(serve(socket_path, **engine_options))
+        asyncio.run(
+            serve(
+                socket_path,
+                tenants=tenants,
+                admission=admission,
+                **engine_options,
+            )
+        )
     except KeyboardInterrupt:
         pass
     return 0
 
 
 def default_socket_path() -> str:
-    """Per-user default socket location (overridable via ``--socket``)."""
+    """Per-user default socket location (overridable via ``--socket``).
+
+    Prefers ``$XDG_RUNTIME_DIR``, but falls back to ``/tmp`` when the
+    runtime dir would push the path past the ``AF_UNIX`` ``sun_path``
+    limit — some sandboxes nest runtime dirs deep enough that binding
+    would otherwise fail with a cryptic ``OSError``.
+    """
+    name = f"repro-solve-{os.getuid()}.sock"
     runtime = os.environ.get("XDG_RUNTIME_DIR") or "/tmp"
-    return str(Path(runtime) / f"repro-solve-{os.getuid()}.sock")
+    candidate = str(Path(runtime) / name)
+    if len(candidate.encode()) >= _SUN_PATH_LIMIT:
+        candidate = str(Path("/tmp") / name)
+    return candidate

@@ -22,8 +22,14 @@ GIL serializes the pure-Python solvers, so threads trade no throughput
 away on a single core while keeping live ``member_finished`` events and
 mid-flight cancellation.  ``executor="process"`` fans instances over a
 :class:`concurrent.futures.ProcessPoolExecutor` instead (real
-parallelism on multi-core hosts), at the cost of member-level events
-and of cancellation only taking effect before an instance starts.
+parallelism on multi-core hosts).  Member events cross the process
+boundary on a ``multiprocessing.Manager`` queue drained by a dedicated
+thread, so process-pool deployments stream ``member_finished`` live
+too; each worker posts an end-of-stream marker before returning and the
+engine holds the terminal event until the marker arrives, preserving
+the members-before-terminal ordering.  Cancellation still only takes
+effect before an instance starts (cancel flags don't cross the pickle
+boundary).
 
 A long-lived engine amortizes executor and cache warmup across many
 ``stream``/``solve`` calls — that is what
@@ -34,6 +40,9 @@ from __future__ import annotations
 
 import asyncio
 import concurrent.futures
+import itertools
+import multiprocessing
+import threading
 from dataclasses import dataclass, field
 from typing import (
     Any,
@@ -49,7 +58,7 @@ from repro.core.exceptions import SolverError
 from repro.service.batch import (
     BatchRecord,
     CaseLike,
-    _solve_payload,
+    _solve_payload_streaming,
     as_batch_items,
     instance_seed,
     solve_context,
@@ -62,6 +71,7 @@ from repro.service.portfolio import (
     MemberOutcome,
     PortfolioResult,
     is_exact_member,
+    outcome_from_dict,
     result_from_dict,
     solve_portfolio,
     validate_members,
@@ -158,6 +168,15 @@ def _member_event(case_id: str, outcome: MemberOutcome) -> SolveEvent:
     )
 
 
+def _prewarm_probe() -> int:
+    """Executed in a pool worker purely to force its process to start."""
+    import os
+    import time
+
+    time.sleep(0.05)
+    return os.getpid()
+
+
 @dataclass(frozen=True)
 class _StreamOptions:
     """One stream call's resolved configuration."""
@@ -211,15 +230,45 @@ class AsyncSolveEngine:
         self._semaphore_loop: Optional[asyncio.AbstractEventLoop] = None
         self._active: Dict[str, RaceToken] = {}
         self._solved = 0
+        self._cache_hits = 0
+        self._failed = 0
+        self._cancelled = 0
+        self._wins: Dict[str, int] = {}
+        # Cross-process member-event channel (lazy; process executor only).
+        self._manager: Optional[multiprocessing.managers.SyncManager] = None
+        self._member_events: Optional[Any] = None
+        self._drainer: Optional[threading.Thread] = None
+        self._sinks: Dict[
+            str,
+            Tuple[
+                asyncio.AbstractEventLoop,
+                "asyncio.Queue[SolveEvent]",
+                str,
+                asyncio.Event,
+            ],
+        ] = {}
+        self._sink_tags = itertools.count()
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+    @staticmethod
+    def _process_context() -> multiprocessing.context.BaseContext:
+        """Spawn, never fork: a forked worker inherits every open fd,
+        including accepted server connections — the child then holds a
+        client's socket open after the parent closes it, so the client
+        never sees EOF and hangs waiting for the stream to end.  Spawned
+        children start clean.  The (one-time) interpreter startup cost
+        is why long-lived fronts :meth:`prewarm` before accepting
+        traffic."""
+        return multiprocessing.get_context("spawn")
+
     def _ensure_executor(self) -> concurrent.futures.Executor:
         if self._executor is None:
             if self.executor_kind == "process":
                 self._executor = concurrent.futures.ProcessPoolExecutor(
-                    max_workers=self.workers
+                    max_workers=self.workers,
+                    mp_context=self._process_context(),
                 )
             else:
                 self._executor = concurrent.futures.ThreadPoolExecutor(
@@ -237,10 +286,85 @@ class AsyncSolveEngine:
             self._semaphore_loop = loop
         return self._semaphore
 
+    def _ensure_member_channel(self) -> Any:
+        """The shared Manager queue process workers stream events onto.
+
+        A Manager queue (not a bare ``multiprocessing.Queue``) because
+        its proxy pickles through the executor's normal argument path
+        under any start method.  One drainer thread per engine blocks on
+        the queue and hops each event onto the owning stream's asyncio
+        queue via ``call_soon_threadsafe``.
+        """
+        if self._member_events is None:
+            self._manager = self._process_context().Manager()
+            self._member_events = self._manager.Queue()
+            self._drainer = threading.Thread(
+                target=self._drain_member_events,
+                name="solve-engine-member-events",
+                daemon=True,
+            )
+            self._drainer.start()
+        return self._member_events
+
+    def _drain_member_events(self) -> None:
+        assert self._member_events is not None
+        while True:
+            try:
+                item = self._member_events.get()
+            except (EOFError, OSError):
+                return  # manager torn down under us
+            if item is None:
+                return  # close() sentinel
+            kind, tag, payload = item
+            sink = self._sinks.get(tag)
+            if sink is None:
+                continue  # stream abandoned; drop the orphan event
+            loop, queue, case_id, eof = sink
+            try:
+                if kind == "member":
+                    loop.call_soon_threadsafe(
+                        queue.put_nowait,
+                        _member_event(case_id, outcome_from_dict(payload)),
+                    )
+                elif kind == "eof":
+                    loop.call_soon_threadsafe(eof.set)
+            except RuntimeError:
+                continue  # the stream's loop already closed
+
+    def prewarm(self) -> None:
+        """Start workers (and the member-event channel) right now.
+
+        Long-lived fronts call this before accepting traffic so the
+        first request doesn't pay process-spawn latency.  A no-op for
+        the thread executor beyond creating the pool object.
+        """
+        executor = self._ensure_executor()
+        if self.executor_kind != "process":
+            return
+        self._ensure_member_channel()
+        # Each probe sleeps just long enough that the pool can't serve
+        # them all from one worker, forcing the full complement up.
+        probes = [
+            executor.submit(_prewarm_probe) for _ in range(self.workers)
+        ]
+        concurrent.futures.wait(probes, timeout=60)
+
     def close(self) -> None:
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        if self._member_events is not None:
+            try:
+                self._member_events.put(None)
+            except (EOFError, OSError):
+                pass
+            if self._drainer is not None:
+                self._drainer.join(timeout=5)
+            self._member_events = None
+            self._drainer = None
+        if self._manager is not None:
+            self._manager.shutdown()
+            self._manager = None
 
     async def __aenter__(self) -> "AsyncSolveEngine":
         return self
@@ -266,6 +390,9 @@ class AsyncSolveEngine:
         return True
 
     def stats(self) -> Dict[str, Any]:
+        terminal = (
+            self._solved + self._cache_hits + self._failed + self._cancelled
+        )
         payload: Dict[str, Any] = {
             "members": list(self.members),
             "workers": self.workers,
@@ -273,6 +400,19 @@ class AsyncSolveEngine:
             "executor": self.executor_kind,
             "active": len(self._active),
             "solved": self._solved,
+            "cache_hits": self._cache_hits,
+            "failed": self._failed,
+            "cancelled": self._cancelled,
+            "cache_hit_rate": (
+                self._cache_hits / terminal if terminal else 0.0
+            ),
+            "wins": dict(sorted(self._wins.items())),
+            "win_rates": {
+                name: count / self._solved
+                for name, count in sorted(self._wins.items())
+            }
+            if self._solved
+            else {},
         }
         if self.cache is not None:
             payload["cache"] = self.cache.stats.as_dict()
@@ -405,6 +545,7 @@ class AsyncSolveEngine:
         try:
             async with self._in_flight_semaphore():
                 if token.is_set():
+                    self._cancelled += 1
                     await queue.put(
                         SolveEvent(
                             kind=CANCELLED,
@@ -430,6 +571,7 @@ class AsyncSolveEngine:
                 if self.cache is not None:
                     cached = self.cache.get_by_key(key)
                     if cached is not None:
+                        self._cache_hits += 1
                         await queue.put(
                             SolveEvent(
                                 kind=DONE,
@@ -449,6 +591,7 @@ class AsyncSolveEngine:
                     item, options, queue, token
                 )
                 if token.is_set() and cancellation_affected(result):
+                    self._cancelled += 1
                     await queue.put(
                         SolveEvent(
                             kind=CANCELLED,
@@ -463,6 +606,9 @@ class AsyncSolveEngine:
                 if self.cache is not None:
                     self.cache.put(item.matrix, result, context)
                 self._solved += 1
+                self._wins[result.winner] = (
+                    self._wins.get(result.winner, 0) + 1
+                )
                 await queue.put(
                     SolveEvent(
                         kind=DONE,
@@ -477,6 +623,7 @@ class AsyncSolveEngine:
             raise
         except Exception as exc:  # every case must emit a terminal event,
             # or the stream would wait forever on an internal error.
+            self._failed += 1
             await queue.put(
                 SolveEvent(
                     kind=FAILED,
@@ -501,9 +648,11 @@ class AsyncSolveEngine:
         executor = self._ensure_executor()
 
         if self.executor_kind == "process":
-            # Cross-process: reuse the batch worker payload.  Member
-            # events and mid-run cancellation don't cross the pickle
-            # boundary; cancellation still applies up to the start.
+            # Cross-process: the batch worker payload plus a Manager
+            # queue for live member events.  Mid-run cancellation still
+            # doesn't cross the pickle boundary (cancel applies up to
+            # the start); member events do, routed by a per-solve tag so
+            # concurrent streams reusing case ids cannot cross wires.
             payload = (
                 case_id,
                 item.matrix.row_masks,
@@ -515,9 +664,25 @@ class AsyncSolveEngine:
                 options.stop_when_optimal,
                 options.race,
             )
-            _, result_dict = await loop.run_in_executor(
-                executor, _solve_payload, payload
-            )
+            events = self._ensure_member_channel()
+            tag = f"solve-{next(self._sink_tags)}"
+            eof = asyncio.Event()
+            self._sinks[tag] = (loop, queue, case_id, eof)
+            try:
+                _, result_dict = await loop.run_in_executor(
+                    executor, _solve_payload_streaming, payload, events, tag
+                )
+                # The worker posts its eof marker before returning, but
+                # the drainer thread delivers asynchronously: wait for
+                # it so every member event precedes the terminal event.
+                # A worker that died without the marker (pool crash)
+                # must not wedge the stream — bounded wait, then go on.
+                try:
+                    await asyncio.wait_for(eof.wait(), timeout=10.0)
+                except asyncio.TimeoutError:
+                    pass
+            finally:
+                self._sinks.pop(tag, None)
             return result_from_dict(result_dict)
 
         def on_member(outcome: MemberOutcome) -> None:

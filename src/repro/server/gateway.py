@@ -1,0 +1,497 @@
+"""Multi-tenant TCP gateway (and shared front) for the solve engine.
+
+One engine, many remote clients.  :class:`StreamFront` is the
+transport-agnostic half: it speaks the JSON-lines protocol over any
+asyncio stream pair, validates requests *before* they reach the engine,
+applies the tenancy policy of :mod:`repro.server.tenancy`, and feeds
+one shared metrics surface.  :class:`SolveGateway` binds it to a TCP
+``asyncio.start_server``; :class:`repro.server.daemon.SolveDaemon`
+binds the same front to a unix socket, so both deployments expose
+identical ops and identical counters.
+
+Wire protocol (one JSON object per line; the request is the first line
+of a connection)::
+
+    {"op": "solve", "cases": [{"case_id": "a", "rows": ["110", "011"]}],
+     "tenant": "acme", "key": "s3cret", "priority": 3,
+     "members": ["trivial", "packing:8", "sap"], "seed": 7,
+     "budget_per_instance": 10.0, "race": "concurrent"}
+
+Solve responses stream one line per event (``queued`` / ``started`` /
+``member_finished`` / ``done`` / ``cancelled`` / ``failed``) and close
+with ``{"event": "batch_done", ...}``.  ``member_finished`` events
+stream for *both* executors — the process pool forwards them over a
+manager queue (see :mod:`repro.server.engine`).
+
+Single-line ops: ``ping``, ``stats`` (engine + server counters),
+``metrics`` (queue depth, connections, per-tenant usage, cache hit
+rate, per-solver win rates), ``cancel``, ``shutdown``.
+
+Admission control rejects instead of queueing unboundedly: a saturated
+window or an exhausted tenant quota answers::
+
+    {"event": "error", "code": "saturated" | "quota_exhausted" | ...,
+     "retry_after": 1.25, "error": "..."}
+
+and closes the connection — clients should sleep ``retry_after``
+seconds and resubmit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import Any, Awaitable, Callable, Dict, Optional
+
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.exceptions import ReproError, SolverError
+from repro.server.engine import AsyncSolveEngine
+from repro.server.tenancy import (
+    AdmissionController,
+    RequestRejected,
+    ServerMetrics,
+    TenantRegistry,
+    TenantState,
+)
+from repro.service.batch import BatchItem
+from repro.service.portfolio import RACE_MODES, validate_members
+
+PROTOCOL_VERSION = 2
+"""Bumped from 1 when tenancy, ``metrics``, and ``retry_after``
+rejections landed; the solve-event stream itself is unchanged, so v1
+clients interoperate."""
+
+SOLVE_OVERRIDES = (
+    "members",
+    "seed",
+    "budget_per_instance",
+    "budget_per_member",
+    "stop_when_optimal",
+    "race",
+)
+
+Sender = Callable[[Dict[str, Any]], Awaitable[None]]
+
+
+def parse_case(payload: Dict[str, Any], index: int) -> BatchItem:
+    """One wire case -> :class:`BatchItem`.
+
+    Accepts ``rows`` (list of '0'/'1' strings, the pattern-file format)
+    or ``row_masks`` + ``num_cols`` (the compact form the cache and
+    batch workers use).  A missing ``case_id`` is synthesized from the
+    position.
+    """
+    if not isinstance(payload, dict):
+        raise SolverError(f"case #{index} is not an object: {payload!r}")
+    case_id = str(payload.get("case_id", f"case-{index:04d}"))
+    if "rows" in payload:
+        matrix = BinaryMatrix.from_strings(list(payload["rows"]))
+    elif "row_masks" in payload and "num_cols" in payload:
+        matrix = BinaryMatrix(
+            [int(mask) for mask in payload["row_masks"]],
+            int(payload["num_cols"]),
+        )
+    else:
+        raise SolverError(
+            f"case {case_id!r} needs 'rows' or 'row_masks'+'num_cols'"
+        )
+    members = payload.get("members")
+    return BatchItem(
+        case_id,
+        matrix,
+        None if members is None else tuple(str(m) for m in members),
+    )
+
+
+def validate_overrides(request: Dict[str, Any]) -> Dict[str, Any]:
+    """Type-check the per-request engine overrides *before* solving.
+
+    A string budget or an unknown race mode used to surface as a
+    ``TypeError`` deep inside the engine after events had already
+    streamed — the connection just died.  Checking the wire types here
+    turns every malformed override into a clean ``error`` event.
+    """
+    overrides: Dict[str, Any] = {}
+    for key in SOLVE_OVERRIDES:
+        value = request.get(key)
+        if value is None:
+            continue
+        if key == "members":
+            if not isinstance(value, (list, tuple)) or not value:
+                raise SolverError(
+                    f"'members' must be a non-empty list, got {value!r}"
+                )
+            members = tuple(str(m) for m in value)
+            validate_members(members)
+            overrides[key] = members
+        elif key == "seed":
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise SolverError(f"'seed' must be an integer, got {value!r}")
+            overrides[key] = value
+        elif key in ("budget_per_instance", "budget_per_member"):
+            if isinstance(value, bool) or not isinstance(
+                value, (int, float)
+            ):
+                raise SolverError(
+                    f"'{key}' must be a number of seconds, got {value!r}"
+                )
+            if value < 0:
+                raise SolverError(f"'{key}' must be >= 0, got {value}")
+            overrides[key] = float(value)
+        elif key == "stop_when_optimal":
+            if not isinstance(value, bool):
+                raise SolverError(
+                    f"'stop_when_optimal' must be a boolean, got {value!r}"
+                )
+            overrides[key] = value
+        elif key == "race":
+            if value not in RACE_MODES:
+                raise SolverError(
+                    f"'race' must be one of {RACE_MODES}, got {value!r}"
+                )
+            overrides[key] = value
+    return overrides
+
+
+def parse_priority(
+    request: Dict[str, Any], tenant: TenantState
+) -> int:
+    """Effective priority class: the request may deprioritize itself
+    below its tenant's configured class, never jump above it (lower
+    number = served sooner)."""
+    value = request.get("priority")
+    if value is None:
+        return tenant.config.priority
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise SolverError(f"'priority' must be an integer, got {value!r}")
+    return max(value, tenant.config.priority)
+
+
+class StreamFront:
+    """JSON-lines request handling shared by the daemon and the gateway."""
+
+    def __init__(
+        self,
+        engine: AsyncSolveEngine,
+        *,
+        tenants: Optional[TenantRegistry] = None,
+        admission: Optional[AdmissionController] = None,
+        metrics: Optional[ServerMetrics] = None,
+    ) -> None:
+        self.engine = engine
+        self.tenants = tenants or TenantRegistry()
+        self.admission = admission
+        self.metrics = metrics or ServerMetrics()
+        self._stop = asyncio.Event()
+
+    def request_shutdown(self) -> None:
+        self._stop.set()
+
+    # ------------------------------------------------------------------
+    async def _handle(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self.metrics.connection_opened()
+
+        async def send(payload: Dict[str, Any]) -> None:
+            writer.write(json.dumps(payload).encode() + b"\n")
+            await writer.drain()
+
+        try:
+            line = await reader.readline()
+            if not line.strip():
+                return
+            try:
+                request = json.loads(line)
+            except json.JSONDecodeError as exc:
+                await send({"event": "error", "error": f"bad JSON: {exc}"})
+                return
+            if not isinstance(request, dict):
+                await send(
+                    {
+                        "event": "error",
+                        "error": f"request must be an object, "
+                        f"got {type(request).__name__}",
+                    }
+                )
+                return
+            await self._dispatch(request, send)
+        except (ConnectionResetError, BrokenPipeError):
+            # Client went away mid-stream; the solve generator's
+            # cleanup cancels whatever work it alone was waiting on.
+            self.metrics.client_disconnects += 1
+        finally:
+            self.metrics.connection_closed()
+            # Half-close at the socket layer first: SHUT_WR delivers FIN
+            # even if another process holds a duplicate of this fd, so
+            # line-iterating clients always see end-of-stream.
+            if writer.can_write_eof():
+                try:
+                    writer.write_eof()
+                except OSError:
+                    pass
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except OSError:
+                pass
+
+    async def _dispatch(
+        self, request: Dict[str, Any], send: Sender
+    ) -> None:
+        op = request.get("op")
+        if op == "solve":
+            await self._handle_solve(request, send)
+        elif op == "ping":
+            await send(
+                {
+                    "event": "pong",
+                    "version": PROTOCOL_VERSION,
+                    "stats": self.engine.stats(),
+                }
+            )
+        elif op == "stats":
+            await send(
+                {
+                    "event": "stats",
+                    "stats": self.engine.stats(),
+                    "server": self.metrics.as_dict(),
+                }
+            )
+        elif op == "metrics":
+            await send({"event": "metrics", "metrics": self.metrics_dict()})
+        elif op == "cancel":
+            case_id = str(request.get("case_id", ""))
+            await send(
+                {
+                    "event": "cancel",
+                    "case_id": case_id,
+                    "cancelled": self.engine.cancel(case_id),
+                }
+            )
+        elif op == "shutdown":
+            await send({"event": "shutdown"})
+            self.request_shutdown()
+        else:
+            await send({"event": "error", "error": f"unknown op {op!r}"})
+
+    # ------------------------------------------------------------------
+    def metrics_dict(self) -> Dict[str, Any]:
+        """The one stats surface both fronts serve under ``metrics``."""
+        engine_stats = self.engine.stats()
+        payload = self.metrics.as_dict()
+        payload["queue"] = (
+            self.admission.snapshot()
+            if self.admission is not None
+            else {
+                "active": engine_stats["active"],
+                "waiting": 0,
+                "depth": engine_stats["active"],
+                "max_in_flight": None,
+                "max_waiting": None,
+            }
+        )
+        payload["engine"] = engine_stats
+        payload["cache_hit_rate"] = engine_stats["cache_hit_rate"]
+        payload["solvers"] = {
+            "solved": engine_stats["solved"],
+            "wins": engine_stats["wins"],
+            "win_rates": engine_stats["win_rates"],
+        }
+        payload["tenants"] = self.tenants.usage()
+        return payload
+
+    # ------------------------------------------------------------------
+    async def _handle_solve(
+        self, request: Dict[str, Any], send: Sender
+    ) -> None:
+        # Phase 1 — validate everything up front so a malformed request
+        # is one clean error line, never a dead connection.
+        tenant: Optional[TenantState] = None
+        try:
+            tenant = self.tenants.resolve(
+                request.get("tenant"), request.get("key")
+            )
+            priority = parse_priority(request, tenant)
+            raw_cases = request.get("cases")
+            if not isinstance(raw_cases, list) or not raw_cases:
+                raise SolverError("'cases' must be a non-empty list")
+            items = [
+                parse_case(case, index)
+                for index, case in enumerate(raw_cases)
+            ]
+            overrides = validate_overrides(request)
+        except RequestRejected as exc:
+            self.metrics.rejected_total += 1
+            await send(exc.as_event())
+            return
+        except (ReproError, ValueError, TypeError) as exc:
+            await send({"event": "error", "error": str(exc)})
+            return
+
+        # Phase 2 — admission: take a slot or answer retry_after.
+        admitted = False
+        if self.admission is not None:
+            try:
+                await self.admission.admit(tenant, priority)
+                admitted = True
+            except RequestRejected as exc:
+                self.metrics.rejected_total += 1
+                await send(exc.as_event())
+                return
+
+        # Phase 3 — stream; *always* answer, even on internal errors.
+        self.metrics.requests_total += 1
+        tenant.requests += 1
+        tenant.cases += len(items)
+        self.metrics.cases_submitted += len(items)
+        include_timing = bool(request.get("include_timing", True))
+        began = time.perf_counter()
+        done = 0
+        try:
+            async for event in self.engine.stream(items, **overrides):
+                if event.terminal:
+                    done += 1
+                    self.metrics.record_terminal(
+                        event.kind, from_cache=event.from_cache
+                    )
+                    if event.kind == "done":
+                        tenant.cases_completed += 1
+                        if event.from_cache:
+                            tenant.cache_hits += 1
+                        elif event.record is not None:
+                            # Quota is charged for compute actually
+                            # burned; cache hits ride free.
+                            tenant.charge(
+                                event.case_id,
+                                event.record.result.wall_seconds,
+                            )
+                await send(event.as_dict(include_timing=include_timing))
+            await send(
+                {
+                    "event": "batch_done",
+                    "count": len(items),
+                    "completed": done,
+                    "tenant": tenant.config.name,
+                }
+            )
+        except (ConnectionResetError, BrokenPipeError):
+            raise  # peer is gone; no point writing an error line
+        except Exception as exc:
+            # Validation catches the knowable failures; whatever still
+            # escapes the engine must not kill the connection silently.
+            await send(
+                {
+                    "event": "error",
+                    "error": f"{type(exc).__name__}: {exc}",
+                }
+            )
+        finally:
+            if admitted and self.admission is not None:
+                self.admission.release(
+                    tenant, time.perf_counter() - began
+                )
+
+
+class SolveGateway(StreamFront):
+    """Serve the shared front over TCP for remote, multi-tenant traffic.
+
+    ``port=0`` binds an ephemeral port; :attr:`port` holds the bound
+    value once :meth:`run` is listening (tests and supervisors poll
+    it).  The gateway trusts its network boundary as much as you do:
+    bind ``127.0.0.1`` behind a TLS terminator for anything public.
+    """
+
+    def __init__(
+        self,
+        engine: AsyncSolveEngine,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        tenants: Optional[TenantRegistry] = None,
+        admission: Optional[AdmissionController] = None,
+        metrics: Optional[ServerMetrics] = None,
+    ) -> None:
+        super().__init__(
+            engine, tenants=tenants, admission=admission, metrics=metrics
+        )
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def run(
+        self,
+        *,
+        on_ready: Optional[Callable[["SolveGateway"], None]] = None,
+    ) -> None:
+        """Listen until a ``shutdown`` op (or cancellation).
+
+        ``on_ready`` fires once the socket is bound — with ``port=0``
+        that is the first moment the real port is known, so banners and
+        supervisors should report from here, not from the requested
+        arguments.
+        """
+        self.engine.prewarm()
+        self._server = await asyncio.start_server(
+            self._handle, host=self.host, port=self.port
+        )
+        sockets = self._server.sockets or []
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+        if on_ready is not None:
+            on_ready(self)
+        try:
+            async with self._server:
+                await self._stop.wait()
+        finally:
+            self._server = None
+            self.engine.close()
+
+
+async def serve_gateway(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    tenants: Optional[TenantRegistry] = None,
+    admission: Optional[AdmissionController] = None,
+    on_ready: Optional[Callable[[SolveGateway], None]] = None,
+    **engine_options: Any,
+) -> None:
+    """Build an engine and serve it over TCP until shutdown."""
+    gateway = SolveGateway(
+        AsyncSolveEngine(**engine_options),
+        host=host,
+        port=port,
+        tenants=tenants,
+        admission=admission,
+    )
+    await gateway.run(on_ready=on_ready)
+
+
+def run_gateway(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    tenants: Optional[TenantRegistry] = None,
+    admission: Optional[AdmissionController] = None,
+    on_ready: Optional[Callable[[SolveGateway], None]] = None,
+    **engine_options: Any,
+) -> int:
+    """Blocking entry point used by ``python -m repro gateway``."""
+    try:
+        asyncio.run(
+            serve_gateway(
+                host,
+                port,
+                tenants=tenants,
+                admission=admission,
+                on_ready=on_ready,
+                **engine_options,
+            )
+        )
+    except KeyboardInterrupt:
+        pass
+    return 0

@@ -156,7 +156,8 @@ def _solve_payload(
         Optional[float],  # per-member budget (seconds)
         bool,  # stop_when_optimal
         str,  # race mode
-    ]
+    ],
+    on_member: Optional[Any] = None,
 ) -> Tuple[str, Dict[str, Any]]:
     (
         case_id,
@@ -177,8 +178,43 @@ def _solve_payload(
         budget=PortfolioBudget(total, per_member_seconds=per_member),
         stop_when_optimal=stop,
         race=race,
+        on_member=on_member,
     )
     return case_id, result_to_dict(result)
+
+
+def _solve_payload_streaming(
+    payload: Tuple[Any, ...],
+    events: Any,
+    tag: str,
+) -> Tuple[str, Dict[str, Any]]:
+    """:func:`_solve_payload` plus live member events on a shared queue.
+
+    ``events`` is a ``multiprocessing.Manager`` queue owned by
+    :class:`repro.server.engine.AsyncSolveEngine`; each member outcome
+    is posted as ``("member", tag, outcome_dict)`` the moment it lands,
+    and a final ``("eof", tag, None)`` marker promises the parent that
+    no more member events for this solve are in flight — the engine
+    holds the terminal ``done`` event until it sees the marker, so
+    member events can never arrive after their case's terminal event.
+    ``tag`` (not ``case_id``) routes events, so concurrent streams that
+    reuse case ids cannot cross wires.  Queue failures are swallowed:
+    a parent that went away must not kill a solve already paid for.
+    """
+
+    def on_member(outcome: Any) -> None:
+        try:
+            events.put(("member", tag, outcome.as_dict()))
+        except Exception:
+            pass
+
+    try:
+        return _solve_payload(payload, on_member=on_member)
+    finally:
+        try:
+            events.put(("eof", tag, None))
+        except Exception:
+            pass
 
 
 # ----------------------------------------------------------------------

@@ -1,4 +1,4 @@
-"""Shared wall-clock accounting for portfolio members.
+"""Shared wall-clock accounting for portfolio members and tenants.
 
 A :class:`PortfolioBudget` is one pot of wall-clock seconds that every
 member of a portfolio race draws from.  Members are cooperative (the
@@ -7,11 +7,18 @@ so the budget hands each member the smaller of its per-member slice and
 whatever remains of the total, and keeps a ledger of who spent what —
 the ledger feeds the provenance records of
 :mod:`repro.service.portfolio`.
+
+:class:`QuotaWindow` reuses the same ledger idiom one level up: where a
+``PortfolioBudget`` meters one race, a ``QuotaWindow`` meters one
+*tenant* of the solve service across many races — a rolling window of
+compute seconds that refills on a fixed cadence.  It is the accounting
+substrate of :mod:`repro.server.tenancy`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Union
+import time
+from typing import Callable, Dict, Optional, Union
 
 from repro.core.exceptions import SolverError
 from repro.utils.timing import Deadline
@@ -87,4 +94,96 @@ class PortfolioBudget:
         return (
             f"PortfolioBudget(total={total}, spent={self.spent():.3f}s, "
             f"members={len(self.ledger)})"
+        )
+
+
+class QuotaWindow:
+    """A rolling compute quota: N seconds of solving per window.
+
+    Each window holds one fresh :class:`PortfolioBudget` used purely as
+    a ledger — charges accumulate against it until the window's span of
+    wall-clock time elapses, at which point the pot is replaced and the
+    tenant starts spending from zero again.  ``quota_seconds=None``
+    means unlimited (the ledger still accumulates, for metrics).
+
+    The ``clock`` is injectable so tests can roll windows without
+    sleeping.  A lifetime total survives window rolls; per-window spend
+    does not.
+    """
+
+    def __init__(
+        self,
+        quota_seconds: Optional[float] = None,
+        *,
+        window_seconds: float = 60.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if quota_seconds is not None and quota_seconds < 0:
+            raise SolverError(
+                f"quota_seconds must be >= 0, got {quota_seconds}"
+            )
+        if window_seconds <= 0:
+            raise SolverError(
+                f"window_seconds must be > 0, got {window_seconds}"
+            )
+        self.quota_seconds = quota_seconds
+        self.window_seconds = window_seconds
+        self._clock = clock
+        self._window_began = clock()
+        self._pot = PortfolioBudget()
+        self.lifetime_seconds = 0.0
+        self.lifetime_charges = 0
+
+    def _roll(self) -> None:
+        now = self._clock()
+        if now - self._window_began >= self.window_seconds:
+            self._window_began = now
+            self._pot = PortfolioBudget()
+
+    def charge(self, label: str, seconds: float) -> None:
+        """Record ``seconds`` of compute against the current window."""
+        self._roll()
+        self._pot.charge(label, seconds)
+        self.lifetime_seconds += seconds
+        self.lifetime_charges += 1
+
+    def spent(self) -> float:
+        """Seconds charged inside the current window."""
+        self._roll()
+        return self._pot.spent()
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left in the window (``None`` = unlimited)."""
+        if self.quota_seconds is None:
+            return None
+        return max(0.0, self.quota_seconds - self.spent())
+
+    def exhausted(self) -> bool:
+        remaining = self.remaining()
+        return remaining is not None and remaining <= 0.0
+
+    def retry_after(self) -> float:
+        """Seconds until the window rolls and the quota refills."""
+        self._roll()
+        return max(
+            0.0,
+            self._window_began + self.window_seconds - self._clock(),
+        )
+
+    def as_dict(self) -> Dict[str, Optional[float]]:
+        return {
+            "quota_seconds": self.quota_seconds,
+            "window_seconds": self.window_seconds,
+            "window_spent": self.spent(),
+            "window_remaining": self.remaining(),
+            "lifetime_seconds": self.lifetime_seconds,
+        }
+
+    def __repr__(self) -> str:
+        quota = (
+            "inf" if self.quota_seconds is None else f"{self.quota_seconds:g}s"
+        )
+        return (
+            f"QuotaWindow(quota={quota}/{self.window_seconds:g}s, "
+            f"spent={self.spent():.3f}s)"
         )

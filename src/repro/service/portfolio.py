@@ -224,6 +224,25 @@ def result_to_dict(result: PortfolioResult) -> Dict[str, Any]:
     }
 
 
+def outcome_from_dict(entry: Dict[str, Any]) -> MemberOutcome:
+    """Rebuild one member outcome from its wire/cache dict form.
+
+    The inverse of :meth:`MemberOutcome.as_dict` — also used to carry
+    live ``member_finished`` events across the process-pool boundary in
+    :mod:`repro.server.engine` (partitions don't survive the trip; the
+    depth does).
+    """
+    return MemberOutcome(
+        name=entry["name"],
+        depth=entry["depth"],
+        seconds=entry.get("seconds", 0.0),
+        proved_optimal=entry["proved_optimal"],
+        error=entry["error"],
+        skipped=entry["skipped"],
+        detail=entry.get("detail"),
+    )
+
+
 def result_from_dict(
     payload: Dict[str, Any], *, from_cache: bool = False
 ) -> PortfolioResult:
@@ -232,16 +251,7 @@ def result_from_dict(
             f"expected a portfolio_result payload, got {payload.get('type')!r}"
         )
     outcomes = tuple(
-        MemberOutcome(
-            name=entry["name"],
-            depth=entry["depth"],
-            seconds=entry.get("seconds", 0.0),
-            proved_optimal=entry["proved_optimal"],
-            error=entry["error"],
-            skipped=entry["skipped"],
-            detail=entry.get("detail"),
-        )
-        for entry in payload["outcomes"]
+        outcome_from_dict(entry) for entry in payload["outcomes"]
     )
     return PortfolioResult(
         partition=partition_from_dict(payload["partition"]),

@@ -5,7 +5,9 @@ The daemon runs on a background thread's event loop (exactly how
 to it from the test thread — the same topology as production.
 """
 
+import asyncio
 import os
+import socket
 import threading
 import time
 
@@ -13,7 +15,12 @@ import pytest
 
 from repro.core.paper_matrices import equation_2, figure_1b, figure_3
 from repro.server import client
-from repro.server.daemon import SolveDaemon, parse_case
+from repro.server.daemon import (
+    SolveDaemon,
+    check_socket_path,
+    default_socket_path,
+    parse_case,
+)
 from repro.server.engine import AsyncSolveEngine
 from repro.core.exceptions import SolverError
 
@@ -113,6 +120,108 @@ class TestOps:
             )
         )
         assert events[0]["event"] == "error"
+
+    def test_malformed_overrides_always_get_an_answer(self, daemon):
+        # These used to blow up inside the engine after the stream had
+        # begun, killing the connection with no error line at all.
+        for overrides in (
+            {"budget_per_instance": "cheap"},
+            {"seed": 1.5},
+            {"members": 7},
+            {"stop_when_optimal": "maybe"},
+        ):
+            events = list(
+                client.stream_request(
+                    daemon,
+                    {
+                        "op": "solve",
+                        "cases": [{"case_id": "a", "rows": ["10", "01"]}],
+                        **overrides,
+                    },
+                    timeout=10,
+                )
+            )
+            assert len(events) == 1, overrides
+            assert events[0]["event"] == "error", overrides
+
+    def test_stats_split_active_and_lifetime_connections(self, daemon):
+        client.request_once(daemon, {"op": "ping"}, timeout=5)
+        reply = client.request_once(daemon, {"op": "stats"}, timeout=5)
+        connections = reply["server"]["connections"]
+        # The stats connection itself is the only active one; the ping
+        # (and the fixture's startup traffic) count toward the total.
+        assert connections["active"] == 1
+        assert connections["total"] >= 2
+        assert connections["total"] > connections["active"]
+
+
+class TestSocketPaths:
+    def test_overlong_socket_path_is_a_clear_error(self, tmp_path):
+        deep = tmp_path / ("x" * 120) / "solve.sock"
+        with pytest.raises(SolverError, match="AF_UNIX"):
+            check_socket_path(deep)
+
+    def test_daemon_refuses_overlong_path_before_binding(self, tmp_path):
+        deep = tmp_path / ("x" * 120) / "solve.sock"
+        daemon = SolveDaemon(
+            deep, AsyncSolveEngine(members=("trivial",), workers=1)
+        )
+        with pytest.raises(SolverError, match="AF_UNIX"):
+            asyncio.run(daemon.run())
+
+    def test_default_socket_path_prefers_runtime_dir(self, monkeypatch):
+        monkeypatch.setenv("XDG_RUNTIME_DIR", "/run/user/1000")
+        assert default_socket_path().startswith("/run/user/1000/")
+
+    def test_default_socket_path_falls_back_to_tmp(self, monkeypatch):
+        monkeypatch.setenv("XDG_RUNTIME_DIR", "/run/" + "deep/" * 30)
+        path = default_socket_path()
+        assert path.startswith("/tmp/")
+        check_socket_path(path)  # the fallback must itself be bindable
+
+    def test_stale_socket_is_reclaimed(self, tmp_path):
+        socket_path = tmp_path / "solve.sock"
+        # A dead daemon's leftover: a bound-then-abandoned socket file.
+        stale = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        stale.bind(str(socket_path))
+        stale.close()
+        assert socket_path.exists()
+
+        daemon = SolveDaemon(
+            socket_path,
+            AsyncSolveEngine(members=("trivial",), workers=1),
+        )
+        thread = threading.Thread(
+            target=lambda: asyncio.run(daemon.run()), daemon=True
+        )
+        thread.start()
+        try:
+            for _ in range(500):
+                try:
+                    reply = client.request_once(
+                        socket_path, {"op": "ping"}, timeout=2
+                    )
+                    break
+                except SolverError:
+                    time.sleep(0.01)
+            else:
+                pytest.fail("daemon never reclaimed the stale socket")
+            assert reply["event"] == "pong"
+        finally:
+            try:
+                client.request_once(
+                    socket_path, {"op": "shutdown"}, timeout=5
+                )
+            except SolverError:
+                pass
+            thread.join(timeout=10)
+
+    def test_live_socket_is_not_stolen(self, daemon):
+        second = SolveDaemon(
+            daemon, AsyncSolveEngine(members=("trivial",), workers=1)
+        )
+        with pytest.raises(SolverError, match="already serving"):
+            asyncio.run(second.run())
 
 
 class TestWireParsing:

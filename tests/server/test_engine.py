@@ -111,6 +111,63 @@ class TestStreamingOrder:
             assert peak >= 1
 
 
+class TestProcessExecutor:
+    async def test_member_events_cross_the_process_boundary(self):
+        """The bug this engine shipped with: ``executor="process"``
+        solved correctly but silently swallowed every member_finished.
+        Each case must now stream its member events live, all of them
+        before its terminal event."""
+        cases = [
+            ("a", FAST_MATRICES[2]),
+            ("b", FAST_MATRICES[0]),
+        ]
+        async with AsyncSolveEngine(
+            members=("trivial", "packing:4"),
+            seed=7,
+            workers=2,
+            executor="process",
+        ) as engine:
+            events = await _collect(engine, cases)
+        for case_id, _ in cases:
+            kinds = _kinds(events, case_id)
+            assert kinds[0] == QUEUED
+            assert kinds[-1] == DONE
+            members_seen = [
+                e.member
+                for e in events
+                if e.case_id == case_id and e.kind == MEMBER_FINISHED
+            ]
+            assert members_seen == ["trivial", "packing:4"]
+
+    async def test_process_stream_matches_thread_provenance(self):
+        cases = [("a", FAST_MATRICES[2])]
+        async with AsyncSolveEngine(
+            members=("trivial", "packing:4"), seed=7, executor="process"
+        ) as engine:
+            via_process = await engine.solve(cases)
+        async with AsyncSolveEngine(
+            members=("trivial", "packing:4"), seed=7, executor="thread"
+        ) as engine:
+            via_thread = await engine.solve(cases)
+        assert via_process[0].provenance(
+            include_timing=False
+        ) == via_thread[0].provenance(include_timing=False)
+
+    async def test_win_and_cache_hit_rates(self, tmp_path):
+        cache = ResultCache(capacity=8, path=tmp_path / "cache.json")
+        async with AsyncSolveEngine(
+            members=("trivial",), seed=7, cache=cache
+        ) as engine:
+            await _collect(engine, [("a", FAST_MATRICES[0])])
+            await _collect(engine, [("a", FAST_MATRICES[0])])
+            stats = engine.stats()
+        assert stats["solved"] == 1
+        assert stats["cache_hits"] == 1
+        assert stats["cache_hit_rate"] == 0.5
+        assert stats["wins"] == {"trivial": 1}
+        assert stats["win_rates"] == {"trivial": 1.0}
+
+
 class TestBatchEquivalence:
     async def test_stream_matches_solve_batch_provenance(
         self, service_matrices, service_seed
