@@ -58,6 +58,7 @@ def main() -> None:
     print(f"simulation: {report.summary()}")
 
     batch_demo()
+    scoreboard_demo()
     streaming_demo()
     gateway_demo()
 
@@ -97,6 +98,42 @@ def batch_demo() -> None:
                 f"{'optimal' if result.optimal else 'upper bound'}, "
                 f"{'cache hit' if result.from_cache else 'solved'})"
             )
+
+
+def scoreboard_demo() -> None:
+    """The standing benchmark corpus and the solver scoreboard.
+
+    ``build_corpus`` enumerates named, seeded instance families — the
+    paper's worked matrices, Table-I ensembles, adversarial fooling-set
+    instances, FTQC structure matrices, scale sweeps — and
+    ``run_scoreboard`` fans them through the portfolio and scores every
+    instance against the best depth anything has ever proven for it.
+    The same engine backs ``python -m repro scoreboard run --smoke``,
+    whose ``diff`` mode gates CI against a checked-in baseline
+    (``baselines/scoreboard_smoke.json``).
+    """
+    from repro import build_corpus, run_scoreboard
+
+    print()
+    print("Scoring the smoke corpus on the solver scoreboard:")
+    corpus = build_corpus(profile="smoke", seed=2024)
+    families = sorted(set(inst.family for inst in corpus))
+    print(f"  {len(corpus)} instances from {len(families)} families:")
+    print(f"    {', '.join(families)}")
+    report = run_scoreboard(
+        profile="smoke", seed=2024, members=("trivial", "packing:8", "sap")
+    )
+    for family, entry in report.family_summary().items():
+        print(
+            f"  {family}: {entry['instances']} instances, "
+            f"{entry['optimal']} optimal, "
+            f"mean depth ratio {entry['mean_ratio']:.3f}"
+        )
+    shares = ", ".join(
+        f"{name} {report.tally.win_rate(name):.0%}"
+        for name in report.tally.wins()
+    )
+    print(f"  per-solver wins: {shares}")
 
 
 def streaming_demo() -> None:

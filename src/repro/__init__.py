@@ -47,6 +47,7 @@ from repro.cover import (
     maximal_rectangles,
     minimum_cover,
 )
+from repro.corpus import build_corpus, run_scoreboard
 from repro.sat import ProofLog, check_refutation
 from repro.ftqc import (
     tensor_partition,
@@ -101,6 +102,8 @@ __all__ = [
     "binary_rank_bounds",
     "binary_rank_branch_bound",
     "boolean_rank",
+    "build_corpus",
+    "run_scoreboard",
     "ProofLog",
     "check_refutation",
     "legalize_schedule",

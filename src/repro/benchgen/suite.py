@@ -142,6 +142,66 @@ def gap_suite(
     ]
 
 
+def _rand_suites(
+    scale: str, seed: int, *, include_large: bool = True
+) -> Dict[str, List[BenchmarkCase]]:
+    """The Set-1 rows (random ensembles), keyed by paper row label."""
+    count_small = _per_cell_count(scale, 10, 3)
+    count_large = _per_cell_count(scale, 10, 2)
+    large_occupancies = (
+        LARGE_OCCUPANCIES if scale == "paper" else (0.01, 0.02, 0.05)
+    )
+    suites: Dict[str, List[BenchmarkCase]] = {}
+    for shape in ((10, 10), (10, 20), (10, 30)):
+        label = f"{shape[0]}x{shape[1]}, rand"
+        suites[label] = random_suite(
+            shape, SMALL_OCCUPANCIES, count_small, seed=seed
+        )
+    if include_large:
+        suites["100x100, rand"] = random_suite(
+            (100, 100), large_occupancies, count_large, seed=seed
+        )
+    return suites
+
+
+def _opt_suites(
+    scale: str, seed: int
+) -> Dict[str, List[BenchmarkCase]]:
+    """The Set-2 row (known-optimal certificates)."""
+    count_opt = _per_cell_count(scale, 10, 4)
+    return {
+        "10x10, opt": known_optimal_suite(
+            (10, 10), range(1, 11), count_opt, seed=seed
+        )
+    }
+
+
+def _gap_suites(
+    scale: str, seed: int
+) -> Dict[str, List[BenchmarkCase]]:
+    """The Set-3 rows (real-vs-binary rank gaps)."""
+    count_gap = _per_cell_count(scale, 100, 12)
+    return {
+        f"10x10, gap, {pairs}": gap_suite(
+            (10, 10), pairs, count_gap, seed=seed
+        )
+        for pairs in (2, 3, 4, 5)
+    }
+
+
+TABLE1_SET_BUILDERS = {
+    "rand": _rand_suites,
+    "opt": _opt_suites,
+    "gap": _gap_suites,
+}
+"""The single source of truth for the Table-I instance sets.
+
+Both :func:`table1_suites` (the experiment harness view) and the
+``table1-*`` corpus families registered below (the scoreboard view)
+enumerate from these builders, so the two can never drift apart.
+"""
+
+
 def table1_suites(
     *,
     scale: str = "quick",
@@ -157,28 +217,69 @@ def table1_suites(
     """
     if scale not in SCALES:
         raise ValueError(f"scale must be one of {SCALES}, got {scale!r}")
-    count_small = _per_cell_count(scale, 10, 3)
-    count_opt = _per_cell_count(scale, 10, 4)
-    count_gap = _per_cell_count(scale, 100, 12)
-    count_large = _per_cell_count(scale, 10, 2)
-    large_occupancies = (
-        LARGE_OCCUPANCIES if scale == "paper" else (0.01, 0.02, 0.05)
+    suites: Dict[str, List[BenchmarkCase]] = {}
+    suites.update(_rand_suites(scale, seed, include_large=include_large))
+    suites.update(_opt_suites(scale, seed))
+    suites.update(_gap_suites(scale, seed))
+    return suites
+
+
+# ----------------------------------------------------------------------
+# Corpus registration: the Table-I sets as standing corpus families.
+# ----------------------------------------------------------------------
+def _register_corpus_families() -> None:
+    """Expose each Table-I set as a corpus family built from the same
+    :data:`TABLE1_SET_BUILDERS` that :func:`table1_suites` uses.
+
+    Profile mapping: ``full`` is the paper scale, uncapped (the corpus
+    enumerates *exactly* ``flatten_suites(table1_suites(scale="paper"))``
+    per set); ``quick``/``smoke`` use the quick scale without the
+    100x100 slice, thinned to a per-family cap that still spans the
+    occupancy / rank / pair-count ranges.
+    """
+    from repro.corpus.registry import (
+        instance_from_case,
+        register_family,
+        thin,
+        validate_profile,
     )
 
-    suites: Dict[str, List[BenchmarkCase]] = {}
-    for shape in ((10, 10), (10, 20), (10, 30)):
-        label = f"{shape[0]}x{shape[1]}, rand"
-        suites[label] = random_suite(
-            shape, SMALL_OCCUPANCIES, count_small, seed=seed
-        )
-    if include_large:
-        suites["100x100, rand"] = random_suite(
-            (100, 100), large_occupancies, count_large, seed=seed
-        )
-    suites["10x10, opt"] = known_optimal_suite(
-        (10, 10), range(1, 11), count_opt, seed=seed
-    )
-    for pairs in (2, 3, 4, 5):
-        label = f"10x10, gap, {pairs}"
-        suites[label] = gap_suite((10, 10), pairs, count_gap, seed=seed)
-    return suites
+    caps = {"smoke": 3, "quick": 12, "full": None}
+
+    def make_builder(set_name: str):
+        def build(profile: str, seed: int):
+            validate_profile(profile)
+            scale = "paper" if profile == "full" else "quick"
+            builder = TABLE1_SET_BUILDERS[set_name]
+            if set_name == "rand":
+                suites = builder(
+                    scale, seed, include_large=(profile == "full")
+                )
+            else:
+                suites = builder(scale, seed)
+            cases = thin(flatten_suites(suites), caps[profile])
+            return [
+                instance_from_case(
+                    case, family=f"table1-{set_name}", seed=seed
+                )
+                for case in cases
+            ]
+
+        return build
+
+    descriptions = {
+        "rand": "Table I Set 1: Bernoulli random ensembles "
+        "(10x10 / 10x20 / 10x30, plus 100x100 at full profile)",
+        "opt": "Table I Set 2: matrices with certified optimal "
+        "partitions (known binary rank)",
+        "gap": "Table I Set 3: real-vs-binary rank gap constructions",
+    }
+    for set_name, description in descriptions.items():
+        register_family(
+            f"table1-{set_name}",
+            description,
+            tags=("paper", "table1"),
+        )(make_builder(set_name))
+
+
+_register_corpus_families()

@@ -8,6 +8,7 @@ Usage (also installed as ``python -m repro``):
     python -m repro serve [--socket PATH] [--workers N] [--cache-dir DIR]
     python -m repro gateway [--host H] [--port P] [--tenants FILE]
     python -m repro submit PATTERN_FILE [...] [--socket PATH | --connect tcp://H:P]
+    python -m repro scoreboard {run|diff|update-baseline|list} [--smoke]
     python -m repro compile PATTERN_FILE [--theta T] [--vacancy-char C]
     python -m repro bounds PATTERN_FILE
     python -m repro audit PATTERN_FILE [--budget SECONDS]
@@ -714,6 +715,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_submit.add_argument("--json", default=None, help="provenance output path")
     p_submit.set_defaults(func=cmd_submit)
+
+    from repro.corpus.cli import add_scoreboard_parser
+
+    add_scoreboard_parser(sub)
 
     p_compile = sub.add_parser(
         "compile", help="compile and verify an AOD schedule"

@@ -1,0 +1,73 @@
+"""Standing benchmark corpus and solver scoreboard.
+
+The corpus is a registry of named, seeded, reproducible instance
+families — the paper's worked matrices, the Table-I random ensembles,
+adversarial fooling-set instances, FTQC/QLDPC structure matrices, and
+scale sweeps.  Every instance is a deterministic function of
+``(family, profile, seed)``, so two machines building the same corpus
+hold byte-identical matrices.
+
+The scoreboard fans a corpus through the portfolio service
+(:func:`repro.service.batch.solve_batch`) and reports per-instance
+depth, depth ratio against the best-known value, wall time, and the
+winning solver — then diffs the run against a checked-in baseline so a
+solver regression fails loudly instead of shipping silently.  Wired as
+``python -m repro scoreboard`` (``run`` / ``diff`` / ``update-baseline``
+/ ``list``).
+
+Every new workload should land here as a corpus family: register it
+with :func:`repro.corpus.registry.register_family` and it is picked up
+by the scoreboard, the baselines, and the benchmarks for free.
+"""
+
+from repro.corpus.registry import (
+    PROFILES,
+    CorpusFamily,
+    CorpusInstance,
+    build_corpus,
+    family_names,
+    get_family,
+    instance_from_case,
+    register_family,
+)
+from repro.corpus.scoreboard import (
+    ScoreboardReport,
+    ScoreRow,
+    run_scoreboard,
+)
+from repro.corpus.baseline import (
+    BASELINE_FORMAT_VERSION,
+    BaselineDiff,
+    baseline_from_report,
+    diff_against_baseline,
+    format_diff,
+    load_baseline,
+    write_baseline,
+)
+
+# Importing the family modules registers the built-in corpus; the
+# registry itself stays import-cycle-free (benchgen.suite registers the
+# Table-I families and imports only repro.corpus.registry).
+import repro.corpus.families  # noqa: E402,F401  (registration side effect)
+import repro.benchgen.suite  # noqa: E402,F401  (registration side effect)
+
+__all__ = [
+    "BASELINE_FORMAT_VERSION",
+    "BaselineDiff",
+    "CorpusFamily",
+    "CorpusInstance",
+    "PROFILES",
+    "ScoreRow",
+    "ScoreboardReport",
+    "baseline_from_report",
+    "build_corpus",
+    "diff_against_baseline",
+    "family_names",
+    "format_diff",
+    "get_family",
+    "instance_from_case",
+    "load_baseline",
+    "register_family",
+    "run_scoreboard",
+    "write_baseline",
+]

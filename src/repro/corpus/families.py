@@ -1,0 +1,331 @@
+"""Built-in corpus families (beyond the Table-I ensembles).
+
+The Table-I families (``table1-rand`` / ``table1-opt`` / ``table1-gap``)
+register themselves from :mod:`repro.benchgen.suite` — the suite
+builders are the single source of truth there.  This module registers
+the rest:
+
+* ``paper``        — the worked matrices of the paper's figures and
+  equations, with their published binary ranks as ground truth;
+* ``fooling``      — adversarial fooling-set instances: matrices whose
+  exact fooling number is computed (or known by construction) at build
+  time and carried as a hard lower bound every solver must respect;
+* ``surface-code`` — FTQC patch-grid patterns (Figure 5a): logical
+  masks expanded over transversal / boundary-row / corner patch masks;
+* ``qldpc``        — 1D qLDPC memory-block offset patterns (Figure 5b);
+* ``scale-sweep``  — random matrices of growing size at fixed
+  occupancy, the knob that keeps the corpus probing beyond the paper's
+  shapes as kernels get faster.
+
+Every builder is a pure function of ``(profile, seed)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.benchgen.random_matrices import random_matrix
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.fooling import fooling_number
+from repro.core.paper_matrices import (
+    equation_2,
+    figure_1b,
+    figure_3,
+    section_2_nonbinary_example,
+)
+from repro.corpus.registry import (
+    CorpusInstance,
+    register_family,
+    validate_profile,
+)
+from repro.ftqc.qldpc import BlockLayout
+from repro.ftqc.surface_code import (
+    SurfaceCodeGrid,
+    boundary_row_patch_mask,
+    corner_patch_mask,
+)
+from repro.utils.rng import spawn_seeds
+
+FOOLING_EXACT_MAX_CELLS = 128
+"""Exact fooling search cap; family shapes stay well under it."""
+
+
+# ----------------------------------------------------------------------
+# paper — the worked examples, ranks as published
+# ----------------------------------------------------------------------
+@register_family(
+    "paper",
+    "the paper's worked matrices (Fig. 1b, Eq. 2, Fig. 3, Sec. II) with "
+    "their published binary ranks",
+    tags=("paper", "exact-ground-truth"),
+)
+def _paper_family(profile: str, seed: int) -> List[CorpusInstance]:
+    validate_profile(profile)
+    fixed: List[Tuple[str, BinaryMatrix, int]] = [
+        ("paper-figure1b", figure_1b(), 5),
+        ("paper-equation2", equation_2(), 3),
+        ("paper-figure3", figure_3(), 4),
+        ("paper-section2", section_2_nonbinary_example(), 3),
+    ]
+    return [
+        CorpusInstance(
+            case_id=case_id,
+            family="paper",
+            matrix=matrix,
+            known_rank=rank,
+        )
+        for case_id, matrix, rank in fixed
+    ]
+
+
+# ----------------------------------------------------------------------
+# fooling — adversarial instances with proven lower bounds
+# ----------------------------------------------------------------------
+def _fooling_sizes(profile: str) -> Tuple[List[int], List[int]]:
+    """(structured sizes, random sizes) per profile."""
+    if profile == "smoke":
+        return [4, 6], [6]
+    if profile == "quick":
+        return [4, 6, 8], [6, 8, 8]
+    return [4, 6, 8, 10], [6, 8, 8, 10, 10]
+
+
+@register_family(
+    "fooling",
+    "adversarial fooling-set instances: identities, triangular ladders, "
+    "identity complements, and random draws with exact fooling numbers "
+    "as hard lower bounds",
+    tags=("adversarial", "lower-bound"),
+)
+def _fooling_family(profile: str, seed: int) -> List[CorpusInstance]:
+    validate_profile(profile)
+    structured_sizes, random_sizes = _fooling_sizes(profile)
+    instances: List[CorpusInstance] = []
+    for n in structured_sizes:
+        # Identity: the n diagonal cells are pairwise fooling and the n
+        # distinct rows give a matching trivial cover — r_B = phi = n.
+        instances.append(
+            CorpusInstance(
+                case_id=f"fool-identity-{n}",
+                family="fooling",
+                matrix=BinaryMatrix.identity(n),
+                known_rank=n,
+                known_lower_bound=n,
+                params={"n": n, "kind": "identity"},
+            )
+        )
+        # Upper-triangular ladder: diagonal again fools (the below-
+        # diagonal cross entry is 0), n distinct rows cover — r_B = n.
+        triangular = BinaryMatrix(
+            [((1 << n) - 1) & ~((1 << i) - 1) for i in range(n)], n
+        )
+        instances.append(
+            CorpusInstance(
+                case_id=f"fool-triangular-{n}",
+                family="fooling",
+                matrix=triangular,
+                known_rank=n,
+                known_lower_bound=n,
+                params={"n": n, "kind": "triangular"},
+            )
+        )
+        # Identity complement: the Sec. II cautionary shape where the
+        # fooling bound goes slack against r_B as n grows — adversarial
+        # for anything that trusts fooling sets as tight.
+        complement = BinaryMatrix.identity(n).complement()
+        instances.append(
+            CorpusInstance(
+                case_id=f"fool-complement-{n}",
+                family="fooling",
+                matrix=complement,
+                known_lower_bound=fooling_number(
+                    complement, max_cells=FOOLING_EXACT_MAX_CELLS, seed=0
+                ),
+                params={"n": n, "kind": "complement"},
+            )
+        )
+    seeds = spawn_seeds(seed, len(random_sizes), salt="corpus/fooling")
+    for index, n in enumerate(random_sizes):
+        matrix = random_matrix(n, n, 0.4, seed=seeds[index])
+        # The exact fooling number is a certified lower bound on r_B;
+        # the B&B search is deterministic, so the recorded bound is too.
+        instances.append(
+            CorpusInstance(
+                case_id=f"fool-random-{n}-{index}",
+                family="fooling",
+                matrix=matrix,
+                seed=seeds[index],
+                known_lower_bound=fooling_number(
+                    matrix, max_cells=FOOLING_EXACT_MAX_CELLS, seed=0
+                ),
+                params={"n": n, "occupancy": 0.4, "kind": "random"},
+            )
+        )
+    return instances
+
+
+# ----------------------------------------------------------------------
+# surface-code — FTQC patch grids (Figure 5a)
+# ----------------------------------------------------------------------
+def _surface_grids(profile: str) -> List[Tuple[int, int, int]]:
+    """(patch_rows, patch_cols, distance) per profile."""
+    if profile == "smoke":
+        return [(2, 2, 2)]
+    if profile == "quick":
+        return [(2, 2, 2), (2, 3, 3)]
+    return [(2, 2, 2), (2, 3, 3), (3, 3, 3), (3, 4, 5)]
+
+
+@register_family(
+    "surface-code",
+    "surface-code patch grids (Fig. 5a): logical masks expanded over "
+    "transversal, boundary-row, and corner patch masks",
+    tags=("ftqc", "structured"),
+)
+def _surface_code_family(profile: str, seed: int) -> List[CorpusInstance]:
+    validate_profile(profile)
+    instances: List[CorpusInstance] = []
+    for rows, cols, distance in _surface_grids(profile):
+        grid = SurfaceCodeGrid(rows, cols, distance)
+        logical_identity = BinaryMatrix(
+            [1 << min(i, cols - 1) for i in range(rows)], cols
+        )
+        logical_ones = BinaryMatrix.all_ones(rows, cols)
+        tag = f"{rows}x{cols}d{distance}"
+        # Transversal gate on a staircase of logical qubits: the patch
+        # factor has r_B = 1, the logical factor has r_B = #distinct
+        # rows here, and Eq. 5's bound meets the product — exact rank
+        # known by construction.
+        staircase_rank = len(set(logical_identity.row_masks))
+        instances.append(
+            CorpusInstance(
+                case_id=f"sc-transversal-{tag}",
+                family="surface-code",
+                matrix=grid.physical_pattern(logical_identity),
+                known_rank=staircase_rank,
+                params={
+                    "grid": (rows, cols),
+                    "distance": distance,
+                    "patch": "transversal",
+                },
+            )
+        )
+        # Boundary-row preparation on every patch: rank-1 patch times
+        # all-ones logical — a single rectangle, r_B = 1.
+        instances.append(
+            CorpusInstance(
+                case_id=f"sc-boundary-{tag}",
+                family="surface-code",
+                matrix=grid.physical_pattern(
+                    logical_ones, boundary_row_patch_mask(distance)
+                ),
+                known_rank=1,
+                params={
+                    "grid": (rows, cols),
+                    "distance": distance,
+                    "patch": "boundary-row",
+                },
+            )
+        )
+        # Corner injection sites across the staircase: a permutation-
+        # like pattern again, one rectangle per distinct logical row.
+        instances.append(
+            CorpusInstance(
+                case_id=f"sc-corner-{tag}",
+                family="surface-code",
+                matrix=grid.physical_pattern(
+                    logical_identity, corner_patch_mask(distance)
+                ),
+                known_rank=staircase_rank,
+                params={
+                    "grid": (rows, cols),
+                    "distance": distance,
+                    "patch": "corner",
+                },
+            )
+        )
+    return instances
+
+
+# ----------------------------------------------------------------------
+# qldpc — 1D memory-block offset patterns (Figure 5b)
+# ----------------------------------------------------------------------
+def _qldpc_layouts(profile: str) -> List[Tuple[int, int, int]]:
+    """(num_blocks, block_size, qubits_per_block) per profile."""
+    if profile == "smoke":
+        return [(4, 6, 2)]
+    if profile == "quick":
+        return [(4, 6, 2), (6, 8, 3), (8, 10, 3)]
+    return [(4, 6, 2), (6, 8, 3), (8, 10, 3), (10, 12, 4), (12, 16, 5)]
+
+
+@register_family(
+    "qldpc",
+    "qLDPC memory blocks in 1D layout (Fig. 5b): per-block random "
+    "offset patterns, the workload behind the Section V conjecture",
+    tags=("ftqc", "qldpc"),
+)
+def _qldpc_family(profile: str, seed: int) -> List[CorpusInstance]:
+    validate_profile(profile)
+    layouts = _qldpc_layouts(profile)
+    seeds = spawn_seeds(seed, len(layouts), salt="corpus/qldpc")
+    instances: List[CorpusInstance] = []
+    for index, (blocks, size, qubits) in enumerate(layouts):
+        layout = BlockLayout(blocks, size)
+        instances.append(
+            CorpusInstance(
+                case_id=f"qldpc-{blocks}b{size}q{qubits}",
+                family="qldpc",
+                matrix=layout.random_pattern(qubits, seed=seeds[index]),
+                seed=seeds[index],
+                params={
+                    "num_blocks": blocks,
+                    "block_size": size,
+                    "qubits_per_block": qubits,
+                },
+            )
+        )
+    return instances
+
+
+# ----------------------------------------------------------------------
+# scale-sweep — growing random shapes at fixed occupancy
+# ----------------------------------------------------------------------
+def _sweep_shapes(profile: str) -> List[Tuple[int, int]]:
+    if profile == "smoke":
+        return [(6, 6), (8, 12)]
+    if profile == "quick":
+        return [(8, 8), (12, 12), (12, 24), (16, 16)]
+    return [(8, 8), (12, 12), (16, 16), (16, 32), (24, 24), (32, 32)]
+
+
+SWEEP_OCCUPANCY = 0.3
+"""Dense enough that the rank bound is usually slack (real work), sparse
+enough that SAP stays tractable at the full profile's sizes."""
+
+
+@register_family(
+    "scale-sweep",
+    "random matrices of growing size at fixed occupancy — the corpus's "
+    "beyond-paper-scale probe",
+    tags=("random", "scaling"),
+)
+def _scale_sweep_family(profile: str, seed: int) -> List[CorpusInstance]:
+    validate_profile(profile)
+    shapes = _sweep_shapes(profile)
+    seeds = spawn_seeds(seed, len(shapes), salt="corpus/scale-sweep")
+    return [
+        CorpusInstance(
+            case_id=f"sweep-{rows}x{cols}",
+            family="scale-sweep",
+            matrix=random_matrix(
+                rows, cols, SWEEP_OCCUPANCY, seed=seeds[index]
+            ),
+            seed=seeds[index],
+            params={"occupancy": SWEEP_OCCUPANCY, "shape": (rows, cols)},
+        )
+        for index, (rows, cols) in enumerate(shapes)
+    ]
+
+
+__all__ = ["FOOLING_EXACT_MAX_CELLS", "SWEEP_OCCUPANCY"]

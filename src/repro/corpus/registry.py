@@ -1,0 +1,236 @@
+"""The corpus registry: named, seeded, reproducible instance families.
+
+A :class:`CorpusFamily` is a named builder that turns ``(profile,
+seed)`` into a list of :class:`CorpusInstance` s.  Builders must be
+pure: the same profile and seed always yield the same instances, in the
+same order, with the same ids — that determinism is what lets a
+checked-in scoreboard baseline reproduce byte-identically.
+
+Profiles scale the corpus without changing its identity:
+
+* ``smoke``  — a couple of tiny instances per family; CI gate material
+  (``python -m repro scoreboard run --smoke``);
+* ``quick``  — the laptop-friendly default, mirroring the repo's
+  ``quick`` experiment scale;
+* ``full``   — paper-scale counts (mirrors ``REPRO_FULL=1``).
+
+Families register themselves at import time via
+:func:`register_family`; :func:`build_corpus` loads the built-in family
+modules on first use, so callers never need to know which module
+defines which family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.binary_matrix import BinaryMatrix
+from repro.core.exceptions import SolverError
+
+PROFILES = ("smoke", "quick", "full")
+"""Corpus sizes, smallest first.  ``smoke`` must stay CI-cheap."""
+
+DEFAULT_PROFILE = "quick"
+
+DEFAULT_CORPUS_SEED = 2024
+"""The seed the checked-in baselines are built from."""
+
+
+def validate_profile(profile: str) -> str:
+    if profile not in PROFILES:
+        raise SolverError(
+            f"profile must be one of {PROFILES}, got {profile!r}"
+        )
+    return profile
+
+
+@dataclass(frozen=True)
+class CorpusInstance:
+    """One reproducible benchmark instance plus its known ground truth.
+
+    ``known_rank`` is the exact binary rank when the construction
+    certifies one (e.g. the Set-2 matrices, the paper's worked
+    examples); ``known_lower_bound`` is a proven lower bound that need
+    not be tight (e.g. an exact fooling number).  Both are *a-priori*
+    facts of the instance, never outputs of the solvers under test —
+    the scoreboard uses them to catch solvers that return impossible
+    depths.  Quacks like a batch item (``case_id`` + ``matrix``), so a
+    corpus feeds straight into :func:`repro.service.batch.solve_batch`.
+    """
+
+    case_id: str
+    family: str
+    matrix: BinaryMatrix
+    seed: Optional[int] = None
+    known_rank: Optional[int] = None
+    known_lower_bound: Optional[int] = None
+    params: Dict[str, object] = field(default_factory=dict, hash=False)
+
+    def __post_init__(self) -> None:
+        if self.known_rank is not None and self.known_lower_bound is not None:
+            if self.known_lower_bound > self.known_rank:
+                raise SolverError(
+                    f"{self.case_id}: lower bound {self.known_lower_bound} "
+                    f"exceeds known rank {self.known_rank}"
+                )
+
+    @property
+    def lower_bound(self) -> Optional[int]:
+        """The strongest a-priori lower bound carried by the instance."""
+        if self.known_rank is not None:
+            return self.known_rank
+        return self.known_lower_bound
+
+    def __repr__(self) -> str:
+        return f"CorpusInstance({self.case_id})"
+
+
+def instance_from_case(
+    case: object, *, family: str, seed: Optional[int] = None
+) -> CorpusInstance:
+    """Adapt a :class:`repro.benchgen.suite.BenchmarkCase` (or anything
+    with ``case_id``/``matrix``/``params``) into a corpus instance."""
+    return CorpusInstance(
+        case_id=case.case_id,
+        family=family,
+        matrix=case.matrix,
+        seed=seed,
+        known_rank=getattr(case, "known_binary_rank", None),
+        params=dict(getattr(case, "params", {})),
+    )
+
+
+FamilyBuilder = Callable[[str, int], List[CorpusInstance]]
+"""``(profile, seed) -> instances``; must be deterministic."""
+
+
+@dataclass(frozen=True)
+class CorpusFamily:
+    """A named instance family: description, tags, and a pure builder."""
+
+    name: str
+    description: str
+    builder: FamilyBuilder
+    tags: Tuple[str, ...] = ()
+
+    def build(self, profile: str, seed: int) -> List[CorpusInstance]:
+        """Instances of this family; validated (family stamp, unique ids)."""
+        validate_profile(profile)
+        instances = self.builder(profile, seed)
+        seen: Dict[str, int] = {}
+        for instance in instances:
+            if instance.family != self.name:
+                raise SolverError(
+                    f"family {self.name!r} built an instance stamped "
+                    f"{instance.family!r} ({instance.case_id})"
+                )
+            seen[instance.case_id] = seen.get(instance.case_id, 0) + 1
+        duplicates = sorted(cid for cid, n in seen.items() if n > 1)
+        if duplicates:
+            raise SolverError(
+                f"family {self.name!r} built duplicate case ids: "
+                f"{duplicates[:5]}"
+            )
+        return instances
+
+
+_REGISTRY: Dict[str, CorpusFamily] = {}
+
+
+def register_family(
+    name: str,
+    description: str,
+    *,
+    tags: Sequence[str] = (),
+) -> Callable[[FamilyBuilder], FamilyBuilder]:
+    """Decorator: register ``builder`` as the corpus family ``name``.
+
+    Registration is module-import driven and must be unique — two
+    modules claiming one family name is a packaging bug, not a
+    last-writer-wins situation.
+    """
+
+    def wrap(builder: FamilyBuilder) -> FamilyBuilder:
+        if name in _REGISTRY:
+            raise SolverError(f"corpus family {name!r} already registered")
+        _REGISTRY[name] = CorpusFamily(
+            name=name,
+            description=description,
+            builder=builder,
+            tags=tuple(tags),
+        )
+        return builder
+
+    return wrap
+
+
+def _ensure_builtin() -> None:
+    """Load the modules that register the built-in families."""
+    import repro.benchgen.suite  # noqa: F401  (Table-I families)
+    import repro.corpus.families  # noqa: F401  (everything else)
+
+
+def family_names() -> List[str]:
+    """All registered family names, registration order preserved."""
+    _ensure_builtin()
+    return list(_REGISTRY)
+
+
+def get_family(name: str) -> CorpusFamily:
+    _ensure_builtin()
+    family = _REGISTRY.get(name)
+    if family is None:
+        raise SolverError(
+            f"unknown corpus family {name!r} "
+            f"(registered: {', '.join(_REGISTRY) or 'none'})"
+        )
+    return family
+
+
+def build_corpus(
+    families: Optional[Sequence[str]] = None,
+    *,
+    profile: str = DEFAULT_PROFILE,
+    seed: int = DEFAULT_CORPUS_SEED,
+) -> List[CorpusInstance]:
+    """Build the named families (default: all) into one flat instance list.
+
+    Instances come back family by family, in registration order, with
+    ids checked unique across the whole corpus — the exact order and
+    identity contract the scoreboard and its baselines rely on.
+    """
+    _ensure_builtin()
+    names = family_names() if families is None else list(families)
+    instances: List[CorpusInstance] = []
+    for name in names:
+        instances.extend(get_family(name).build(profile, seed))
+    seen: Dict[str, int] = {}
+    for instance in instances:
+        seen[instance.case_id] = seen.get(instance.case_id, 0) + 1
+    duplicates = sorted(cid for cid, n in seen.items() if n > 1)
+    if duplicates:
+        raise SolverError(
+            f"case ids collide across corpus families: {duplicates[:5]}"
+        )
+    return instances
+
+
+def thin(
+    cases: Sequence, cap: Optional[int]
+) -> List:
+    """An evenly spread, order-preserving sample of at most ``cap`` cases.
+
+    Families use this to shrink a full enumeration to a profile's size
+    while still spanning the parameter range (a plain head-slice would
+    only ever exercise the smallest occupancy / rank / size).  The
+    selection depends only on ``len(cases)`` and ``cap`` — deterministic
+    by construction.
+    """
+    if cap is None or len(cases) <= cap:
+        return list(cases)
+    if cap <= 0:
+        return []
+    # cap evenly spaced indices, first case always included.
+    step = len(cases) / cap
+    return [cases[int(i * step)] for i in range(cap)]

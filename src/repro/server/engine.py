@@ -76,6 +76,7 @@ from repro.service.portfolio import (
     solve_portfolio,
     validate_members,
 )
+from repro.service.stats import WinTally
 from repro.server.racing import RaceToken
 
 EXECUTOR_KINDS = ("thread", "process")
@@ -229,11 +230,10 @@ class AsyncSolveEngine:
         self._semaphore: Optional[asyncio.Semaphore] = None
         self._semaphore_loop: Optional[asyncio.AbstractEventLoop] = None
         self._active: Dict[str, RaceToken] = {}
-        self._solved = 0
         self._cache_hits = 0
         self._failed = 0
         self._cancelled = 0
-        self._wins: Dict[str, int] = {}
+        self._tally = WinTally()
         # Cross-process member-event channel (lazy; process executor only).
         self._manager: Optional[multiprocessing.managers.SyncManager] = None
         self._member_events: Optional[Any] = None
@@ -391,7 +391,10 @@ class AsyncSolveEngine:
 
     def stats(self) -> Dict[str, Any]:
         terminal = (
-            self._solved + self._cache_hits + self._failed + self._cancelled
+            self._tally.solved
+            + self._cache_hits
+            + self._failed
+            + self._cancelled
         )
         payload: Dict[str, Any] = {
             "members": list(self.members),
@@ -399,20 +402,15 @@ class AsyncSolveEngine:
             "race": self.race,
             "executor": self.executor_kind,
             "active": len(self._active),
-            "solved": self._solved,
             "cache_hits": self._cache_hits,
             "failed": self._failed,
             "cancelled": self._cancelled,
             "cache_hit_rate": (
                 self._cache_hits / terminal if terminal else 0.0
             ),
-            "wins": dict(sorted(self._wins.items())),
-            "win_rates": {
-                name: count / self._solved
-                for name, count in sorted(self._wins.items())
-            }
-            if self._solved
-            else {},
+            # WinTally is the one shape for per-solver win reporting —
+            # the scoreboard (repro.corpus.scoreboard) emits the same.
+            **self._tally.as_dict(),
         }
         if self.cache is not None:
             payload["cache"] = self.cache.stats.as_dict()
@@ -605,10 +603,7 @@ class AsyncSolveEngine:
                 # never touched it) leaves a full result: keep it.
                 if self.cache is not None:
                     self.cache.put(item.matrix, result, context)
-                self._solved += 1
-                self._wins[result.winner] = (
-                    self._wins.get(result.winner, 0) + 1
-                )
+                self._tally.record_result(result)
                 await queue.put(
                     SolveEvent(
                         kind=DONE,

@@ -3,7 +3,9 @@
 The layer between the solver library and traffic: per-instance solver
 races with provenance (:mod:`portfolio`), batch fan-out over a process
 pool (:mod:`batch`), a content-addressed result cache (:mod:`cache`),
-and shared wall-clock accounting (:mod:`budget`).
+shared wall-clock accounting (:mod:`budget`), the solver-config schema
+version that keys caches and baselines (:mod:`schema`), and per-solver
+win accounting shared with the server metrics ops (:mod:`stats`).
 """
 
 from repro.service.batch import (
@@ -22,6 +24,8 @@ from repro.service.cache import (
     ResultCache,
     matrix_key,
 )
+from repro.service.schema import SOLVER_SCHEMA_VERSION
+from repro.service.stats import WinTally
 from repro.service.portfolio import (
     DEFAULT_PORTFOLIO,
     EXACT_MEMBERS,
@@ -50,6 +54,8 @@ __all__ = [
     "PortfolioResult",
     "RACE_MODES",
     "ResultCache",
+    "SOLVER_SCHEMA_VERSION",
+    "WinTally",
     "as_batch_items",
     "instance_seed",
     "is_exact_member",

@@ -22,6 +22,7 @@ from repro.core.binary_matrix import BinaryMatrix
 from repro.core.exceptions import SolverError
 from repro.service.budget import BudgetLike, PortfolioBudget
 from repro.service.cache import ResultCache, matrix_key
+from repro.service.schema import SOLVER_SCHEMA_VERSION
 from repro.service.portfolio import (
     DEFAULT_PORTFOLIO,
     RACE_MODES,
@@ -105,13 +106,16 @@ def solve_context(
 
     Folded into :func:`repro.service.cache.matrix_key` so a cache can
     never serve a result computed under a different member set, seed,
-    or budget for the same matrix content.  Concurrent racing gets its
-    own key space (per-member records legitimately differ between race
-    modes); the default stays byte-compatible with caches written
-    before the ``race`` flag existed.
+    or budget for the same matrix content.  The context leads with
+    :data:`~repro.service.schema.SOLVER_SCHEMA_VERSION`, so bumping the
+    schema retires every previously cached result at once — stale
+    entries stop hitting instead of masquerading as fresh scoreboard
+    wins.  Concurrent racing gets its own key space (per-member records
+    legitimately differ between race modes).
     """
     context = (
-        f"members={','.join(members)}|seed={seed}|total={budget_total}"
+        f"schema={SOLVER_SCHEMA_VERSION}"
+        f"|members={','.join(members)}|seed={seed}|total={budget_total}"
         f"|per={budget_per_member}|stop={stop_when_optimal}"
     )
     if race != "sequential":

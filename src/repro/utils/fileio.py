@@ -41,11 +41,16 @@ def locked_file(lock_path: Path) -> Iterator[None]:
                 fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
 
 
-def atomic_write_json(path: Path, payload: Any) -> None:
+def atomic_write_json(
+    path: Path, payload: Any, *, sort_keys: bool = False
+) -> None:
     """Write ``payload`` as JSON via tempfile + ``os.replace``.
 
     Readers either see the old file or the new one, never a torn
     prefix — so a crash mid-write cannot corrupt a cache file.
+    ``sort_keys`` makes the byte stream independent of dict insertion
+    order — required for artifacts with a byte-identical-reproduction
+    contract (scoreboard baselines).
     """
     path.parent.mkdir(parents=True, exist_ok=True)
     handle, temp_name = tempfile.mkstemp(
@@ -53,7 +58,7 @@ def atomic_write_json(path: Path, payload: Any) -> None:
     )
     try:
         with os.fdopen(handle, "w") as stream:
-            json.dump(payload, stream, indent=2)
+            json.dump(payload, stream, indent=2, sort_keys=sort_keys)
             stream.write("\n")
         os.replace(temp_name, path)
     except BaseException:

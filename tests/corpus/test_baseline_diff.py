@@ -1,0 +1,225 @@
+"""Baseline format and differ: the regression gate must actually gate."""
+
+import copy
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.core.exceptions import SolverError
+from repro.corpus.baseline import (
+    baseline_from_report,
+    diff_against_baseline,
+    format_diff,
+    load_baseline,
+    write_baseline,
+)
+from repro.corpus.scoreboard import run_scoreboard
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+CHECKED_IN_BASELINE = REPO_ROOT / "baselines" / "scoreboard_smoke.json"
+
+MEMBERS = ("trivial", "packing:4")
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_scoreboard(profile="smoke", seed=2024, members=MEMBERS)
+
+
+@pytest.fixture(scope="module")
+def baseline(report):
+    return baseline_from_report(report)
+
+
+class TestDiff:
+    def test_clean_run_passes(self, report, baseline):
+        diff = diff_against_baseline(report, baseline)
+        assert not diff.failed
+        assert diff.clean
+        assert diff.compared == len(report.rows)
+        assert "-> ok" in format_diff(diff)
+
+    def test_injected_depth_regression_fails(self, report, baseline):
+        rigged = copy.deepcopy(baseline)
+        case_id = report.rows[0].case_id
+        rigged["entries"][case_id]["depth"] -= 1
+        diff = diff_against_baseline(report, rigged)
+        assert diff.failed
+        assert [e["case_id"] for e in diff.regressions] == [case_id]
+        assert "REGRESSIONS" in format_diff(diff)
+
+    def test_added_proof_is_an_improvement(self, report, baseline):
+        rigged = copy.deepcopy(baseline)
+        optimal_id = next(
+            row.case_id for row in report.rows if row.optimal
+        )
+        # Baseline says this instance used to be un-proven at a worse
+        # depth; the current run both improves the depth and adds the
+        # proof — an improvement, not a regression.
+        rigged["entries"][optimal_id]["depth"] += 1
+        rigged["entries"][optimal_id]["optimal"] = False
+        diff = diff_against_baseline(report, rigged)
+        assert [e["case_id"] for e in diff.improvements] == [optimal_id]
+        assert not diff.failed
+
+    def test_lost_optimality_proof_is_a_regression(self, report, baseline):
+        from repro.corpus.scoreboard import report_from_dict
+
+        payload = report.as_dict()
+        # Same depth, but the run no longer proves optimality the
+        # baseline recorded — that lost certificate must gate.
+        payload["rows"][0]["optimal"] = False
+        demoted = report_from_dict(payload)
+        diff = diff_against_baseline(demoted, baseline)
+        assert diff.failed
+        assert [e["case_id"] for e in diff.regressions] == [
+            report.rows[0].case_id
+        ]
+
+    def test_removed_instance_fails_added_does_not(self, report, baseline):
+        rigged = copy.deepcopy(baseline)
+        case_id = report.rows[0].case_id
+        entry = rigged["entries"].pop(case_id)
+        diff = diff_against_baseline(report, rigged)
+        assert diff.added == [case_id]
+        assert not diff.failed
+        rigged["entries"][case_id] = entry
+        rigged["entries"]["ghost-instance"] = entry
+        diff = diff_against_baseline(report, rigged)
+        assert diff.removed == ["ghost-instance"]
+        assert diff.failed
+
+    def test_schema_mismatch_fails_closed(self, report, baseline):
+        rigged = copy.deepcopy(baseline)
+        rigged["schema_version"] = report.schema_version + 1
+        diff = diff_against_baseline(report, rigged)
+        assert diff.failed
+        assert diff.schema_mismatch
+        assert diff.compared == 0
+        assert "SCHEMA MISMATCH" in format_diff(diff)
+
+    def test_config_mismatch_fails_closed(self, report, baseline):
+        rigged = copy.deepcopy(baseline)
+        rigged["seed"] = 999
+        diff = diff_against_baseline(report, rigged)
+        assert diff.failed
+        assert diff.config_mismatch
+
+    def test_slowdown_gate_requires_timing(self, report, baseline):
+        diff = diff_against_baseline(report, baseline, max_slowdown=2.0)
+        assert diff.failed
+        assert "timing" in diff.config_mismatch
+
+    def test_slowdown_gate_with_timing(self, report):
+        timed = baseline_from_report(report, include_timing=True)
+        ok = diff_against_baseline(report, timed, max_slowdown=1.5)
+        assert not ok.failed
+        rigged = copy.deepcopy(timed)
+        for case_id in rigged["timing"]:
+            rigged["timing"][case_id] = 1e-9
+        slow = diff_against_baseline(report, rigged, max_slowdown=1.5)
+        assert slow.slowdowns
+        assert slow.failed
+
+
+class TestFileFormat:
+    def test_write_then_load_round_trips(self, baseline, tmp_path):
+        path = write_baseline(tmp_path / "b.json", baseline)
+        assert load_baseline(path) == baseline
+
+    def test_rejects_foreign_payloads(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"type": "something_else"}))
+        with pytest.raises(SolverError, match="not a scoreboard baseline"):
+            load_baseline(path)
+
+    def test_rejects_newer_format_versions(self, baseline, tmp_path):
+        rigged = dict(baseline, version=99)
+        path = write_baseline(tmp_path / "b.json", rigged)
+        with pytest.raises(SolverError, match="newer than supported"):
+            load_baseline(path)
+
+    def test_writes_are_byte_identical(self, baseline, tmp_path):
+        a = write_baseline(tmp_path / "a.json", baseline)
+        scrambled = {
+            key: baseline[key] for key in reversed(list(baseline))
+        }
+        b = write_baseline(tmp_path / "b.json", scrambled)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_checked_in_baseline_reproduces_byte_identically(
+        self, tmp_path
+    ):
+        """The repo's smoke baseline regenerates exactly from its pinned
+        profile/seed/members — the acceptance criterion for the whole
+        baseline format."""
+        checked_in = load_baseline(CHECKED_IN_BASELINE)
+        report = run_scoreboard(
+            profile=checked_in["profile"],
+            seed=checked_in["seed"],
+            members=checked_in["members"],
+        )
+        regenerated = write_baseline(
+            tmp_path / "regen.json", baseline_from_report(report)
+        )
+        assert (
+            regenerated.read_bytes() == CHECKED_IN_BASELINE.read_bytes()
+        )
+
+
+class TestCli:
+    def run_cli(self, *argv, capsys=None) -> int:
+        return main(list(argv))
+
+    def base_args(self, subcommand, baseline_path):
+        return [
+            "scoreboard", subcommand,
+            "--smoke",
+            "--members", ",".join(MEMBERS),
+            "--baseline", str(baseline_path),
+        ]
+
+    def test_update_then_diff_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "baseline.json"
+        assert main(self.base_args("update-baseline", path)) == 0
+        assert main(self.base_args("diff", path)) == 0
+        assert "-> ok" in capsys.readouterr().out
+
+    def test_update_twice_is_byte_identical(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        assert main(self.base_args("update-baseline", path)) == 0
+        first = path.read_bytes()
+        assert main(self.base_args("update-baseline", path)) == 0
+        assert path.read_bytes() == first
+
+    def test_diff_exits_nonzero_on_injected_regression(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "baseline.json"
+        assert main(self.base_args("update-baseline", path)) == 0
+        payload = json.loads(path.read_text())
+        case_id = next(iter(payload["entries"]))
+        payload["entries"][case_id]["depth"] -= 1
+        path.write_text(json.dumps(payload))
+        assert main(self.base_args("diff", path)) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSIONS" in out and case_id in out
+
+    def test_run_gates_on_baseline_too(self, tmp_path, capsys):
+        path = tmp_path / "baseline.json"
+        assert main(self.base_args("update-baseline", path)) == 0
+        assert main(self.base_args("run", path)) == 0
+        payload = json.loads(path.read_text())
+        case_id = next(iter(payload["entries"]))
+        payload["entries"][case_id]["depth"] -= 1
+        path.write_text(json.dumps(payload))
+        assert main(self.base_args("run", path)) == 1
+        capsys.readouterr()
+
+    def test_missing_baseline_is_a_clean_error(self, tmp_path, capsys):
+        assert (
+            main(self.base_args("diff", tmp_path / "missing.json")) == 2
+        )
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,88 @@
+"""Property tests for the adversarial ``fooling`` corpus family.
+
+Two contracts: the family is a pure function of its seed (the corpus
+determinism guarantee), and every registered solver respects the
+fooling-number lower bounds the instances carry (the adversarial
+guarantee — a depth below a certified fooling number would mean the
+solver returns invalid partitions).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fooling import fooling_number
+from repro.corpus.families import FOOLING_EXACT_MAX_CELLS
+from repro.corpus.registry import build_corpus
+from repro.service.portfolio import run_member
+
+SOLVER_SPECS = (
+    "trivial",
+    "packing:4",
+    "packing_x:4",
+    "packing_noupdate:4",
+    "packing_sorted:4",
+    "greedy:4",
+    "sap",
+)
+
+
+class TestFoolingFamilyDeterminism:
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_build_is_a_pure_function_of_the_seed(self, seed):
+        first = build_corpus(["fooling"], profile="smoke", seed=seed)
+        second = build_corpus(["fooling"], profile="smoke", seed=seed)
+        assert [inst.case_id for inst in first] == [
+            inst.case_id for inst in second
+        ]
+        for a, b in zip(first, second):
+            assert a.matrix.row_masks == b.matrix.row_masks
+            assert a.known_lower_bound == b.known_lower_bound
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_recorded_bounds_are_real_fooling_numbers(self, seed):
+        """The carried lower bound is the matrix's exact fooling number,
+        recomputed — not a stale constant baked into the builder."""
+        for inst in build_corpus(["fooling"], profile="smoke", seed=seed):
+            assert inst.known_lower_bound is not None
+            if inst.params.get("kind") in ("complement", "random"):
+                assert inst.known_lower_bound == fooling_number(
+                    inst.matrix,
+                    max_cells=FOOLING_EXACT_MAX_CELLS,
+                    seed=0,
+                )
+
+    @given(
+        st.integers(0, 2**32 - 1),
+        st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_structured_instances_are_seed_independent(self, s1, s2):
+        """Identity / triangular / complement instances carry proofs by
+        construction; the seed only steers the random draws."""
+        a = build_corpus(["fooling"], profile="smoke", seed=s1)
+        b = build_corpus(["fooling"], profile="smoke", seed=s2)
+        for x, y in zip(a, b):
+            if x.params.get("kind") != "random":
+                assert x.matrix.row_masks == y.matrix.row_masks
+
+
+class TestEverySolverHonorsTheLowerBound:
+    @given(st.sampled_from(SOLVER_SPECS), st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_depth_never_beats_the_fooling_bound(self, spec, seed):
+        for inst in build_corpus(["fooling"], profile="smoke", seed=2024):
+            outcome = run_member(inst.matrix, spec, seed=seed)
+            assert outcome.partition is not None
+            assert outcome.partition.depth >= inst.lower_bound, (
+                f"{spec} beat the fooling bound on {inst.case_id}: "
+                f"depth {outcome.partition.depth} < {inst.lower_bound}"
+            )
+
+    def test_known_rank_instances_are_solved_exactly_by_sap(self):
+        for inst in build_corpus(["fooling"], profile="smoke", seed=2024):
+            if inst.known_rank is None:
+                continue
+            outcome = run_member(inst.matrix, "sap", seed=0)
+            assert outcome.partition.depth == inst.known_rank
