@@ -8,6 +8,7 @@ Usage (also installed as ``python -m repro``):
     python -m repro serve [--socket PATH] [--workers N] [--cache-dir DIR]
     python -m repro gateway [--host H] [--port P] [--tenants FILE]
     python -m repro submit PATTERN_FILE [...] [--socket PATH | --connect tcp://H:P]
+    python -m repro health [--socket PATH | --connect tcp://H:P]
     python -m repro scoreboard {run|diff|update-baseline|list} [--smoke]
     python -m repro compile PATTERN_FILE [--theta T] [--vacancy-char C]
     python -m repro bounds PATTERN_FILE
@@ -296,6 +297,9 @@ def cmd_submit(args: argparse.Namespace) -> int:
     from repro.utils.tables import format_table
 
     address = args.connect or args.socket or default_socket_path()
+    retry = None
+    if args.retries:
+        retry = client.RetryPolicy(max_attempts=args.retries + 1)
     options = {}
     if args.members:
         options["members"] = tuple(
@@ -317,7 +321,7 @@ def cmd_submit(args: argparse.Namespace) -> int:
     try:
         cases = [(path, _read_pattern(path)) for path in args.patterns]
         for event in client.submit(
-            address, cases, timeout=args.timeout, **options
+            address, cases, timeout=args.timeout, retry=retry, **options
         ):
             kind = event.get("event")
             case_id = event.get("case_id", "")
@@ -330,7 +334,23 @@ def cmd_submit(args: argparse.Namespace) -> int:
             elif kind == "done":
                 records.append(event)
                 source = "cache" if event.get("from_cache") else "solved"
+                if event.get("degraded"):
+                    source += ", degraded"
+                if event.get("retried"):
+                    source += ", retried"
                 print(f"{case_id}: depth {event.get('depth')} ({source})")
+            elif kind == "worker_crashed":
+                print(
+                    f"  {case_id}: worker crashed, retrying "
+                    f"({event.get('error')})"
+                )
+            elif kind == "client_retry":
+                print(
+                    f"  reconnecting (attempt {event.get('attempt')}, "
+                    f"{event.get('remaining')} case(s) left): "
+                    f"{event.get('reason')}",
+                    file=sys.stderr,
+                )
             elif kind in ("cancelled", "failed"):
                 records.append(event)
                 print(f"{case_id}: {kind} ({event.get('error')})")
@@ -375,6 +395,26 @@ def cmd_submit(args: argparse.Namespace) -> int:
             return 2
         print(f"wrote {args.json}")
     return 0 if len(done) == len(records) else 1
+
+
+def cmd_health(args: argparse.Namespace) -> int:
+    """Probe a running front's health op (exit 0 only when ready)."""
+    import json as json_module
+
+    from repro.core.exceptions import ReproError
+    from repro.server import client
+    from repro.server.daemon import default_socket_path
+
+    address = args.connect or args.socket or default_socket_path()
+    try:
+        payload = client.request_once(
+            address, {"op": "health"}, timeout=args.timeout
+        )
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(json_module.dumps(payload, indent=2, sort_keys=True))
+    return 0 if payload.get("status") == "ready" else 1
 
 
 def cmd_compile(args: argparse.Namespace) -> int:
@@ -713,8 +753,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeout", type=float, default=300.0,
         help="per-read socket timeout (seconds)",
     )
+    p_submit.add_argument(
+        "--retries", type=int, default=0,
+        help="retry transient failures (connection loss, saturation) "
+        "up to N times with backoff, resuming unfinished cases",
+    )
     p_submit.add_argument("--json", default=None, help="provenance output path")
     p_submit.set_defaults(func=cmd_submit)
+
+    p_health = sub.add_parser(
+        "health",
+        help="probe a running front: ready / degraded / draining",
+    )
+    p_health.add_argument("--socket", default=None, help="daemon socket path")
+    p_health.add_argument(
+        "--connect", default=None,
+        help="TCP gateway address (tcp://host:port); overrides --socket",
+    )
+    p_health.add_argument(
+        "--timeout", type=float, default=10.0,
+        help="socket timeout (seconds)",
+    )
+    p_health.set_defaults(func=cmd_health)
 
     from repro.corpus.cli import add_scoreboard_parser
 

@@ -23,8 +23,27 @@ turns a *stream of requests* into a *stream of results*:
   ``metrics`` op reporting queue depth, per-tenant usage, cache hit
   rate, and per-solver win rates.  The daemon binds the same front to
   a unix socket, so both deployments share one stats surface.
+
+The serving stack is fault-tolerant end to end: worker death respawns
+the pool and re-dispatches only the lost cases (``worker_crashed``
+events, results marked ``status="retried"``), corrupt cache shards are
+quarantined and read cold, clients retry with
+:class:`repro.server.client.RetryPolicy` (capped backoff + jitter,
+``retry_after`` hints, reconnect-and-resume), sustained overload flips
+the front to heuristic-only *degraded* serving (``health`` op:
+``ready`` / ``degraded`` / ``draining``), and a vanished client has
+its in-flight solves cancelled.  The failure-class -> event-code ->
+client-behavior table lives in ``docs/failure-semantics.md``; the
+fault-injection harness driving the chaos tests is
+:mod:`repro.service.faults`.
 """
 
+from repro.server.client import (
+    ConnectFailed,
+    DaemonError,
+    RetryPolicy,
+    StreamInterrupted,
+)
 from repro.server.engine import (
     AsyncSolveEngine,
     CANCELLED,
@@ -33,14 +52,19 @@ from repro.server.engine import (
     MEMBER_FINISHED,
     QUEUED,
     STARTED,
+    WORKER_CRASHED,
     SolveEvent,
     TERMINAL_EVENTS,
 )
 from repro.server.gateway import SolveGateway, StreamFront
 from repro.server.racing import RaceToken, race_members
-from repro.server.shards import ShardedDiskTier
+from repro.server.shards import ShardedDiskTier, quarantine_file
 from repro.server.tenancy import (
     AdmissionController,
+    DegradedModeController,
+    HEALTH_DEGRADED,
+    HEALTH_DRAINING,
+    HEALTH_READY,
     RequestRejected,
     ServerMetrics,
     TenantConfig,
@@ -52,22 +76,32 @@ __all__ = [
     "AdmissionController",
     "AsyncSolveEngine",
     "CANCELLED",
+    "ConnectFailed",
     "DONE",
+    "DaemonError",
+    "DegradedModeController",
     "FAILED",
+    "HEALTH_DEGRADED",
+    "HEALTH_DRAINING",
+    "HEALTH_READY",
     "MEMBER_FINISHED",
     "QUEUED",
     "RaceToken",
     "RequestRejected",
+    "RetryPolicy",
     "STARTED",
     "ServerMetrics",
     "ShardedDiskTier",
     "SolveEvent",
     "SolveGateway",
     "StreamFront",
+    "StreamInterrupted",
     "TERMINAL_EVENTS",
     "TenantConfig",
     "TenantRegistry",
+    "WORKER_CRASHED",
     "atomic_write_json",
     "locked_file",
+    "quarantine_file",
     "race_members",
 ]

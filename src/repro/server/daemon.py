@@ -19,9 +19,11 @@ Request (first line of a connection)::
 Response: one line per :class:`SolveEvent` (``queued`` / ``started`` /
 ``member_finished`` / ``done`` / ``cancelled`` / ``failed``), then a
 closing ``{"event": "batch_done", ...}`` line.  Other ops — ``ping``,
-``stats``, ``metrics``, ``cancel``, ``shutdown`` — answer with a single
-line.  Writes go through ``drain()``, so a slow reader backpressures
-its own event stream without stalling other connections.
+``stats``, ``metrics``, ``health``, ``cancel``, ``shutdown`` — answer
+with a single line.  Writes go through ``drain()``, so a slow reader
+backpressures its own event stream without stalling other connections.
+A client that disconnects mid-stream has its in-flight solves cancelled
+(see ``docs/failure-semantics.md``).
 """
 
 from __future__ import annotations

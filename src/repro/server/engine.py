@@ -55,7 +55,10 @@ from typing import (
 )
 
 from repro.core.exceptions import SolverError
+from repro.service import faults
 from repro.service.batch import (
+    STATUS_OK,
+    STATUS_RETRIED,
     BatchRecord,
     CaseLike,
     _solve_payload_streaming,
@@ -84,12 +87,15 @@ EXECUTOR_KINDS = ("thread", "process")
 QUEUED = "queued"
 STARTED = "started"
 MEMBER_FINISHED = "member_finished"
+WORKER_CRASHED = "worker_crashed"
 DONE = "done"
 CANCELLED = "cancelled"
 FAILED = "failed"
 
 TERMINAL_EVENTS = (DONE, CANCELLED, FAILED)
-"""Exactly one of these ends each submitted case's event stream."""
+"""Exactly one of these ends each submitted case's event stream.
+``worker_crashed`` is *not* terminal: it announces a crash being
+recovered from, and the case still ends with its own terminal event."""
 
 
 @dataclass(frozen=True)
@@ -103,6 +109,7 @@ class SolveEvent:
     proved_optimal: bool = False
     skipped: bool = False
     from_cache: bool = False
+    retried: bool = False
     error: Optional[str] = None
     record: Optional[BatchRecord] = field(default=None, repr=False)
 
@@ -124,6 +131,8 @@ class SolveEvent:
             payload["depth"] = self.depth
         if self.from_cache:
             payload["from_cache"] = True
+        if self.retried:
+            payload["retried"] = True
         if self.error is not None:
             payload["error"] = self.error
         if self.record is not None:
@@ -233,6 +242,7 @@ class AsyncSolveEngine:
         self._cache_hits = 0
         self._failed = 0
         self._cancelled = 0
+        self._worker_crashes = 0
         self._tally = WinTally()
         # Cross-process member-event channel (lazy; process executor only).
         self._manager: Optional[multiprocessing.managers.SyncManager] = None
@@ -276,6 +286,21 @@ class AsyncSolveEngine:
                     thread_name_prefix="solve-engine",
                 )
         return self._executor
+
+    def _respawn_executor(
+        self, broken: concurrent.futures.Executor
+    ) -> None:
+        """Discard a pool whose worker died; the next solve respawns it.
+
+        Identity-guarded: concurrent solves that all saw the same
+        ``BrokenProcessPool`` race to call this, and only the first one
+        should tear the pool down (and count the crash) — the rest find
+        ``self._executor`` already pointing elsewhere.
+        """
+        if self._executor is broken:
+            self._worker_crashes += 1
+            broken.shutdown(wait=False)
+            self._executor = None
 
     def _in_flight_semaphore(self) -> asyncio.Semaphore:
         # Semaphores bind to the running loop; recreate when the engine
@@ -405,6 +430,7 @@ class AsyncSolveEngine:
             "cache_hits": self._cache_hits,
             "failed": self._failed,
             "cancelled": self._cancelled,
+            "worker_crashes": self._worker_crashes,
             "cache_hit_rate": (
                 self._cache_hits / terminal if terminal else 0.0
             ),
@@ -490,6 +516,9 @@ class AsyncSolveEngine:
         for member_set in {item.members for item in items}:
             if member_set is not None:
                 validate_members(member_set)
+        # Chaos seam: turn an index-addressed kill target into a case id
+        # while we still see the whole batch (no-op without a FaultPlan).
+        faults.resolve_kill_case([item.case_id for item in items])
 
         queue: "asyncio.Queue[SolveEvent]" = asyncio.Queue()
         tokens: Dict[str, RaceToken] = {}
@@ -585,7 +614,7 @@ class AsyncSolveEngine:
                         )
                         return
                 await queue.put(SolveEvent(kind=STARTED, case_id=case_id))
-                result = await self._solve_in_executor(
+                result, was_retried = await self._solve_in_executor(
                     item, options, queue, token
                 )
                 if token.is_set() and cancellation_affected(result):
@@ -609,8 +638,14 @@ class AsyncSolveEngine:
                         kind=DONE,
                         case_id=case_id,
                         depth=result.depth,
+                        retried=was_retried,
                         record=BatchRecord(
-                            case_id=case_id, key=key, result=result
+                            case_id=case_id,
+                            key=key,
+                            result=result,
+                            status=(
+                                STATUS_RETRIED if was_retried else STATUS_OK
+                            ),
                         ),
                     )
                 )
@@ -633,7 +668,15 @@ class AsyncSolveEngine:
         options: _StreamOptions,
         queue: "asyncio.Queue[SolveEvent]",
         token: RaceToken,
-    ) -> PortfolioResult:
+    ) -> Tuple[PortfolioResult, bool]:
+        """Solve one instance; returns ``(result, was_retried)``.
+
+        ``was_retried`` is True when the first dispatch's worker died
+        (``BrokenProcessPool``) and the instance was re-solved on a
+        fresh pool — the result content is still deterministic (the
+        per-case seed makes the retry byte-identical), only the status
+        mark differs.
+        """
         loop = asyncio.get_running_loop()
         case_id = item.case_id
         members = (
@@ -660,25 +703,56 @@ class AsyncSolveEngine:
                 options.race,
             )
             events = self._ensure_member_channel()
-            tag = f"solve-{next(self._sink_tags)}"
-            eof = asyncio.Event()
-            self._sinks[tag] = (loop, queue, case_id, eof)
-            try:
-                _, result_dict = await loop.run_in_executor(
-                    executor, _solve_payload_streaming, payload, events, tag
-                )
-                # The worker posts its eof marker before returning, but
-                # the drainer thread delivers asynchronously: wait for
-                # it so every member event precedes the terminal event.
-                # A worker that died without the marker (pool crash)
-                # must not wedge the stream — bounded wait, then go on.
+            for attempt in range(2):
+                tag = f"solve-{next(self._sink_tags)}"
+                eof = asyncio.Event()
+                self._sinks[tag] = (loop, queue, case_id, eof)
                 try:
-                    await asyncio.wait_for(eof.wait(), timeout=10.0)
-                except asyncio.TimeoutError:
-                    pass
-            finally:
-                self._sinks.pop(tag, None)
-            return result_from_dict(result_dict)
+                    _, result_dict = await loop.run_in_executor(
+                        executor,
+                        _solve_payload_streaming,
+                        payload,
+                        events,
+                        tag,
+                    )
+                    # The worker posts its eof marker before returning,
+                    # but the drainer thread delivers asynchronously:
+                    # wait for it so every member event precedes the
+                    # terminal event.  A worker that died without the
+                    # marker (pool crash) must not wedge the stream —
+                    # bounded wait, then go on.
+                    try:
+                        await asyncio.wait_for(eof.wait(), timeout=10.0)
+                    except asyncio.TimeoutError:
+                        pass
+                    return result_from_dict(result_dict), attempt > 0
+                except concurrent.futures.process.BrokenProcessPool:
+                    # Worker death poisons the whole pool: retire it,
+                    # disarm the injected kill (so a chaos retry can't
+                    # crash-loop), announce the crash, and re-dispatch
+                    # this case once on a fresh pool.
+                    self._respawn_executor(executor)
+                    faults.disarm("kill_worker_on_case")
+                    await queue.put(
+                        SolveEvent(
+                            kind=WORKER_CRASHED,
+                            case_id=case_id,
+                            error=(
+                                "process pool worker died"
+                                f" (dispatch {attempt + 1})"
+                            ),
+                        )
+                    )
+                    if attempt:
+                        raise SolverError(
+                            f"case {case_id!r} crashed the worker pool "
+                            "twice; giving up (likely a poison-pill "
+                            "instance)"
+                        )
+                    executor = self._ensure_executor()
+                finally:
+                    self._sinks.pop(tag, None)
+            raise AssertionError("unreachable: retry loop exits above")
 
         def on_member(outcome: MemberOutcome) -> None:
             # Called from the solver thread; hop back onto the loop.
@@ -701,7 +775,7 @@ class AsyncSolveEngine:
                 on_member=on_member,
             )
 
-        return await loop.run_in_executor(executor, solve)
+        return await loop.run_in_executor(executor, solve), False
 
     # ------------------------------------------------------------------
     # Convenience

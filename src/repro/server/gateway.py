@@ -25,7 +25,9 @@ manager queue (see :mod:`repro.server.engine`).
 
 Single-line ops: ``ping``, ``stats`` (engine + server counters),
 ``metrics`` (queue depth, connections, per-tenant usage, cache hit
-rate, per-solver win rates), ``cancel``, ``shutdown``.
+rate, per-solver win rates), ``health`` (``ready`` / ``degraded`` /
+``draining`` plus the degraded-mode evidence), ``cancel``,
+``shutdown``.
 
 Admission control rejects instead of queueing unboundedly: a saturated
 window or an exhausted tenant quota answers::
@@ -46,16 +48,28 @@ from typing import Any, Awaitable, Callable, Dict, Optional
 
 from repro.core.binary_matrix import BinaryMatrix
 from repro.core.exceptions import ReproError, SolverError
-from repro.server.engine import AsyncSolveEngine
+from repro.server.engine import WORKER_CRASHED, AsyncSolveEngine
 from repro.server.tenancy import (
+    HEALTH_DEGRADED,
+    HEALTH_DRAINING,
+    HEALTH_READY,
+    REJECT_SATURATED,
+    REJECT_TENANT_SATURATED,
     AdmissionController,
+    DegradedModeController,
     RequestRejected,
     ServerMetrics,
     TenantRegistry,
     TenantState,
 )
+from repro.service import faults
 from repro.service.batch import BatchItem
-from repro.service.portfolio import RACE_MODES, validate_members
+from repro.service.portfolio import (
+    RACE_MODES,
+    PortfolioResult,
+    is_exact_member,
+    validate_members,
+)
 
 PROTOCOL_VERSION = 2
 """Bumped from 1 when tenancy, ``metrics``, and ``retry_after``
@@ -168,6 +182,23 @@ def parse_priority(
     return max(value, tenant.config.priority)
 
 
+def heuristic_members(members: Any) -> tuple:
+    """The best-effort member set a degraded front answers with."""
+    kept = tuple(m for m in members if not is_exact_member(m))
+    return kept or ("trivial",)
+
+
+def exact_backend_timed_out(result: PortfolioResult) -> bool:
+    """Did an exact member of this solve run out of its budget?"""
+    for outcome in result.outcomes:
+        if not is_exact_member(outcome.name):
+            continue
+        error = outcome.error or ""
+        if "BudgetExceeded" in error or "budget exhausted" in error:
+            return True
+    return False
+
+
 class StreamFront:
     """JSON-lines request handling shared by the daemon and the gateway."""
 
@@ -178,11 +209,13 @@ class StreamFront:
         tenants: Optional[TenantRegistry] = None,
         admission: Optional[AdmissionController] = None,
         metrics: Optional[ServerMetrics] = None,
+        degraded: Optional[DegradedModeController] = None,
     ) -> None:
         self.engine = engine
         self.tenants = tenants or TenantRegistry()
         self.admission = admission
         self.metrics = metrics or ServerMetrics()
+        self.degraded = degraded or DegradedModeController()
         self._stop = asyncio.Event()
 
     def request_shutdown(self) -> None:
@@ -195,9 +228,18 @@ class StreamFront:
         writer: asyncio.StreamWriter,
     ) -> None:
         self.metrics.connection_opened()
+        sent = 0
 
         async def send(payload: Dict[str, Any]) -> None:
+            nonlocal sent
+            # Chaos seam: a FaultPlan can sever this connection after N
+            # event lines, exercising client reconnect-and-resume.
+            if faults.should_drop_connection(sent):
+                raise ConnectionResetError(
+                    "fault injection: dropping connection"
+                )
             writer.write(json.dumps(payload).encode() + b"\n")
+            sent += 1
             await writer.drain()
 
         try:
@@ -218,7 +260,7 @@ class StreamFront:
                     }
                 )
                 return
-            await self._dispatch(request, send)
+            await self._dispatch(request, send, reader)
         except (ConnectionResetError, BrokenPipeError):
             # Client went away mid-stream; the solve generator's
             # cleanup cancels whatever work it alone was waiting on.
@@ -240,11 +282,14 @@ class StreamFront:
                 pass
 
     async def _dispatch(
-        self, request: Dict[str, Any], send: Sender
+        self,
+        request: Dict[str, Any],
+        send: Sender,
+        reader: Optional[asyncio.StreamReader] = None,
     ) -> None:
         op = request.get("op")
         if op == "solve":
-            await self._handle_solve(request, send)
+            await self._handle_solve(request, send, reader)
         elif op == "ping":
             await send(
                 {
@@ -263,6 +308,8 @@ class StreamFront:
             )
         elif op == "metrics":
             await send({"event": "metrics", "metrics": self.metrics_dict()})
+        elif op == "health":
+            await send({"event": "health", **self.health_dict()})
         elif op == "cancel":
             case_id = str(request.get("case_id", ""))
             await send(
@@ -279,6 +326,27 @@ class StreamFront:
             await send({"event": "error", "error": f"unknown op {op!r}"})
 
     # ------------------------------------------------------------------
+    def health_dict(self) -> Dict[str, Any]:
+        """The ``health`` op's payload: one word, then the evidence.
+
+        ``draining`` (shutdown requested, finish and go away) beats
+        ``degraded`` (answers are best-effort) beats ``ready``.
+        """
+        if self._stop.is_set():
+            status = HEALTH_DRAINING
+        elif self.degraded.degraded():
+            status = HEALTH_DEGRADED
+        else:
+            status = HEALTH_READY
+        payload: Dict[str, Any] = {
+            "status": status,
+            "degraded_mode": self.degraded.snapshot(),
+            "connections_active": self.metrics.connections_active,
+        }
+        if self.admission is not None:
+            payload["queue"] = self.admission.snapshot()
+        return payload
+
     def metrics_dict(self) -> Dict[str, Any]:
         """The one stats surface both fronts serve under ``metrics``."""
         engine_stats = self.engine.stats()
@@ -302,11 +370,15 @@ class StreamFront:
             "win_rates": engine_stats["win_rates"],
         }
         payload["tenants"] = self.tenants.usage()
+        payload["degraded_mode"] = self.degraded.snapshot()
         return payload
 
     # ------------------------------------------------------------------
     async def _handle_solve(
-        self, request: Dict[str, Any], send: Sender
+        self,
+        request: Dict[str, Any],
+        send: Sender,
+        reader: Optional[asyncio.StreamReader] = None,
     ) -> None:
         # Phase 1 — validate everything up front so a malformed request
         # is one clean error line, never a dead connection.
@@ -332,18 +404,55 @@ class StreamFront:
             await send({"event": "error", "error": str(exc)})
             return
 
-        # Phase 2 — admission: take a slot or answer retry_after.
+        # Phase 2 — admission: take a slot, answer retry_after, or —
+        # under sustained saturation — fall through to degraded serving
+        # (a heuristic-only answer beats a rejection the client will
+        # only retry into the same saturated window).
         admitted = False
+        degraded_serve = self.degraded.degraded()
         if self.admission is not None:
             try:
                 await self.admission.admit(tenant, priority)
                 admitted = True
             except RequestRejected as exc:
-                self.metrics.rejected_total += 1
-                await send(exc.as_event())
-                return
+                load_shed = exc.code in (
+                    REJECT_SATURATED,
+                    REJECT_TENANT_SATURATED,
+                )
+                if load_shed:
+                    self.degraded.note_saturation()
+                if load_shed and self.degraded.degraded():
+                    degraded_serve = True
+                else:
+                    self.metrics.rejected_total += 1
+                    await send(exc.as_event())
+                    return
+        if degraded_serve:
+            # Best-effort: strip the exact backends everywhere (request
+            # overrides, per-case member sets, and the engine default).
+            overrides = dict(overrides)
+            overrides["members"] = heuristic_members(
+                overrides.get("members", self.engine.members)
+            )
+            items = [
+                BatchItem(
+                    item.case_id,
+                    item.matrix,
+                    (
+                        None
+                        if item.members is None
+                        else heuristic_members(item.members)
+                    ),
+                )
+                for item in items
+            ]
+            self.metrics.degraded_total += 1
+            self.degraded.served_degraded += 1
 
         # Phase 3 — stream; *always* answer, even on internal errors.
+        # A watcher on the connection's read side turns a vanished
+        # client into prompt cancellation of the underlying solves
+        # instead of budget burned for a reader that is gone.
         self.metrics.requests_total += 1
         tenant.requests += 1
         tenant.cases += len(items)
@@ -351,8 +460,44 @@ class StreamFront:
         include_timing = bool(request.get("include_timing", True))
         began = time.perf_counter()
         done = 0
+        eof_task: Optional[asyncio.Task] = None
+        if reader is not None:
+            # The protocol sends nothing after the request line, so a
+            # completed read-to-EOF means the peer hung up.
+            eof_task = asyncio.create_task(
+                reader.read(), name="client-eof-watch"
+            )
+        stream = self.engine.stream(items, **overrides)
         try:
-            async for event in self.engine.stream(items, **overrides):
+            iterator = stream.__aiter__()
+            while True:
+                next_event = asyncio.ensure_future(iterator.__anext__())
+                if eof_task is None:
+                    waiting = {next_event}
+                else:
+                    waiting = {next_event, eof_task}
+                await asyncio.wait(
+                    waiting, return_when=asyncio.FIRST_COMPLETED
+                )
+                if (
+                    eof_task is not None
+                    and eof_task.done()
+                    and not next_event.done()
+                ):
+                    next_event.cancel()
+                    # Closing the generator runs stream()'s finally:
+                    # cancel tokens fire and in-flight work aborts at
+                    # its next deadline poll.
+                    await iterator.aclose()
+                    raise ConnectionResetError(
+                        "client disconnected mid-stream"
+                    )
+                try:
+                    event = await next_event
+                except StopAsyncIteration:
+                    break
+                if event.kind == WORKER_CRASHED:
+                    self.metrics.worker_crash_events += 1
                 if event.terminal:
                     done += 1
                     self.metrics.record_terminal(
@@ -369,15 +514,23 @@ class StreamFront:
                                 event.case_id,
                                 event.record.result.wall_seconds,
                             )
-                await send(event.as_dict(include_timing=include_timing))
-            await send(
-                {
-                    "event": "batch_done",
-                    "count": len(items),
-                    "completed": done,
-                    "tenant": tenant.config.name,
-                }
-            )
+                            if exact_backend_timed_out(
+                                event.record.result
+                            ):
+                                self.degraded.note_exact_timeout()
+                payload = event.as_dict(include_timing=include_timing)
+                if degraded_serve:
+                    payload["degraded"] = True
+                await send(payload)
+            done_line: Dict[str, Any] = {
+                "event": "batch_done",
+                "count": len(items),
+                "completed": done,
+                "tenant": tenant.config.name,
+            }
+            if degraded_serve:
+                done_line["degraded"] = True
+            await send(done_line)
         except (ConnectionResetError, BrokenPipeError):
             raise  # peer is gone; no point writing an error line
         except Exception as exc:
@@ -390,6 +543,16 @@ class StreamFront:
                 }
             )
         finally:
+            if eof_task is not None:
+                eof_task.cancel()
+                try:
+                    await eof_task
+                except (asyncio.CancelledError, Exception):
+                    pass
+            try:
+                await stream.aclose()  # no-op when already exhausted
+            except Exception:
+                pass
             if admitted and self.admission is not None:
                 self.admission.release(
                     tenant, time.perf_counter() - began

@@ -23,16 +23,52 @@ resharded into a directory of the same name.
 from __future__ import annotations
 
 import json
+import logging
 import os
+import time
 from pathlib import Path
 from typing import Any, Dict, Mapping, Optional, Set, Union
 
 from repro.core.exceptions import SolverError
+from repro.service import faults
 from repro.utils.fileio import atomic_write_json, locked_file
 
 SHARD_FORMAT_VERSION = 1
 SHARD_TYPE = "portfolio_cache_shard"
 SINGLE_FILE_TYPE = "portfolio_cache"
+
+logger = logging.getLogger(__name__)
+
+_QUARANTINE_LOGGED: Set[str] = set()
+"""Paths already logged this process — a corrupt shard hit by every
+request must not turn the log into a firehose."""
+
+
+def quarantine_file(path: Path, reason: str) -> Optional[Path]:
+    """Move a corrupt cache file aside and log it (once per process).
+
+    The file is renamed to ``<name>.corrupt-<unix-ts>`` in place, so
+    the bad bytes stay available for a postmortem while readers start
+    cold — a torn shard costs re-solving its entries, never the solve
+    itself.  Returns the quarantine path, or ``None`` if the rename
+    lost a race (another process already moved it).
+    """
+    target = path.with_name(f"{path.name}.corrupt-{int(time.time())}")
+    try:
+        os.replace(path, target)
+    except OSError:
+        return None  # already quarantined (or deleted) by someone else
+    key = str(path)
+    if key not in _QUARANTINE_LOGGED:
+        _QUARANTINE_LOGGED.add(key)
+        logger.warning(
+            "quarantined corrupt cache file %s -> %s (%s); "
+            "continuing with a cold shard",
+            path,
+            target.name,
+            reason,
+        )
+    return target
 
 
 class ShardedDiskTier:
@@ -57,6 +93,7 @@ class ShardedDiskTier:
             )
         self.root = Path(root)
         self.prefix_len = prefix_len
+        self.quarantined = 0
         self._open()
 
     # -- layout --------------------------------------------------------
@@ -121,23 +158,48 @@ class ShardedDiskTier:
 
     # -- shard IO ------------------------------------------------------
     def _read_shard(self, shard: Path) -> Dict[str, Dict[str, Any]]:
+        """One shard's entries; a corrupt shard is quarantined, not fatal.
+
+        Truncated/torn JSON, a non-shard payload, or a malformed
+        ``entries`` field all mean the file is damaged (atomic writes
+        make a *partial* shard impossible, but disks, manual edits, and
+        chaos tests still produce garbage) — the bad file is moved
+        aside via :func:`quarantine_file` and the shard reads cold.  A
+        shard from a *newer* format version is healthy data this build
+        can't parse: that still raises rather than destroying it.
+        """
         try:
             with open(shard) as stream:
                 payload = json.load(stream)
         except FileNotFoundError:
             return {}
-        except (OSError, json.JSONDecodeError) as exc:
+        except json.JSONDecodeError as exc:
+            self._quarantine(shard, f"bad JSON: {exc}")
+            return {}
+        except OSError as exc:
             raise SolverError(f"cannot load cache shard {shard}: {exc}") from exc
-        if payload.get("type") != SHARD_TYPE:
-            raise SolverError(
-                f"{shard} is not a cache shard (type={payload.get('type')!r})"
+        if not isinstance(payload, dict) or payload.get("type") != SHARD_TYPE:
+            kind = (
+                payload.get("type") if isinstance(payload, dict) else None
             )
+            self._quarantine(shard, f"not a cache shard (type={kind!r})")
+            return {}
         if payload.get("version", 0) > SHARD_FORMAT_VERSION:
             raise SolverError(
                 f"cache shard {shard} has version {payload['version']}, "
                 f"newer than supported {SHARD_FORMAT_VERSION}"
             )
-        return payload["entries"]
+        entries = payload.get("entries")
+        if not isinstance(entries, dict):
+            self._quarantine(
+                shard, f"entries is {type(entries).__name__}, not an object"
+            )
+            return {}
+        return entries
+
+    def _quarantine(self, shard: Path, reason: str) -> None:
+        if quarantine_file(shard, reason) is not None:
+            self.quarantined += 1
 
     def _write_shard(
         self, shard: Path, entries: Dict[str, Dict[str, Any]]
@@ -150,6 +212,11 @@ class ShardedDiskTier:
                 "entries": entries,
             },
         )
+        # Chaos seam: truncate what was just written so the next read
+        # exercises the quarantine path (one-shot, self-disarming).
+        if faults.should_corrupt_shard_write():
+            with open(shard, "w") as stream:
+                stream.write('{"version": 1, "type": "portfolio_')
 
     def _merge(self, entries: Mapping[str, Dict[str, Any]]) -> None:
         by_shard: Dict[Path, Dict[str, Dict[str, Any]]] = {}

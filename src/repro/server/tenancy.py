@@ -34,9 +34,10 @@ import heapq
 import itertools
 import json
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Dict, Iterable, Optional, Union
+from typing import Any, Callable, Deque, Dict, Iterable, Optional, Union
 
 from repro.core.exceptions import SolverError
 from repro.service.budget import QuotaWindow
@@ -49,6 +50,12 @@ REJECT_QUOTA = "quota_exhausted"
 REJECT_TENANT_SATURATED = "tenant_saturated"
 REJECT_DENIED = "denied"
 REJECT_UNKNOWN_TENANT = "unknown_tenant"
+
+HEALTH_READY = "ready"
+HEALTH_DEGRADED = "degraded"
+HEALTH_DRAINING = "draining"
+HEALTH_STATES = (HEALTH_READY, HEALTH_DEGRADED, HEALTH_DRAINING)
+"""The ``health`` op's status values, in decreasing order of welcome."""
 
 
 class RequestRejected(SolverError):
@@ -429,6 +436,131 @@ class AdmissionController:
 
 
 # ----------------------------------------------------------------------
+# Degraded mode
+# ----------------------------------------------------------------------
+class DegradedModeController:
+    """Decide when to serve best-effort instead of rejecting.
+
+    Two signals say the exact backends can't keep up: a burst of
+    admission rejections (the window is saturated faster than clients
+    back off) and a run of exact-backend budget timeouts (instances too
+    hard for their budgets — more rejected traffic is coming).  When
+    either signal crosses its threshold within ``window_seconds``, the
+    front flips to *degraded*: saturated requests are answered with
+    heuristic-only solves flagged ``degraded=true`` rather than turned
+    away — a worse depth bound now beats a perfect answer never.
+
+    Hysteresis: once entered, degraded mode persists for
+    ``cooldown_seconds`` after the *last* triggering signal, so the
+    mode doesn't flap on every pruned window.  Event-loop confined
+    like everything else in this module (no locks).
+    """
+
+    def __init__(
+        self,
+        *,
+        saturation_threshold: int = 5,
+        exact_timeout_threshold: int = 3,
+        window_seconds: float = 30.0,
+        cooldown_seconds: float = 10.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if saturation_threshold < 1:
+            raise SolverError(
+                f"saturation_threshold must be >= 1, "
+                f"got {saturation_threshold}"
+            )
+        if exact_timeout_threshold < 1:
+            raise SolverError(
+                f"exact_timeout_threshold must be >= 1, "
+                f"got {exact_timeout_threshold}"
+            )
+        if window_seconds <= 0 or cooldown_seconds < 0:
+            raise SolverError(
+                "window_seconds must be > 0 and cooldown_seconds >= 0"
+            )
+        self.saturation_threshold = saturation_threshold
+        self.exact_timeout_threshold = exact_timeout_threshold
+        self.window_seconds = window_seconds
+        self.cooldown_seconds = cooldown_seconds
+        self._clock = clock
+        self._saturations: Deque[float] = deque()
+        self._exact_timeouts: Deque[float] = deque()
+        self._degraded_since: Optional[float] = None
+        self._last_signal: Optional[float] = None
+        self.entered_total = 0
+        self.served_degraded = 0
+
+    # ------------------------------------------------------------------
+    def _prune(self, now: float) -> None:
+        for window in (self._saturations, self._exact_timeouts):
+            while window and now - window[0] > self.window_seconds:
+                window.popleft()
+
+    def _over_threshold(self) -> bool:
+        return (
+            len(self._saturations) >= self.saturation_threshold
+            or len(self._exact_timeouts) >= self.exact_timeout_threshold
+        )
+
+    def _note(self, window: Deque[float]) -> None:
+        now = self._clock()
+        window.append(now)
+        self._prune(now)
+        if self._over_threshold():
+            if self._degraded_since is None:
+                self._degraded_since = now
+                self.entered_total += 1
+            self._last_signal = now
+
+    def note_saturation(self) -> None:
+        """An admission rejection for load (not policy) just happened."""
+        self._note(self._saturations)
+
+    def note_exact_timeout(self) -> None:
+        """A solve came back with an exact backend out of budget."""
+        self._note(self._exact_timeouts)
+
+    # ------------------------------------------------------------------
+    def degraded(self) -> bool:
+        if self._degraded_since is None:
+            return False
+        now = self._clock()
+        self._prune(now)
+        if self._over_threshold():
+            return True
+        if (
+            self._last_signal is not None
+            and now - self._last_signal <= self.cooldown_seconds
+        ):
+            return True
+        self._degraded_since = None
+        self._last_signal = None
+        return False
+
+    def snapshot(self) -> Dict[str, Any]:
+        now = self._clock()
+        self._prune(now)
+        degraded = self.degraded()
+        return {
+            "degraded": degraded,
+            "degraded_for_seconds": (
+                round(now - self._degraded_since, 3)
+                if degraded and self._degraded_since is not None
+                else None
+            ),
+            "recent_saturations": len(self._saturations),
+            "recent_exact_timeouts": len(self._exact_timeouts),
+            "saturation_threshold": self.saturation_threshold,
+            "exact_timeout_threshold": self.exact_timeout_threshold,
+            "window_seconds": self.window_seconds,
+            "cooldown_seconds": self.cooldown_seconds,
+            "entered_total": self.entered_total,
+            "served_degraded": self.served_degraded,
+        }
+
+
+# ----------------------------------------------------------------------
 # Shared metrics surface
 # ----------------------------------------------------------------------
 @dataclass
@@ -451,6 +583,8 @@ class ServerMetrics:
     cases_cancelled: int = 0
     cases_from_cache: int = 0
     client_disconnects: int = 0
+    degraded_total: int = 0
+    worker_crash_events: int = 0
     started_at: float = field(default_factory=time.monotonic)
 
     def connection_opened(self) -> None:
@@ -480,7 +614,9 @@ class ServerMetrics:
             "requests": {
                 "total": self.requests_total,
                 "rejected": self.rejected_total,
+                "degraded": self.degraded_total,
             },
+            "worker_crash_events": self.worker_crash_events,
             "cases": {
                 "submitted": self.cases_submitted,
                 "completed": self.cases_completed,

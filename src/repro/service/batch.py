@@ -10,16 +10,36 @@ including the in-process ``workers=1`` path.
 Workers exchange plain picklable payloads (row masks in, result dicts
 out) rather than live objects, which keeps the pool start-method
 agnostic and the records trivially JSON-able.
+
+Each worker slot is its own single-process executor (a bulkhead): when
+a worker dies — OOM kill, segfaulting native dep, fault injection —
+only the case that worker was solving is lost.  The slot is respawned,
+the lost case re-dispatched, and its record marked
+``status="retried"``; every other case's provenance is untouched.  A
+case that kills its worker twice is a poison pill and fails the batch
+with a :class:`SolverError` naming it.
 """
 
 from __future__ import annotations
 
-import multiprocessing
+import concurrent.futures
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from repro.core.binary_matrix import BinaryMatrix
 from repro.core.exceptions import SolverError
+from repro.service import faults
 from repro.service.budget import BudgetLike, PortfolioBudget
 from repro.service.cache import ResultCache, matrix_key
 from repro.service.schema import SOLVER_SCHEMA_VERSION
@@ -123,13 +143,31 @@ def solve_context(
     return context
 
 
+STATUS_OK = "ok"
+STATUS_RETRIED = "retried"
+
+WORKER_CRASHED = "worker_crashed"
+"""Structured fault-event kind emitted when an executor worker dies."""
+
+FaultCallback = Callable[[Dict[str, Any]], None]
+"""Hook invoked with each structured fault event (``worker_crashed``)."""
+
+
 @dataclass
 class BatchRecord:
-    """One instance's result plus batch-level provenance."""
+    """One instance's result plus batch-level provenance.
+
+    ``status`` records how the result was obtained: ``"ok"`` for the
+    normal path, ``"retried"`` when the case was re-dispatched after
+    its worker died.  The solve content is identical either way (same
+    per-case seed); the mark exists so callers can see which results
+    crossed a crash boundary.
+    """
 
     case_id: str
     key: str
     result: PortfolioResult
+    status: str = STATUS_OK
 
     @property
     def from_cache(self) -> bool:
@@ -143,6 +181,10 @@ class BatchRecord:
         payload = self.result.provenance(include_timing=include_timing)
         payload["case_id"] = self.case_id
         payload["key"] = self.key
+        if self.status != STATUS_OK:
+            # Conditional so fault-free provenance stays byte-identical
+            # to every artifact written before this field existed.
+            payload["status"] = self.status
         return payload
 
 
@@ -174,6 +216,9 @@ def _solve_payload(
         stop,
         race,
     ) = payload
+    # Fault seams: no-ops unless a FaultPlan is installed (chaos tests).
+    faults.maybe_kill_worker(case_id)
+    faults.delay("worker.solve")
     matrix = BinaryMatrix(row_masks, num_cols)
     result = solve_portfolio(
         matrix,
@@ -222,6 +267,118 @@ def _solve_payload_streaming(
 
 
 # ----------------------------------------------------------------------
+# Crash-recovering dispatch
+# ----------------------------------------------------------------------
+MAX_DISPATCHES_PER_CASE = 2
+"""A case may crash its worker once and be retried; a second crash is
+a poison pill and fails the batch."""
+
+
+def _fresh_slot() -> concurrent.futures.ProcessPoolExecutor:
+    """One bulkhead: a single-worker executor, default (fork) context.
+
+    Single-worker on purpose — ``BrokenProcessPool`` poisons the whole
+    executor it strikes, so one executor per worker slot confines a
+    crash to exactly the case that worker was running instead of
+    failing every in-flight future on a shared pool.
+    """
+    return concurrent.futures.ProcessPoolExecutor(max_workers=1)
+
+
+def _solve_pending_with_recovery(
+    pending: Sequence[Tuple[Any, ...]],
+    workers: int,
+    on_fault: Optional[FaultCallback],
+) -> Tuple[Dict[str, Dict[str, Any]], Set[str]]:
+    """Run payloads over ``workers`` bulkhead slots, surviving crashes.
+
+    Returns ``(case_id -> result dict, case_ids retried)``.  A dead
+    worker (kill -9, OOM, fault injection) is detected as
+    ``BrokenProcessPool`` on its slot; the slot is respawned, the lost
+    payload re-queued, and a structured ``worker_crashed`` event handed
+    to ``on_fault``.  Ordinary solver exceptions propagate unchanged —
+    they are bugs to surface, not infrastructure faults to absorb.
+    """
+    results: Dict[str, Dict[str, Any]] = {}
+    retried: Set[str] = set()
+    queue: "deque[Tuple[Any, ...]]" = deque(pending)
+    slot_count = min(workers, len(pending))
+    slots: List[concurrent.futures.ProcessPoolExecutor] = [
+        _fresh_slot() for _ in range(slot_count)
+    ]
+    busy = [False] * slot_count
+    in_flight: Dict[
+        concurrent.futures.Future, Tuple[int, Tuple[Any, ...]]
+    ] = {}
+    dispatches: Dict[str, int] = {}
+
+    def top_up() -> None:
+        for index in range(slot_count):
+            if not busy[index] and queue:
+                payload = queue.popleft()
+                dispatches[payload[0]] = dispatches.get(payload[0], 0) + 1
+                in_flight[slots[index].submit(_solve_payload, payload)] = (
+                    index,
+                    payload,
+                )
+                busy[index] = True
+
+    try:
+        top_up()
+        while in_flight:
+            done, _ = concurrent.futures.wait(
+                in_flight, return_when=concurrent.futures.FIRST_COMPLETED
+            )
+            for future in done:
+                index, payload = in_flight.pop(future)
+                busy[index] = False
+                case_id = payload[0]
+                try:
+                    finished_id, result_dict = future.result()
+                except concurrent.futures.process.BrokenProcessPool:
+                    # The worker died under this case.  Respawn the
+                    # slot, disarm any injected one-shot kill so the
+                    # retry cannot die the same way, and re-dispatch.
+                    slots[index].shutdown(wait=False)
+                    slots[index] = _fresh_slot()
+                    faults.disarm("kill_worker_on_case")
+                    event = {
+                        "event": WORKER_CRASHED,
+                        "case_id": case_id,
+                        "dispatches": dispatches[case_id],
+                        "will_retry": (
+                            dispatches[case_id] < MAX_DISPATCHES_PER_CASE
+                        ),
+                    }
+                    if on_fault is not None:
+                        on_fault(event)
+                    if not event["will_retry"]:
+                        raise SolverError(
+                            f"case {case_id!r} crashed its worker "
+                            f"{dispatches[case_id]} times; giving up on "
+                            "the batch (poison instance?)"
+                        )
+                    retried.add(case_id)
+                    # Re-dispatch on the *respawned* slot, not the queue:
+                    # sibling slots hold workers forked while the kill
+                    # plan was still armed (fork children never see the
+                    # parent's disarm), so only the fresh worker is
+                    # guaranteed not to die on this case again.
+                    dispatches[case_id] += 1
+                    in_flight[
+                        slots[index].submit(_solve_payload, payload)
+                    ] = (index, payload)
+                    busy[index] = True
+                else:
+                    results[finished_id] = result_dict
+            top_up()
+    finally:
+        for slot in slots:
+            slot.shutdown(wait=False)
+    return results, retried
+
+
+# ----------------------------------------------------------------------
 def solve_batch(
     cases: Sequence[CaseLike],
     *,
@@ -233,18 +390,25 @@ def solve_batch(
     budget_per_member: Optional[float] = None,
     stop_when_optimal: bool = True,
     race: str = "sequential",
+    on_fault: Optional[FaultCallback] = None,
 ) -> List[BatchRecord]:
     """Solve every case with the portfolio, in input order.
 
     Cached instances are answered without touching the pool; misses are
-    solved (in-process for ``workers=1``, otherwise on a
-    ``multiprocessing`` pool) and written back, and the cache's disk
+    solved (in-process for ``workers=1``, otherwise over per-worker
+    bulkhead process executors) and written back, and the cache's disk
     tier is flushed once at the end.  Records come back in input order
     regardless of completion order.  ``budget_per_instance`` caps one
     instance's whole race, ``budget_per_member`` one solver within it;
     ``race="concurrent"`` turns each instance's exact-backend slice
     into a cancel-the-losers thread race (see
     :mod:`repro.server.racing`).
+
+    Worker death does not sink the batch: the lost case is re-solved on
+    a respawned worker and its record comes back ``status="retried"``
+    (same content — per-case seeding makes the retry byte-identical);
+    ``on_fault`` receives a structured ``worker_crashed`` event per
+    crash.  See ``docs/failure-semantics.md``.
     """
     if workers < 1:
         raise SolverError(f"workers must be >= 1, got {workers}")
@@ -303,14 +467,19 @@ def solve_batch(
             )
         )
 
+    retried: Set[str] = set()
     if pending:
+        faults.resolve_kill_case([payload[0] for payload in pending])
         if workers == 1 or len(pending) == 1:
             solved = [_solve_payload(payload) for payload in pending]
+            for case_id, payload in solved:
+                results[case_id] = result_from_dict(payload)
         else:
-            with multiprocessing.Pool(processes=workers) as pool:
-                solved = pool.map(_solve_payload, pending, chunksize=1)
-        for case_id, payload in solved:
-            results[case_id] = result_from_dict(payload)
+            solved_map, retried = _solve_pending_with_recovery(
+                pending, workers, on_fault
+            )
+            for case_id, payload in solved_map.items():
+                results[case_id] = result_from_dict(payload)
 
     if cache is not None:
         for item in items:
@@ -324,6 +493,9 @@ def solve_batch(
             case_id=item.case_id,
             key=keys[item.case_id],
             result=results[item.case_id],
+            status=(
+                STATUS_RETRIED if item.case_id in retried else STATUS_OK
+            ),
         )
         for item in items
     ]

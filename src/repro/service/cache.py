@@ -64,6 +64,8 @@ class CacheStats:
     evictions: int = 0
     disk_hits: int = 0
     """Hits served by the storage tier (subset of ``hits``)."""
+    quarantines: int = 0
+    """Corrupt disk files moved aside (see ``server/shards.py``)."""
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -71,6 +73,7 @@ class CacheStats:
             "misses": self.misses,
             "evictions": self.evictions,
             "disk_hits": self.disk_hits,
+            "quarantines": self.quarantines,
         }
 
 
@@ -114,6 +117,7 @@ class JsonFileTier(CacheStorage):
 
     def __init__(self, path: Union[str, Path]) -> None:
         self.path = Path(path)
+        self.quarantined = 0
 
     @property
     def location(self) -> Path:  # type: ignore[override]
@@ -125,7 +129,17 @@ class JsonFileTier(CacheStorage):
         try:
             with open(self.path) as stream:
                 payload = json.load(stream)
-        except (OSError, json.JSONDecodeError) as exc:
+        except json.JSONDecodeError as exc:
+            # Torn/truncated JSON is damage, not data: move it aside
+            # and start cold instead of failing every solve.  A wrong
+            # *type* below still raises — that is a healthy file the
+            # caller pointed us at by mistake, not corruption.
+            from repro.server.shards import quarantine_file
+
+            if quarantine_file(self.path, f"bad JSON: {exc}") is not None:
+                self.quarantined += 1
+            return {}
+        except OSError as exc:
             raise SolverError(
                 f"cannot load cache {self.path}: {exc}"
             ) from exc
@@ -190,6 +204,14 @@ class ResultCache:
             for key, entry in self.storage.load().items():
                 self._entries[key] = entry
             self._enforce_capacity()
+            self._sync_quarantines()
+
+    def _sync_quarantines(self) -> None:
+        """Mirror the storage tier's quarantine count into the stats."""
+        if self.storage is not None:
+            self.stats.quarantines = getattr(
+                self.storage, "quarantined", 0
+            )
 
     @classmethod
     def sharded(
@@ -234,6 +256,7 @@ class ResultCache:
             payload = self._evicted_dirty.get(key)
             if payload is None:
                 payload = self.storage.get(key)
+                self._sync_quarantines()
             if payload is not None:
                 self.stats.disk_hits += 1
                 self._insert(key, payload, dirty=False)
@@ -296,6 +319,7 @@ class ResultCache:
         self.storage.store(combined, dirty=dirty)
         self._dirty.clear()
         self._evicted_dirty.clear()
+        self._sync_quarantines()
         return self.storage.location
 
     def __repr__(self) -> str:

@@ -1,0 +1,157 @@
+"""Worker death mid-batch: the batch finishes, results are identical.
+
+The acceptance contract (ISSUE 8): with
+``FaultPlan(kill_worker_on_case=n)`` a 20-case ``solve_batch`` still
+returns 20 results — 19 byte-identical to a fault-free run and exactly
+one marked ``retried`` (itself byte-identical in *content*; only the
+status differs).  The engine variant is weaker by design: its shared
+process pool means a crash can poison collateral in-flight cases, so
+the assertion there is "every lost case retried, every result
+byte-identical", not "exactly one".
+"""
+
+from repro.benchgen.random_matrices import random_matrix
+from repro.server.engine import (
+    DONE,
+    WORKER_CRASHED,
+    AsyncSolveEngine,
+)
+from repro.service import faults
+from repro.service.batch import (
+    STATUS_OK,
+    STATUS_RETRIED,
+    solve_batch,
+)
+MEMBERS = ("trivial", "packing:2")
+
+
+def _content(result):
+    """Byte-identity in this repo's sense: provenance minus wall time.
+
+    (The same canonicalization the determinism suite pins — wall-clock
+    fields legitimately differ across runs, everything else must not.)
+    """
+    return result.provenance(include_timing=False)
+
+
+def _cases(count):
+    return [
+        (f"c{i:02d}", random_matrix(5, 6, 0.4, seed=100 + i))
+        for i in range(count)
+    ]
+
+
+class TestBatchWorkerCrash:
+    def test_twenty_case_batch_survives_a_worker_kill(self):
+        """The ISSUE 8 acceptance test, verbatim."""
+        cases = _cases(20)
+        baseline = solve_batch(cases, members=MEMBERS, seed=7, workers=2)
+        assert all(r.status == STATUS_OK for r in baseline)
+
+        crashes = []
+        with faults.injected(faults.FaultPlan(kill_worker_on_case=11)):
+            records = solve_batch(
+                cases,
+                members=MEMBERS,
+                seed=7,
+                workers=2,
+                on_fault=crashes.append,
+            )
+
+        assert len(records) == 20
+        assert [r.case_id for r in records] == [c for c, _ in cases]
+
+        retried = [r for r in records if r.status == STATUS_RETRIED]
+        assert [r.case_id for r in retried] == ["c11"]
+        assert sum(r.status == STATUS_OK for r in records) == 19
+
+        assert len(crashes) == 1
+        assert crashes[0]["event"] == WORKER_CRASHED
+        assert crashes[0]["case_id"] == "c11"
+        assert crashes[0]["will_retry"] is True
+
+        # Byte-identical provenance, crash or no crash: the bulkhead
+        # slots isolate the blast radius and per-case seeding makes the
+        # retry deterministic.
+        expected = {r.case_id: _content(r.result) for r in baseline}
+        for record in records:
+            assert (
+                _content(record.result) == expected[record.case_id]
+            ), record.case_id
+
+    def test_kill_plan_never_kills_the_in_process_path(self):
+        """``workers=1`` solves in the caller's process; the kill seam
+        must refuse to fire there (it would take down the test run)."""
+        cases = _cases(3)
+        with faults.injected(faults.FaultPlan(kill_worker_on_case="c01")):
+            records = solve_batch(cases, members=MEMBERS, seed=7, workers=1)
+        assert len(records) == 3
+        assert all(r.status == STATUS_OK for r in records)
+
+    def test_out_of_range_kill_index_is_disarmed(self):
+        cases = _cases(2)
+        with faults.injected(faults.FaultPlan(kill_worker_on_case=99)):
+            records = solve_batch(cases, members=MEMBERS, seed=7, workers=2)
+        assert all(r.status == STATUS_OK for r in records)
+
+
+class TestEngineWorkerCrash:
+    async def test_process_pool_crash_recovers_all_cases(self):
+        """A poisoned shared pool may cost several in-flight cases; all
+        of them must come back, byte-identical, after one respawn."""
+        cases = _cases(6)
+
+        async with AsyncSolveEngine(
+            members=MEMBERS, seed=7, workers=2, executor="process"
+        ) as engine:
+            baseline = {}
+            async for event in engine.stream(cases):
+                if event.kind == DONE:
+                    baseline[event.case_id] = _content(event.record.result)
+        assert len(baseline) == 6
+
+        # The plan must be live before the executor spawns: spawned
+        # workers read the env mirror once, at first seam check.
+        with faults.injected(faults.FaultPlan(kill_worker_on_case=3)):
+            async with AsyncSolveEngine(
+                members=MEMBERS, seed=7, workers=2, executor="process"
+            ) as engine:
+                events = []
+                async for event in engine.stream(cases):
+                    events.append(event)
+                stats = engine.stats()
+
+        crashes = [e for e in events if e.kind == WORKER_CRASHED]
+        assert crashes, "no worker_crashed event surfaced"
+        done = [e for e in events if e.kind == DONE]
+        assert {e.case_id for e in done} == {c for c, _ in cases}
+
+        # The killed case is always among the retried; a shared pool may
+        # add collateral (all futures in flight when it broke).
+        retried = {e.case_id for e in done if e.retried}
+        assert "c03" in retried
+        assert retried == {e.case_id for e in crashes}
+        assert stats["worker_crashes"] == 1
+
+        for event in done:
+            assert (
+                _content(event.record.result) == baseline[event.case_id]
+            ), event.case_id
+
+
+class TestDelaySeam:
+    def test_delay_site_stretches_the_worker(self):
+        import time
+
+        cases = _cases(1)
+        start = time.monotonic()
+        solve_batch(cases, members=MEMBERS, seed=7)
+        fast = time.monotonic() - start
+
+        with faults.injected(
+            faults.FaultPlan(delay_seconds=0.3, delay_site="worker.solve")
+        ):
+            start = time.monotonic()
+            solve_batch(cases, members=MEMBERS, seed=7)
+            slowed = time.monotonic() - start
+        assert slowed >= fast + 0.25

@@ -1,0 +1,168 @@
+"""Client retry policy: backoff math and the ``retry_after`` round trip.
+
+No sockets anywhere — the wire is simulated by feeding
+:meth:`RequestRejected.as_event` output straight into
+:meth:`DaemonError.from_event`, which is exactly what the client does
+with a received ``error`` line.  The acceptance contract: a server
+``retry_after`` hint survives the gateway's structured rejection intact
+and *floors* the client's sleep decision.
+"""
+
+import socket
+
+import pytest
+
+from repro.core.exceptions import SolverError
+from repro.server.client import (
+    ConnectFailed,
+    DaemonError,
+    RetryPolicy,
+    StreamInterrupted,
+    case_fingerprint,
+)
+from repro.core.binary_matrix import BinaryMatrix
+from repro.server.tenancy import (
+    REJECT_DENIED,
+    REJECT_QUOTA,
+    REJECT_SATURATED,
+    REJECT_TENANT_SATURATED,
+    RequestRejected,
+)
+
+
+def _round_trip(exc: RequestRejected) -> DaemonError:
+    """Server-side rejection -> wire event -> client-side error."""
+    event = exc.as_event()
+    assert event["event"] == "error"
+    return DaemonError.from_event(event)
+
+
+class TestRetryAfterRoundTrip:
+    def test_hint_survives_the_wire(self):
+        err = _round_trip(
+            RequestRejected(
+                "server saturated",
+                code=REJECT_SATURATED,
+                retry_after=1.25,
+            )
+        )
+        assert err.code == REJECT_SATURATED
+        assert err.retry_after == pytest.approx(1.25)
+        assert err.transient
+
+    def test_hint_is_rounded_not_dropped(self):
+        # as_event rounds to milliseconds; the client must still see a
+        # usable float, not None.
+        err = _round_trip(
+            RequestRejected(
+                "quota", code=REJECT_QUOTA, retry_after=0.123456
+            )
+        )
+        assert err.retry_after == pytest.approx(0.123, abs=1e-9)
+
+    def test_permanent_rejection_has_no_hint(self):
+        err = _round_trip(
+            RequestRejected("no such tenant", code=REJECT_DENIED)
+        )
+        assert err.retry_after is None
+        assert not err.transient
+
+    @pytest.mark.parametrize(
+        "code", [REJECT_SATURATED, REJECT_TENANT_SATURATED, REJECT_QUOTA]
+    )
+    def test_transient_codes_are_retryable(self, code):
+        err = _round_trip(
+            RequestRejected("busy", code=code, retry_after=0.5)
+        )
+        assert RetryPolicy().retryable(err)
+
+    def test_denied_is_not_retryable(self):
+        err = _round_trip(RequestRejected("denied", code=REJECT_DENIED))
+        assert not RetryPolicy().retryable(err)
+
+
+class TestBackoffMath:
+    def test_exponential_with_cap(self):
+        policy = RetryPolicy(
+            base_delay=0.1, multiplier=2.0, max_delay=1.0, jitter=0.0
+        )
+        delays = [policy.backoff(n) for n in range(1, 7)]
+        assert delays == pytest.approx([0.1, 0.2, 0.4, 0.8, 1.0, 1.0])
+
+    def test_retry_after_floors_the_backoff(self):
+        policy = RetryPolicy(base_delay=0.1, jitter=0.0)
+        # Hint above the curve wins...
+        assert policy.backoff(1, retry_after=2.5) == pytest.approx(2.5)
+        # ...but a hint below the curve never *lowers* the wait.
+        assert policy.backoff(4, retry_after=0.05) == pytest.approx(0.8)
+
+    def test_jitter_only_stretches(self):
+        policy = RetryPolicy(base_delay=0.1, jitter=0.5, seed=7)
+        base = RetryPolicy(base_delay=0.1, jitter=0.0)
+        for attempt in (1, 2, 3):
+            jittered = policy.backoff(attempt)
+            plain = base.backoff(attempt)
+            assert plain <= jittered <= plain * 1.5
+
+    def test_seeded_jitter_is_deterministic(self):
+        a = RetryPolicy(jitter=0.3, seed=42)
+        b = RetryPolicy(jitter=0.3, seed=42)
+        assert [a.backoff(n) for n in (1, 2, 3)] == [
+            b.backoff(n) for n in (1, 2, 3)
+        ]
+
+    def test_attempt_must_be_positive(self):
+        with pytest.raises(SolverError):
+            RetryPolicy().backoff(0)
+
+
+class TestSleepDecisions:
+    def test_pause_sleeps_the_floored_hint(self):
+        slept = []
+        policy = RetryPolicy(
+            base_delay=0.1, jitter=0.0, sleep=slept.append
+        )
+        err = _round_trip(
+            RequestRejected(
+                "busy", code=REJECT_SATURATED, retry_after=1.25
+            )
+        )
+        delay = policy.pause(1, err.retry_after)
+        assert slept == [pytest.approx(1.25)]
+        assert delay == pytest.approx(1.25)
+
+    def test_pause_without_hint_follows_the_curve(self):
+        slept = []
+        policy = RetryPolicy(
+            base_delay=0.2, multiplier=2.0, jitter=0.0, sleep=slept.append
+        )
+        policy.pause(2, None)
+        assert slept == [pytest.approx(0.4)]
+
+
+class TestRetryableClassification:
+    def test_transport_failures_are_retryable(self):
+        policy = RetryPolicy()
+        assert policy.retryable(ConnectFailed("refused"))
+        assert policy.retryable(StreamInterrupted("eof mid-stream"))
+        assert policy.retryable(ConnectionResetError())
+        assert policy.retryable(socket.timeout())
+
+    def test_plain_solver_errors_are_not(self):
+        policy = RetryPolicy()
+        assert not policy.retryable(SolverError("bad request"))
+        assert not policy.retryable(DaemonError("malformed", code=None))
+
+
+class TestFingerprint:
+    def test_equal_matrices_share_a_fingerprint(self):
+        a = BinaryMatrix([0b101, 0b011], 3)
+        b = BinaryMatrix(list(a.row_masks), a.num_cols)
+        assert case_fingerprint("c0", a) == case_fingerprint("c0", b)
+
+    def test_fingerprint_covers_case_id_and_content(self):
+        m = BinaryMatrix([0b101, 0b011], 3)
+        assert case_fingerprint("c0", m) != case_fingerprint("c1", m)
+        assert case_fingerprint(
+            "c0", BinaryMatrix([0b101, 0b111], 3)
+        ) != case_fingerprint("c0", m)

@@ -79,14 +79,39 @@ class TestTierBasics:
         with pytest.raises(SolverError):
             ShardedDiskTier(tmp_path / "cache", prefix_len=0)
 
-    def test_rejects_foreign_shard_file(self, tmp_path):
+    def test_quarantines_foreign_shard_file(self, tmp_path):
+        # A non-shard payload inside the shard directory is damage:
+        # it is moved aside and the shard reads cold (PR 5 changed
+        # this from raising, which failed every solve on the shard).
         root = tmp_path / "cache"
         tier = ShardedDiskTier(root)
         key = _key("a")
         shard = tier.shard_path(key)
         atomic_write_json(shard, {"type": "something_else"})
+        assert tier.get(key) is None
+        assert tier.quarantined == 1
+        assert not shard.exists()
+        assert list(root.glob("shard-*.json.corrupt-*"))
+
+    def test_newer_shard_version_still_raises(self, tmp_path):
+        # A *newer* format version is healthy data this build cannot
+        # parse — destroying it via quarantine would be data loss.
+        root = tmp_path / "cache"
+        tier = ShardedDiskTier(root)
+        key = _key("a")
+        shard = tier.shard_path(key)
+        atomic_write_json(
+            shard,
+            {
+                "type": "portfolio_cache_shard",
+                "version": 999,
+                "entries": {},
+            },
+        )
         with pytest.raises(SolverError):
             tier.get(key)
+        assert shard.exists()
+        assert tier.quarantined == 0
 
 
 class TestMigration:
