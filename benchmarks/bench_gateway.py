@@ -84,8 +84,8 @@ def _start_gateway(gateway: SolveGateway) -> threading.Thread:
         target=lambda: asyncio.run(gateway.run()), daemon=True
     )
     thread.start()
-    deadline = time.time() + 120
-    while gateway.port == 0 and time.time() < deadline:
+    deadline = time.monotonic() + 120
+    while gateway.port == 0 and time.monotonic() < deadline:
         time.sleep(0.01)
     assert gateway.port != 0, "gateway never bound a port"
     return thread

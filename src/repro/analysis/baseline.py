@@ -1,0 +1,102 @@
+"""Checked-in baseline of grandfathered lint findings.
+
+The gate fails on any finding *not* in the baseline, so new violations
+cannot land while deliberate ones (each with a recorded reason — see
+``baselines/lint_baseline.json``) stay visible instead of silently
+suppressed.  Files are written through
+:func:`repro.utils.fileio.atomic_write_json` with sorted keys, so
+``--update-baseline`` round-trips byte-identically for an unchanged
+tree.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from repro.core.exceptions import AnalysisError
+from repro.analysis.findings import Finding, fingerprint_findings
+from repro.utils.fileio import atomic_write_json
+
+BASELINE_TYPE = "repro_lint_baseline"
+BASELINE_VERSION = 1
+DEFAULT_BASELINE = "baselines/lint_baseline.json"
+"""Repo-relative default path of the checked-in baseline."""
+
+
+def load_baseline(path: Path) -> Dict[str, Dict[str, object]]:
+    """Fingerprint -> entry mapping; an absent file is an empty baseline."""
+    path = Path(path)
+    if not path.exists():
+        return {}
+    try:
+        with open(path) as stream:
+            payload = json.load(stream)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise AnalysisError(f"cannot load baseline {path}: {exc}") from exc
+    if (
+        not isinstance(payload, dict)
+        or payload.get("type") != BASELINE_TYPE
+    ):
+        raise AnalysisError(
+            f"{path} is not a lint baseline "
+            f"(type={payload.get('type') if isinstance(payload, dict) else None!r})"
+        )
+    if payload.get("version", 0) > BASELINE_VERSION:
+        raise AnalysisError(
+            f"baseline {path} has version {payload['version']}, newer "
+            f"than supported {BASELINE_VERSION}"
+        )
+    findings = payload.get("findings", {})
+    if not isinstance(findings, dict):
+        raise AnalysisError(
+            f"baseline {path}: 'findings' must be an object, "
+            f"got {type(findings).__name__}"
+        )
+    return findings
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> None:
+    """Rewrite ``path`` from the given findings (sorted, atomic)."""
+    entries: Dict[str, Dict[str, object]] = {}
+    for fingerprint, finding in fingerprint_findings(findings):
+        entries[fingerprint] = {
+            "rule": finding.rule_id,
+            "path": finding.path,
+            "message": finding.message,
+            "line_text": finding.line_text,
+        }
+    atomic_write_json(
+        Path(path),
+        {
+            "type": BASELINE_TYPE,
+            "version": BASELINE_VERSION,
+            "findings": entries,
+        },
+        sort_keys=True,
+    )
+
+
+def split_by_baseline(
+    findings: Iterable[Finding],
+    baseline: Dict[str, Dict[str, object]],
+) -> Tuple[List[Finding], List[Finding], List[str]]:
+    """``(new, grandfathered, stale_fingerprints)``.
+
+    *new* findings fail the gate; *grandfathered* ones match a baseline
+    entry; *stale* fingerprints are baseline entries whose finding no
+    longer occurs (the violation was fixed — run ``--update-baseline``
+    to shed them).
+    """
+    new: List[Finding] = []
+    grandfathered: List[Finding] = []
+    matched = set()
+    for fingerprint, finding in fingerprint_findings(findings):
+        if fingerprint in baseline:
+            matched.add(fingerprint)
+            grandfathered.append(finding)
+        else:
+            new.append(finding)
+    stale = sorted(set(baseline) - matched)
+    return new, grandfathered, stale

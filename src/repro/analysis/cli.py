@@ -1,0 +1,187 @@
+"""``python -m repro lint`` — the repo's invariant checker front door.
+
+    python -m repro lint [PATHS...] [--format {text,json}]
+    python -m repro lint --update-baseline
+    python -m repro lint --rules REP001,REP005
+    python -m repro lint --list-rules
+
+Scans ``src/repro``, ``benchmarks``, and ``examples`` by default (or
+the given files/directories), applies every registered REP rule, and
+filters findings through inline suppressions and the checked-in
+baseline (``baselines/lint_baseline.json``).  Exit codes follow the
+rest of the CLI: 0 clean, 1 non-baselined findings, 2 internal analyzer
+errors (a rule crashed, an unreadable baseline) — findings are data,
+analyzer failures are not.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core.exceptions import AnalysisError
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE,
+    load_baseline,
+    split_by_baseline,
+)
+from repro.analysis.engine import Analyzer, Report
+from repro.analysis.rules import default_rules, select_rules
+
+
+def detect_root(explicit: Optional[str] = None) -> Path:
+    """The repo root the default scan paths are relative to.
+
+    Preference order: an explicit ``--root``, a cwd that looks like the
+    checkout (has ``src/repro``), else the checkout this module was
+    imported from (``src/repro/analysis/cli.py`` -> three parents up).
+    """
+    if explicit:
+        root = Path(explicit).resolve()
+        if not root.is_dir():
+            raise AnalysisError(f"--root {explicit!r} is not a directory")
+        return root
+    cwd = Path.cwd()
+    if (cwd / "src" / "repro").is_dir():
+        return cwd
+    return Path(__file__).resolve().parents[3]
+
+
+def _validate_paths(root: Path, paths: List[str]) -> None:
+    for entry in paths:
+        target = Path(entry)
+        if not target.is_absolute():
+            target = root / target
+        if not target.exists():
+            raise AnalysisError(f"lint path does not exist: {entry}")
+
+
+def _print_text(
+    report: Report,
+    new: List,
+    grandfathered: List,
+    stale: List[str],
+) -> None:
+    for finding in new:
+        print(finding.format())
+    summary = (
+        f"{len(new)} finding(s) in {report.files_scanned} file(s)"
+        f" ({len(grandfathered)} baselined, "
+        f"{len(report.suppressed)} suppressed)"
+    )
+    if stale:
+        summary += (
+            f"; {len(stale)} stale baseline entr"
+            f"{'y' if len(stale) == 1 else 'ies'} — "
+            f"run --update-baseline to shed fixed findings"
+        )
+    print(summary)
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for rule in default_rules():
+            print(f"{rule.rule_id}  {rule.title}")
+        return 0
+    root = detect_root(args.root)
+    rules = select_rules(args.rules)
+    paths = args.paths or None
+    if paths:
+        _validate_paths(root, paths)
+    report = Analyzer(root, rules=rules, paths=paths).run()
+    baseline_path = Path(args.baseline) if args.baseline else (
+        root / DEFAULT_BASELINE
+    )
+    if args.update_baseline:
+        from repro.analysis.baseline import write_baseline
+
+        write_baseline(baseline_path, report.findings)
+        print(
+            f"wrote {baseline_path}: {len(report.findings)} "
+            f"grandfathered finding(s)"
+        )
+        return 0
+    baseline = load_baseline(baseline_path)
+    new, grandfathered, stale = split_by_baseline(
+        report.findings, baseline
+    )
+    if args.format == "json":
+        payload = {
+            "findings": [f.as_dict() for f in new],
+            "baselined": len(grandfathered),
+            "suppressed": len(report.suppressed),
+            "stale_baseline_entries": stale,
+            "files_scanned": report.files_scanned,
+            "rules": report.rule_ids,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        _print_text(report, new, grandfathered, stale)
+    return 1 if new else 0
+
+
+def add_lint_parser(sub) -> None:
+    """Attach the ``lint`` command to the top-level parser."""
+    parser = sub.add_parser(
+        "lint",
+        help="AST-based invariant checker (determinism, spawn safety, "
+        "async discipline)",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src/repro, "
+        "benchmarks, examples under the repo root)",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="repo root for relative paths and the default baseline "
+        "(default: auto-detected checkout root)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="finding output format (default text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"baseline file (default {DEFAULT_BASELINE} under the root)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from this run's findings "
+        "(byte-identical for an unchanged tree)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule-id subset (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    parser.set_defaults(func=cmd_lint)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point (the repro CLI wraps this normally)."""
+    parser = argparse.ArgumentParser(prog="repro-lint")
+    sub = parser.add_subparsers(dest="command", required=True)
+    add_lint_parser(sub)
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except AnalysisError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2

@@ -1,0 +1,271 @@
+"""Visitor-driven AST rule engine behind ``python -m repro lint``.
+
+The engine owns everything rule-agnostic: collecting files, parsing
+them once, dispatching :class:`FileRule` / :class:`ProjectRule`
+instances, applying suppression comments, and folding the results into
+a :class:`Report`.  Rules are small classes that yield
+:class:`~repro.analysis.findings.Finding` records; a rule that raises
+is an *internal* failure and surfaces as
+:class:`~repro.core.exceptions.AnalysisError` (CLI exit 2), never as a
+finding (exit 1) — the gate must not confuse "the code is wrong" with
+"the linter is broken".
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.core.exceptions import AnalysisError
+from repro.analysis.findings import Finding, sort_findings
+from repro.analysis.suppress import Suppressions, parse_suppressions
+
+DEFAULT_SCAN_ROOTS = ("src/repro", "benchmarks", "examples")
+"""Repo-relative directories the repo gate lints (tests are exercised
+by pytest itself; fixture modules there *deliberately* violate rules)."""
+
+PARSE_RULE_ID = "REP000"
+"""Pseudo-rule reporting files the engine cannot parse at all."""
+
+
+@dataclass
+class FileContext:
+    """One parsed source file handed to every applicable rule."""
+
+    path: Path
+    relpath: str
+    source: str
+    lines: Sequence[str]
+    tree: ast.AST
+    suppressions: Suppressions
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+
+@dataclass
+class Project:
+    """Whole-scan view for cross-file rules."""
+
+    root: Path
+    contexts: List[FileContext]
+
+    def get(self, relpath: str) -> Optional[FileContext]:
+        for ctx in self.contexts:
+            if ctx.relpath == relpath:
+                return ctx
+        return None
+
+
+class Rule:
+    """Base class: identity + the finding constructor helper."""
+
+    rule_id: str = "REPXXX"
+    title: str = ""
+    hint: str = ""
+
+    def applies_to(self, relpath: str) -> bool:
+        return True
+
+    def finding(
+        self,
+        ctx: FileContext,
+        node: Any,
+        message: str,
+        *,
+        hint: Optional[str] = None,
+    ) -> Finding:
+        line = getattr(node, "lineno", 0) or 0
+        col = getattr(node, "col_offset", 0) or 0
+        return Finding(
+            rule_id=self.rule_id,
+            path=ctx.relpath,
+            line=line,
+            col=col,
+            message=message,
+            hint=self.hint if hint is None else hint,
+            line_text=ctx.line_text(line),
+        )
+
+
+class FileRule(Rule):
+    """A rule checked independently against each file."""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+class ProjectRule(Rule):
+    """A rule needing the whole scan (cross-file invariants)."""
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+@dataclass
+class Report:
+    """Outcome of one analysis run."""
+
+    findings: List[Finding]
+    suppressed: List[Finding]
+    files_scanned: int
+    root: Path
+    rule_ids: List[str] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "findings": [f.as_dict() for f in self.findings],
+            "suppressed": len(self.suppressed),
+            "files_scanned": self.files_scanned,
+            "rules": self.rule_ids,
+        }
+
+
+def _collect_files(root: Path, paths: Sequence[str]) -> List[Path]:
+    """Every ``*.py`` under the requested paths, sorted for determinism."""
+    found: List[Path] = []
+    for entry in paths:
+        target = Path(entry)
+        if not target.is_absolute():
+            target = root / target
+        if target.is_dir():
+            found.extend(
+                p for p in target.rglob("*.py")
+                if not any(part.startswith(".") for part in p.parts)
+            )
+        elif target.is_file():
+            found.append(target)
+        # Missing default roots are skipped (a partial checkout is not
+        # an analyzer crash); explicitly-passed paths are validated by
+        # the CLI before we get here.
+    unique = sorted({p.resolve() for p in found})
+    return unique
+
+
+class Analyzer:
+    """Parse once, run every rule, fold findings into a :class:`Report`."""
+
+    def __init__(
+        self,
+        root: Path,
+        *,
+        rules: Optional[Sequence[Rule]] = None,
+        paths: Optional[Sequence[str]] = None,
+    ) -> None:
+        if rules is None:
+            from repro.analysis.rules import default_rules
+
+            rules = default_rules()
+        self.root = Path(root).resolve()
+        self.rules = list(rules)
+        self.paths = list(paths) if paths else list(DEFAULT_SCAN_ROOTS)
+
+    # ------------------------------------------------------------------
+    def _relpath(self, path: Path) -> str:
+        try:
+            return path.relative_to(self.root).as_posix()
+        except ValueError:
+            return path.as_posix()
+
+    def _parse(self, path: Path) -> tuple:
+        """``(context, parse_finding)`` — exactly one of the two is None."""
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            raise AnalysisError(f"cannot read {path}: {exc}") from exc
+        relpath = self._relpath(path)
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            line = exc.lineno or 0
+            lines = source.splitlines()
+            text = lines[line - 1].strip() if 0 < line <= len(lines) else ""
+            return None, Finding(
+                rule_id=PARSE_RULE_ID,
+                path=relpath,
+                line=line,
+                col=(exc.offset or 1) - 1,
+                message=f"file does not parse: {exc.msg}",
+                hint="fix the syntax error; unparsable files are invisible "
+                "to every other rule",
+                line_text=text,
+            )
+        context = FileContext(
+            path=path,
+            relpath=relpath,
+            source=source,
+            lines=source.splitlines(),
+            tree=tree,
+            suppressions=parse_suppressions(source),
+        )
+        return context, None
+
+    def _run_rule(
+        self, rule: Rule, subject: str, invoke
+    ) -> List[Finding]:
+        try:
+            return list(invoke())
+        except AnalysisError:
+            raise
+        except Exception as exc:
+            raise AnalysisError(
+                f"rule {rule.rule_id} crashed on {subject}: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    def run(self) -> Report:
+        files = _collect_files(self.root, self.paths)
+        contexts: List[FileContext] = []
+        raw: List[Finding] = []
+        for path in files:
+            context, parse_finding = self._parse(path)
+            if parse_finding is not None:
+                raw.append(parse_finding)
+                continue
+            contexts.append(context)
+
+        file_rules = [r for r in self.rules if isinstance(r, FileRule)]
+        project_rules = [
+            r for r in self.rules if isinstance(r, ProjectRule)
+        ]
+        for ctx in contexts:
+            for rule in file_rules:
+                if rule.applies_to(ctx.relpath):
+                    raw.extend(
+                        self._run_rule(
+                            rule, ctx.relpath, lambda: rule.check(ctx)
+                        )
+                    )
+        project = Project(root=self.root, contexts=contexts)
+        for rule in project_rules:
+            raw.extend(
+                self._run_rule(
+                    rule,
+                    "<project>",
+                    lambda: rule.check_project(project),
+                )
+            )
+
+        by_path = {ctx.relpath: ctx.suppressions for ctx in contexts}
+        kept: List[Finding] = []
+        suppressed: List[Finding] = []
+        for finding in raw:
+            state = by_path.get(finding.path)
+            if state is not None and state.allows(
+                finding.rule_id, finding.line
+            ):
+                suppressed.append(finding)
+            else:
+                kept.append(finding)
+        return Report(
+            findings=sort_findings(kept),
+            suppressed=sort_findings(suppressed),
+            files_scanned=len(files),
+            root=self.root,
+            rule_ids=[rule.rule_id for rule in self.rules],
+        )

@@ -1,0 +1,85 @@
+"""Finding records and stable fingerprints for the lint baseline.
+
+A :class:`Finding` is one rule violation at one source location.  Its
+*fingerprint* deliberately hashes the offending line's **text** rather
+than its line number, so unrelated edits above a grandfathered finding
+do not invalidate the baseline; identical lines in one file are
+disambiguated by occurrence order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Tuple
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation: where, what, and how to fix it."""
+
+    rule_id: str
+    path: str
+    """Repo-relative POSIX path of the offending file."""
+    line: int
+    """1-based line of the violation."""
+    col: int
+    """0-based column of the violation."""
+    message: str
+    hint: str = ""
+    """Actionable fix suggestion shown next to the message."""
+    line_text: str = ""
+    """Stripped source text of :attr:`line` (fingerprint input)."""
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def format(self) -> str:
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+        if self.hint:
+            text += f" [hint: {self.hint}]"
+        return text
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+
+def sort_findings(findings: Iterable[Finding]) -> List[Finding]:
+    return sorted(findings, key=Finding.sort_key)
+
+
+def fingerprint_findings(
+    findings: Iterable[Finding],
+) -> List[Tuple[str, Finding]]:
+    """Pair each finding with its stable fingerprint.
+
+    The fingerprint hashes ``(rule, path, stripped line text,
+    occurrence)`` where *occurrence* counts duplicates of that triple in
+    sort order — so moving a line does not churn the baseline, but two
+    identical violations stay distinct entries.
+    """
+    seen: Dict[Tuple[str, str, str], int] = {}
+    paired: List[Tuple[str, Finding]] = []
+    for finding in sort_findings(findings):
+        key = (finding.rule_id, finding.path, finding.line_text)
+        occurrence = seen.get(key, 0)
+        seen[key] = occurrence + 1
+        digest = hashlib.sha256(
+            "\n".join(
+                (
+                    finding.rule_id,
+                    finding.path,
+                    finding.line_text,
+                    str(occurrence),
+                )
+            ).encode("utf-8")
+        ).hexdigest()[:16]
+        paired.append((digest, finding))
+    return paired

@@ -1,0 +1,70 @@
+"""The rule registry for ``python -m repro lint``.
+
+Rules are instantiated fresh per call (they are stateless, but cheap
+insurance), keyed by their ``REPnnn`` ids.  New rules register here —
+the engine, CLI, baseline, and docs all enumerate from this one list.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.exceptions import AnalysisError
+from repro.analysis.engine import Rule
+from repro.analysis.rules.determinism import (
+    NoGlobalRngRule,
+    NoWallClockRule,
+)
+from repro.analysis.rules.async_discipline import NoBlockingInAsyncRule
+from repro.analysis.rules.spawn_safety import SpawnSafeSubmitRule
+from repro.analysis.rules.serialization import (
+    FlockShardIoRule,
+    SortedJsonRule,
+)
+from repro.analysis.rules.robustness import (
+    FaultSeamCoverageRule,
+    NoSilentExceptRule,
+)
+
+_RULE_CLASSES = (
+    NoGlobalRngRule,
+    NoWallClockRule,
+    NoBlockingInAsyncRule,
+    SpawnSafeSubmitRule,
+    SortedJsonRule,
+    FlockShardIoRule,
+    NoSilentExceptRule,
+    FaultSeamCoverageRule,
+)
+
+
+def default_rules() -> List[Rule]:
+    """One fresh instance of every registered rule, in id order."""
+    rules = [cls() for cls in _RULE_CLASSES]
+    rules.sort(key=lambda rule: rule.rule_id)
+    return rules
+
+
+def rules_by_id() -> Dict[str, Rule]:
+    return {rule.rule_id: rule for rule in default_rules()}
+
+
+def select_rules(spec: Optional[str]) -> List[Rule]:
+    """Resolve a comma-separated ``--rules`` subset (None = all)."""
+    if not spec:
+        return default_rules()
+    available = rules_by_id()
+    chosen: List[Rule] = []
+    for rule_id in spec.split(","):
+        rule_id = rule_id.strip()
+        if not rule_id:
+            continue
+        if rule_id not in available:
+            raise AnalysisError(
+                f"unknown rule {rule_id!r} "
+                f"(available: {', '.join(sorted(available))})"
+            )
+        chosen.append(available[rule_id])
+    if not chosen:
+        raise AnalysisError(f"--rules {spec!r} selects no rules")
+    return chosen

@@ -1,0 +1,99 @@
+"""REP003 — no blocking calls inside ``async def`` in the server layer.
+
+One blocking call inside a coroutine stalls the whole event loop: every
+connected client's stream freezes, heartbeats miss, and the admission
+controller's latency estimates poison themselves.  Blocking work
+belongs behind ``loop.run_in_executor`` (which is why a *nested
+synchronous* ``def`` inside a coroutine is exempt — that is exactly the
+shape executor thunks take).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from repro.analysis.engine import FileContext, FileRule
+from repro.analysis.findings import Finding
+
+ASYNC_SCOPE = ("src/repro/server/",)
+
+_BLOCKING_MODULE_CALLS = {
+    ("time", "sleep"): "time.sleep() blocks the event loop",
+    ("os", "system"): "os.system() blocks the event loop",
+    ("socket", "socket"): "raw synchronous socket in a coroutine",
+    ("socket", "create_connection"): (
+        "synchronous socket.create_connection in a coroutine"
+    ),
+    ("socket", "getaddrinfo"): (
+        "synchronous DNS resolution in a coroutine"
+    ),
+}
+_BLOCKING_MODULES = {
+    "subprocess": "synchronous subprocess call in a coroutine",
+    "fcntl": "fcntl file locking blocks the event loop",
+}
+_BLOCKING_NAMES = {
+    "locked_file": "locked_file() takes a blocking flock",
+}
+
+
+class NoBlockingInAsyncRule(FileRule):
+    """REP003: coroutines in ``server/`` must not block."""
+
+    rule_id = "REP003"
+    title = "no blocking calls inside async def in server/"
+    hint = (
+        "await the asyncio equivalent, or push the call into an "
+        "executor via loop.run_in_executor"
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath.startswith(ASYNC_SCOPE)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        findings: List[Finding] = []
+        self._visit(ctx, ctx.tree, in_async=False, findings=findings)
+        return iter(findings)
+
+    def _visit(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        *,
+        in_async: bool,
+        findings: List[Finding],
+    ) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.AsyncFunctionDef):
+                self._visit(ctx, child, in_async=True, findings=findings)
+            elif isinstance(child, (ast.FunctionDef, ast.Lambda)):
+                # A sync def nested in a coroutine runs off-loop (it is
+                # the executor-thunk idiom); its body is a sync context.
+                self._visit(ctx, child, in_async=False, findings=findings)
+            else:
+                if in_async and isinstance(child, ast.Call):
+                    message = self._blocking_reason(child.func)
+                    if message is not None:
+                        findings.append(
+                            self.finding(ctx, child, message)
+                        )
+                self._visit(
+                    ctx, child, in_async=in_async, findings=findings
+                )
+
+    @staticmethod
+    def _blocking_reason(func: ast.AST) -> Optional[str]:
+        if isinstance(func, ast.Name):
+            return _BLOCKING_NAMES.get(func.id)
+        if not isinstance(func, ast.Attribute):
+            return None
+        if isinstance(func.value, ast.Name):
+            module = func.value.id
+            specific = _BLOCKING_MODULE_CALLS.get((module, func.attr))
+            if specific is not None:
+                return specific
+            broad = _BLOCKING_MODULES.get(module)
+            if broad is not None:
+                return f"{broad} ({module}.{func.attr})"
+        return _BLOCKING_NAMES.get(func.attr)

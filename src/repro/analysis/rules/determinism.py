@@ -1,0 +1,182 @@
+"""REP001/REP002 — the determinism rules.
+
+The paper's byte-identical-provenance contract (pool-size-independent
+batches, reproducible scoreboard baselines) dies the moment any code
+path draws from process-global randomness or reads the wall clock where
+budget math expects a monotonic source.  These two rules pin that down
+mechanically.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import FileContext, FileRule
+from repro.analysis.findings import Finding
+
+RNG_HOME = "src/repro/utils/rng.py"
+"""The one module allowed to touch :mod:`random` construction escape
+hatches (``ensure_rng(None)`` is its documented nondeterministic door)."""
+
+_SEEDED_CONSTRUCTORS = {"Random", "SystemRandom"}
+
+
+class NoGlobalRngRule(FileRule):
+    """REP001: no unseeded/global RNG outside ``utils/rng.py``.
+
+    Global ``random.*`` functions draw from the interpreter-wide
+    generator, so results depend on import order and whatever else ran
+    first; ``np.random.*`` is the same trap one library over.  Seeded
+    ``random.Random(seed)`` instances pass.
+    """
+
+    rule_id = "REP001"
+    title = "no unseeded or process-global RNG"
+    hint = (
+        "thread a seeded random.Random through "
+        "repro.utils.rng.ensure_rng/spawn_seeds"
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath != RNG_HOME
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                bad = [
+                    alias.name
+                    for alias in node.names
+                    if alias.name not in _SEEDED_CONSTRUCTORS
+                ]
+                if bad:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"importing global RNG function(s) "
+                        f"{', '.join(sorted(bad))} from random",
+                    )
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "random"
+            ):
+                if func.attr == "SystemRandom":
+                    continue
+                if func.attr == "Random":
+                    if not node.args and not node.keywords:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            "random.Random() without a seed is "
+                            "nondeterministic",
+                        )
+                    continue
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"call to process-global random.{func.attr}()",
+                )
+            elif isinstance(func, ast.Attribute) and self._is_np_random(
+                func.value
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"call to process-global np.random.{func.attr}()",
+                    hint="use np.random.default_rng(seed) threaded from "
+                    "the caller",
+                )
+
+    @staticmethod
+    def _is_np_random(node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Attribute)
+            and node.attr == "random"
+            and isinstance(node.value, ast.Name)
+            and node.value.id in ("np", "numpy")
+        )
+
+
+WALL_CLOCK_SCOPE = (
+    "src/repro/solvers/",
+    "src/repro/service/",
+    "src/repro/server/",
+    "src/repro/sat/",
+    "src/repro/smt/",
+    "benchmarks/",
+)
+"""Solver, provenance, budget, and benchmark paths: anywhere a duration
+or deadline computed from ``time.time()`` would jump under NTP slew."""
+
+_WALL_CLOCK_ATTRS = {"time", "time_ns"}
+_DATETIME_ATTRS = {"now", "utcnow", "today"}
+
+
+class NoWallClockRule(FileRule):
+    """REP002: budget/provenance paths must use monotonic clocks.
+
+    ``time.time()`` is settable and slews; a deadline computed from it
+    can expire early, late, or never.  ``time.monotonic()`` /
+    ``time.perf_counter()`` measure durations correctly, which is all
+    these paths ever need.
+    """
+
+    rule_id = "REP002"
+    title = "no wall-clock reads in solver/budget/provenance paths"
+    hint = "use time.monotonic() or time.perf_counter()"
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath.startswith(WALL_CLOCK_SCOPE)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                bad = [
+                    alias.name
+                    for alias in node.names
+                    if alias.name in _WALL_CLOCK_ATTRS
+                ]
+                if bad:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"importing wall-clock {', '.join(sorted(bad))} "
+                        f"from time",
+                    )
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            value = func.value
+            if (
+                isinstance(value, ast.Name)
+                and value.id == "time"
+                and func.attr in _WALL_CLOCK_ATTRS
+            ):
+                yield self.finding(
+                    ctx, node, f"wall-clock read time.{func.attr}()"
+                )
+            elif func.attr in _DATETIME_ATTRS and self._is_datetime(value):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"wall-clock read datetime.{func.attr}()",
+                )
+
+    @staticmethod
+    def _is_datetime(node: ast.AST) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in ("datetime", "date")
+        return (
+            isinstance(node, ast.Attribute)
+            and node.attr in ("datetime", "date")
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "datetime"
+        )

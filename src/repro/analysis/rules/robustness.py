@@ -1,0 +1,174 @@
+"""REP007/REP008 — failure-semantics rules.
+
+``docs/failure-semantics.md`` promises that every failure class is
+either recovered *loudly* (a structured event, a counted stat) or
+propagated — never silently eaten.  REP007 catches the eating; REP008
+keeps the fault-injection harness honest by requiring every seam
+registered in :mod:`repro.service.faults` to be exercised by at least
+one chaos test, so a seam cannot rot into dead code that claims
+coverage it no longer has.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator, List, Set, Tuple
+
+from repro.analysis.engine import (
+    FileContext,
+    FileRule,
+    Project,
+    ProjectRule,
+)
+from repro.analysis.findings import Finding
+
+RECOVERY_SCOPE = ("src/repro/server/", "src/repro/service/")
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _is_broad_handler(handler: ast.ExceptHandler) -> bool:
+    kind = handler.type
+    if kind is None:
+        return True  # bare except:
+    if isinstance(kind, ast.Name):
+        return kind.id in _BROAD
+    if isinstance(kind, ast.Tuple):
+        return any(
+            isinstance(el, ast.Name) and el.id in _BROAD
+            for el in kind.elts
+        )
+    return False
+
+
+def _is_silent_body(body: List[ast.stmt]) -> bool:
+    return all(
+        isinstance(stmt, (ast.Pass, ast.Continue)) for stmt in body
+    )
+
+
+class NoSilentExceptRule(FileRule):
+    """REP007: no silent broad exception swallowing in recovery paths."""
+
+    rule_id = "REP007"
+    title = "silent except in recovery paths"
+    hint = (
+        "narrow the exception type, or log/count/report before "
+        "swallowing (see docs/failure-semantics.md)"
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath.startswith(RECOVERY_SCOPE)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if _is_broad_handler(node) and _is_silent_body(node.body):
+                label = (
+                    "bare except:"
+                    if node.type is None
+                    else "broad except"
+                )
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{label} swallows every error with no log, "
+                    f"counter, or event",
+                )
+
+
+FAULTS_MODULE = "src/repro/service/faults.py"
+CHAOS_DIR = "tests/chaos"
+
+
+def _fault_plan_fields(tree: ast.AST) -> List[Tuple[str, int]]:
+    """``(field_name, line)`` for every FaultPlan dataclass field."""
+    fields: List[Tuple[str, int]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == "FaultPlan":
+            for stmt in node.body:
+                if isinstance(stmt, ast.AnnAssign) and isinstance(
+                    stmt.target, ast.Name
+                ):
+                    fields.append((stmt.target.id, stmt.lineno))
+    return fields
+
+
+def _delay_sites(project: Project) -> List[Tuple[str, FileContext, ast.Call]]:
+    """Every string literal named as a ``faults.delay("<site>")`` site."""
+    sites: List[Tuple[str, FileContext, ast.Call]] = []
+    for ctx in project.contexts:
+        if not ctx.relpath.startswith("src/repro/"):
+            continue
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            func = node.func
+            named_delay = (
+                isinstance(func, ast.Attribute) and func.attr == "delay"
+            ) or (isinstance(func, ast.Name) and func.id == "delay")
+            if not named_delay:
+                continue
+            arg = node.args[0]
+            if isinstance(arg, ast.Constant) and isinstance(
+                arg.value, str
+            ):
+                sites.append((arg.value, ctx, node))
+    return sites
+
+
+class FaultSeamCoverageRule(ProjectRule):
+    """REP008: every registered fault seam has a chaos test."""
+
+    rule_id = "REP008"
+    title = "fault seams without chaos-test coverage"
+    hint = (
+        "add a tests/chaos/ test injecting this seam via "
+        "faults.FaultPlan, or delete the seam"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        faults_ctx = project.get(FAULTS_MODULE)
+        if faults_ctx is None:
+            # Partial scan (explicit paths) — the invariant needs the
+            # fault registry in view, so there is nothing to check.
+            return
+        chaos_root = project.root / CHAOS_DIR
+        chaos_files = (
+            sorted(chaos_root.glob("*.py")) if chaos_root.is_dir() else []
+        )
+        if not chaos_files:
+            yield self.finding(
+                faults_ctx,
+                faults_ctx.tree,
+                f"fault seams are registered but {CHAOS_DIR}/ has no "
+                f"tests at all",
+            )
+            return
+        chaos_text = "\n".join(
+            path.read_text(encoding="utf-8") for path in chaos_files
+        )
+        covered: Set[str] = set()
+        for name, line in _fault_plan_fields(faults_ctx.tree):
+            if name in chaos_text:
+                covered.add(name)
+                continue
+            anchor = ast.Constant(value=None)
+            anchor.lineno, anchor.col_offset = line, 0
+            yield self.finding(
+                faults_ctx,
+                anchor,
+                f"fault seam {name!r} is registered in FaultPlan but "
+                f"never referenced by any {CHAOS_DIR}/ test",
+            )
+        for site, ctx, node in _delay_sites(project):
+            if site in chaos_text:
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"delay seam site {site!r} is injected here but never "
+                f"named by any {CHAOS_DIR}/ test",
+            )

@@ -1,0 +1,151 @@
+"""REP005/REP006 — artifact-serialization discipline.
+
+REP005 guards the byte-identical-reproduction contract: every JSON
+artifact with a checked-in baseline (``BENCH_*.json``, scoreboard
+baselines, provenance dumps) must be written with ``sort_keys=True``,
+or dict insertion order leaks into the bytes and every diff is noise.
+
+REP006 guards the sharded cache's crash-safety story: shard files are
+only read/written inside :mod:`repro.server.shards`'s lock-holding
+helpers — an ``open()`` of a shard path anywhere else bypasses both the
+flock and the atomic-replace protocol.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import FileContext, FileRule
+from repro.analysis.findings import Finding
+
+SORTED_JSON_SCOPE = (
+    "src/repro/corpus/",
+    "src/repro/experiments/",
+    "src/repro/utils/",
+    "src/repro/service/",
+    "src/repro/server/",
+    "benchmarks/",
+)
+"""Writer paths feeding baselined artifacts (BENCH_*.json, scoreboard
+baselines, cache files, provenance dumps)."""
+
+
+class SortedJsonRule(FileRule):
+    """REP005: ``json.dump`` in artifact writers needs ``sort_keys=True``."""
+
+    rule_id = "REP005"
+    title = "json.dump without sort_keys in artifact writers"
+    hint = (
+        "pass sort_keys=True (or write through "
+        "repro.utils.fileio.atomic_write_json / "
+        "repro.experiments.common.write_json)"
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath.startswith(SORTED_JSON_SCOPE)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr == "dump"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "json"
+            ):
+                continue
+            sort_kw = next(
+                (
+                    kw
+                    for kw in node.keywords
+                    if kw.arg == "sort_keys"
+                ),
+                None,
+            )
+            if sort_kw is None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "json.dump without sort_keys — artifact bytes "
+                    "depend on dict insertion order",
+                )
+            elif (
+                isinstance(sort_kw.value, ast.Constant)
+                and sort_kw.value.value is False
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "json.dump with sort_keys=False in an artifact "
+                    "writer",
+                )
+
+
+SHARDS_MODULE = "src/repro/server/shards.py"
+SHARD_IO_HELPERS = {"_read_shard", "_write_shard", "_migrate_single_file"}
+"""The only functions allowed to open shard files: their callers hold
+the per-shard flock (or, for migration, the global open lock)."""
+
+
+class FlockShardIoRule(FileRule):
+    """REP006: shard files are opened only by the flock helpers."""
+
+    rule_id = "REP006"
+    title = "cache shards opened outside server/shards.py lock helpers"
+    hint = (
+        "go through ShardedDiskTier (get/store) — raw opens bypass "
+        "the flock and atomic-replace protocol"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node, enclosing in _calls_with_enclosing_function(ctx.tree):
+            func = node.func
+            is_open = (
+                isinstance(func, ast.Name) and func.id == "open"
+            ) or (
+                isinstance(func, ast.Attribute)
+                and func.attr == "open"
+                and isinstance(func.value, ast.Name)
+                and func.value.id in ("os", "io", "Path")
+            )
+            if not is_open or not node.args:
+                continue
+            try:
+                target_text = ast.unparse(node.args[0])
+            except Exception:  # pragma: no cover - unparse is total on 3.9+
+                continue
+            if "shard" not in target_text.lower():
+                continue
+            if (
+                ctx.relpath == SHARDS_MODULE
+                and enclosing in SHARD_IO_HELPERS
+            ):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"shard file opened directly ({target_text!r}) outside "
+                f"the flock helpers in server/shards.py",
+            )
+
+
+def _calls_with_enclosing_function(tree: ast.AST):
+    """Yield ``(Call, enclosing_function_name_or_None)`` pairs."""
+    results = []
+
+    def walk(node: ast.AST, enclosing: object) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                walk(child, child.name)
+            else:
+                if isinstance(child, ast.Call):
+                    results.append((child, enclosing))
+                walk(child, enclosing)
+
+    walk(tree, None)
+    return results

@@ -1,0 +1,99 @@
+"""Suppression-comment parsing for the lint engine.
+
+Two directives, both living in ordinary ``#`` comments:
+
+* ``# repro-lint: disable=REP001,REP002 <optional reason>`` — suppress
+  those rules on the directive's own line; when the comment is the only
+  thing on its line, it suppresses the **next** line instead (so a
+  directive can sit above a long statement).
+* ``# repro-lint: disable-file=REP002 <optional reason>`` — suppress
+  those rules for the whole file, from anywhere in it.
+
+``*`` suppresses every rule.  Comments are located with :mod:`tokenize`
+so a ``#`` inside a string literal can never be misread as a directive;
+files that fail tokenization (the parse-error rule reports those) fall
+back to a line-wise scan.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+DIRECTIVE_RE = re.compile(
+    r"repro-lint:\s*(?P<kind>disable(?:-file)?)\s*=\s*"
+    r"(?P<rules>\*|[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+)
+
+
+@dataclass
+class Suppressions:
+    """Parsed suppression state for one file."""
+
+    file_level: Set[str] = field(default_factory=set)
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+
+    def allows(self, rule_id: str, line: int) -> bool:
+        """True when ``rule_id`` is suppressed at ``line``."""
+        if "*" in self.file_level or rule_id in self.file_level:
+            return True
+        rules = self.by_line.get(line)
+        return rules is not None and ("*" in rules or rule_id in rules)
+
+    def __bool__(self) -> bool:
+        return bool(self.file_level or self.by_line)
+
+
+def _iter_comments(source: str) -> List[Tuple[int, int, str, str]]:
+    """``(line, col, comment_text, line_prefix)`` for every comment."""
+    comments: List[Tuple[int, int, str, str]] = []
+    lines = source.splitlines()
+    try:
+        tokens = list(
+            tokenize.generate_tokens(io.StringIO(source).readline)
+        )
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # Unparsable file: REP000 reports it; still honor directives on
+        # well-formed lines via a naive scan (strings may false-match,
+        # which only ever *over*-suppresses a broken file).
+        for index, text in enumerate(lines, start=1):
+            marker = text.find("#")
+            if marker >= 0:
+                comments.append(
+                    (index, marker, text[marker:], text[:marker])
+                )
+        return comments
+    for token in tokens:
+        if token.type == tokenize.COMMENT:
+            row, col = token.start
+            prefix = lines[row - 1][:col] if row - 1 < len(lines) else ""
+            comments.append((row, col, token.string, prefix))
+    return comments
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Extract both directive kinds from ``source``."""
+    state = Suppressions()
+    for line, _col, text, prefix in _iter_comments(source):
+        match = DIRECTIVE_RE.search(text)
+        if match is None:
+            continue
+        rules = {
+            rule.strip() for rule in match.group("rules").split(",")
+        } - {""}
+        if match.group("kind") == "disable-file":
+            state.file_level.update(rules)
+            continue
+        target = line
+        if not prefix.strip():
+            # Comment-only line: the directive guards the next line.
+            target = line + 1
+        state.by_line.setdefault(target, set()).update(rules)
+        # A trailing directive also covers its own line even when the
+        # statement it annotates spans onto it.
+        if target != line:
+            state.by_line.setdefault(line, set()).update(rules)
+    return state

@@ -37,3 +37,10 @@ class ProofError(SolverError):
 
 class ScheduleError(ReproError):
     """Raised by the neutral-atom substrate for invalid AOD schedules."""
+
+
+class AnalysisError(ReproError):
+    """Raised on *internal* static-analysis failures (a rule crashing,
+    an unreadable baseline) — never for findings, which are data.  The
+    CLI maps this to exit 2, keeping it distinct from exit 1 =
+    non-baselined findings."""

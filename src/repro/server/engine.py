@@ -552,6 +552,8 @@ class AsyncSolveEngine:
             for task in tasks:
                 try:
                     await task
+                # Reaping tasks we just cancelled; real outcomes streamed.
+                # repro-lint: disable=REP007 (reaping cancelled tasks)
                 except (asyncio.CancelledError, Exception):
                     pass
             for case_id, token in tokens.items():

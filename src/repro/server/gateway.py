@@ -547,10 +547,14 @@ class StreamFront:
                 eof_task.cancel()
                 try:
                     await eof_task
+                # Reaping a watcher we cancelled; connection already gone.
+                # repro-lint: disable=REP007 (reaping a cancelled watcher)
                 except (asyncio.CancelledError, Exception):
                     pass
             try:
                 await stream.aclose()  # no-op when already exhausted
+            # Double-close on a dead peer has nothing left to report.
+            # repro-lint: disable=REP007 (double-close on a dead peer)
             except Exception:
                 pass
             if admitted and self.admission is not None:

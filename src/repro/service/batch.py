@@ -254,6 +254,9 @@ def _solve_payload_streaming(
     def on_member(outcome: Any) -> None:
         try:
             events.put(("member", tag, outcome.as_dict()))
+        # A vanished parent's queue must not kill a solve already paid
+        # for (see docstring).
+        # repro-lint: disable=REP007 (vanished parent queue)
         except Exception:
             pass
 
@@ -262,6 +265,9 @@ def _solve_payload_streaming(
     finally:
         try:
             events.put(("eof", tag, None))
+        # Same: the parent may be gone; the result still returns
+        # through the executor.
+        # repro-lint: disable=REP007 (vanished parent queue)
         except Exception:
             pass
 

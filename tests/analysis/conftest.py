@@ -1,0 +1,45 @@
+"""Fixtures for the static-analysis suite.
+
+``make_project`` builds a throwaway repo-shaped tree under ``tmp_path``
+so rules with path scopes (``src/repro/server/...``) can be exercised
+without touching the real checkout; ``lint`` runs an
+:class:`~repro.analysis.engine.Analyzer` over it with a chosen rule
+subset.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+from typing import Dict, Optional, Sequence
+
+import pytest
+
+from repro.analysis import Analyzer, Report, select_rules
+
+
+@pytest.fixture
+def make_project(tmp_path):
+    def build(files: Dict[str, str]) -> Path:
+        for relpath, source in files.items():
+            target = tmp_path / relpath
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(textwrap.dedent(source))
+        return tmp_path
+
+    return build
+
+
+@pytest.fixture
+def lint():
+    def run(
+        root: Path,
+        *,
+        rules: Optional[str] = None,
+        paths: Optional[Sequence[str]] = None,
+    ) -> Report:
+        return Analyzer(
+            root, rules=select_rules(rules), paths=paths
+        ).run()
+
+    return run

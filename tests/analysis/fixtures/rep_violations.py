@@ -1,0 +1,27 @@
+"""Deliberately broken module for the lint gate test.
+
+NOT importable production code — this file seeds one violation for each
+scope-free rule so ``tests/analysis/test_cli.py`` can prove the gate
+fails (exit 1) when a violation is introduced.  It lives under
+``tests/`` precisely so the default scan roots never pick it up.
+"""
+
+import random
+from concurrent.futures import ProcessPoolExecutor
+
+
+def unseeded_pick():
+    # REP001: global RNG outside utils/rng.py.
+    return random.random()
+
+
+def bad_submit(values):
+    # REP004: a lambda cannot cross a spawn boundary.
+    with ProcessPoolExecutor() as pool:
+        return [pool.submit(lambda v: v + 1, v) for v in values]
+
+
+def rogue_shard_read(shard_path):
+    # REP006: shard files are flock-guarded; raw open bypasses that.
+    with open(shard_path) as stream:
+        return stream.read()

@@ -1,0 +1,146 @@
+"""End-to-end exit-code and output contracts for ``python -m repro lint``.
+
+Exit codes are the load-bearing interface: 0 clean, 1 findings, 2
+internal analyzer errors.  Everything here drives the real
+``repro.cli.main`` entry point, same as CI would.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro.cli import main
+
+FIXTURE = Path(__file__).parent / "fixtures" / "rep_violations.py"
+CLEAN = """
+import random
+
+RNG = random.Random(7)
+
+def pick():
+    return RNG.random()
+"""
+
+
+def write_clean_project(tmp_path: Path) -> Path:
+    target = tmp_path / "src" / "repro" / "solvers" / "foo.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(textwrap.dedent(CLEAN))
+    return tmp_path
+
+
+def test_clean_project_exits_zero(tmp_path, capsys):
+    root = write_clean_project(tmp_path)
+    assert main(["lint", "--root", str(root)]) == 0
+    out = capsys.readouterr().out
+    assert "0 finding(s)" in out
+
+
+def test_violation_exits_one(tmp_path, capsys):
+    root = write_clean_project(tmp_path)
+    bad = root / "src" / "repro" / "solvers" / "bad.py"
+    bad.write_text("import random\nX = random.random()\n")
+    assert main(["lint", "--root", str(root)]) == 1
+    out = capsys.readouterr().out
+    assert "REP001" in out
+    assert "bad.py:2" in out
+
+
+def test_fixture_module_fails_gate(tmp_path, capsys):
+    # The checked-in violations file, linted explicitly with an empty
+    # baseline: every seeded rule must fire and the gate must fail.
+    repo_root = Path(__file__).resolve().parents[2]
+    code = main(
+        [
+            "lint",
+            str(FIXTURE),
+            "--root",
+            str(repo_root),
+            "--baseline",
+            str(tmp_path / "empty_baseline.json"),
+            "--format",
+            "json",
+        ]
+    )
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    fired = {finding["rule"] for finding in payload["findings"]}
+    assert {"REP001", "REP004", "REP006"} <= fired
+
+
+def test_json_format_contract(tmp_path, capsys):
+    root = write_clean_project(tmp_path)
+    assert main(["lint", "--root", str(root), "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["findings"] == []
+    assert payload["files_scanned"] == 1
+    assert "REP001" in payload["rules"]
+
+
+def test_update_baseline_then_clean(tmp_path, capsys):
+    root = write_clean_project(tmp_path)
+    bad = root / "src" / "repro" / "solvers" / "bad.py"
+    bad.write_text("import random\nX = random.random()\n")
+    assert main(["lint", "--root", str(root)]) == 1
+    capsys.readouterr()
+    assert main(["lint", "--root", str(root), "--update-baseline"]) == 0
+    baseline = root / "baselines" / "lint_baseline.json"
+    assert baseline.is_file()
+    first = baseline.read_bytes()
+    assert main(["lint", "--root", str(root)]) == 0
+    out = capsys.readouterr().out
+    assert "1 baselined" in out
+    # A second --update-baseline over the unchanged tree is a no-op
+    # byte-for-byte: the file is fit for checking in.
+    assert main(["lint", "--root", str(root), "--update-baseline"]) == 0
+    assert baseline.read_bytes() == first
+
+
+def test_fixing_baselined_finding_goes_stale(tmp_path, capsys):
+    root = write_clean_project(tmp_path)
+    bad = root / "src" / "repro" / "solvers" / "bad.py"
+    bad.write_text("import random\nX = random.random()\n")
+    assert main(["lint", "--root", str(root), "--update-baseline"]) == 0
+    bad.write_text("import random\nX = random.Random(3).random()\n")
+    capsys.readouterr()
+    assert main(["lint", "--root", str(root)]) == 0
+    assert "stale baseline" in capsys.readouterr().out
+
+
+def test_corrupt_baseline_exits_two(tmp_path, capsys):
+    root = write_clean_project(tmp_path)
+    baseline = root / "baselines" / "lint_baseline.json"
+    baseline.parent.mkdir()
+    baseline.write_text("{broken")
+    assert main(["lint", "--root", str(root)]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_unknown_rule_exits_two(tmp_path, capsys):
+    root = write_clean_project(tmp_path)
+    assert main(["lint", "--root", str(root), "--rules", "REP999"]) == 2
+    assert "REP999" in capsys.readouterr().err
+
+
+def test_missing_path_exits_two(tmp_path, capsys):
+    root = write_clean_project(tmp_path)
+    assert main(["lint", "no/such/file.py", "--root", str(root)]) == 2
+    assert "does not exist" in capsys.readouterr().err
+
+
+def test_list_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in (
+        "REP001",
+        "REP002",
+        "REP003",
+        "REP004",
+        "REP005",
+        "REP006",
+        "REP007",
+        "REP008",
+    ):
+        assert rule_id in out

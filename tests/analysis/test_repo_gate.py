@@ -1,0 +1,68 @@
+"""The tier-1 lint gate: the real checkout must lint clean.
+
+This is the test that makes ``repro lint`` an invariant rather than a
+suggestion — a PR that introduces an unseeded RNG, a wall-clock read in
+budget math, or an uncovered fault seam fails here.  Fixes belong in
+the offending code; deliberate exceptions belong in an inline
+suppression (with a reason) or, as a last resort, the baseline.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Analyzer
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE,
+    load_baseline,
+    split_by_baseline,
+)
+
+pytestmark = pytest.mark.lint
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def run_gate():
+    report = Analyzer(REPO_ROOT).run()
+    baseline = load_baseline(REPO_ROOT / DEFAULT_BASELINE)
+    new, grandfathered, stale = split_by_baseline(
+        report.findings, baseline
+    )
+    return report, new, grandfathered, stale
+
+
+def test_repo_lints_clean():
+    report, new, _, _ = run_gate()
+    assert report.files_scanned > 100
+    assert new == [], "new lint findings:\n" + "\n".join(
+        finding.format() for finding in new
+    )
+
+
+def test_baseline_is_not_stale():
+    _, _, grandfathered, stale = run_gate()
+    assert stale == [], (
+        "baseline entries no longer match any finding — "
+        "run `python -m repro lint --update-baseline`: "
+        f"{stale}"
+    )
+    # The baseline is a debt ledger, not a dumping ground: it should
+    # only ever hold the deliberate exceptions documented in
+    # docs/static-analysis.md.  Growing it needs a written reason.
+    assert len(grandfathered) <= 1
+
+
+def test_every_fault_seam_has_chaos_coverage():
+    # REP008 alone over the real tree: FaultPlan fields and delay sites
+    # must all be referenced somewhere in tests/chaos/.
+    from repro.analysis.rules.robustness import FaultSeamCoverageRule
+
+    report = Analyzer(
+        REPO_ROOT, rules=[FaultSeamCoverageRule()]
+    ).run()
+    assert report.findings == [], "\n".join(
+        finding.format() for finding in report.findings
+    )

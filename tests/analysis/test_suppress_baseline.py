@@ -1,0 +1,258 @@
+"""Suppression syntax and baseline lifecycle for ``repro lint``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import (
+    load_baseline,
+    split_by_baseline,
+    write_baseline,
+)
+from repro.analysis.engine import Analyzer
+from repro.analysis.findings import fingerprint_findings
+from repro.analysis.rules import select_rules
+from repro.core.exceptions import AnalysisError
+
+
+VIOLATION = """
+import random
+
+def pick():
+    return random.random()
+"""
+
+
+def rule_ids(report):
+    return [finding.rule_id for finding in report.findings]
+
+
+class TestSuppressionSyntax:
+    def test_same_line_disable(self, make_project, lint):
+        root = make_project(
+            {
+                "src/repro/solvers/foo.py": """
+                import random
+
+                def pick():
+                    return random.random()  # repro-lint: disable=REP001 (demo)
+                """
+            }
+        )
+        report = lint(root, rules="REP001")
+        assert report.findings == []
+        assert rule_ids_of(report.suppressed) == ["REP001"]
+
+    def test_comment_line_above_disable(self, make_project, lint):
+        root = make_project(
+            {
+                "src/repro/solvers/foo.py": """
+                import random
+
+                def pick():
+                    # repro-lint: disable=REP001 (demo)
+                    return random.random()
+                """
+            }
+        )
+        report = lint(root, rules="REP001")
+        assert report.findings == []
+        assert len(report.suppressed) == 1
+
+    def test_disable_file(self, make_project, lint):
+        root = make_project(
+            {
+                "src/repro/solvers/foo.py": """
+                # repro-lint: disable-file=REP001 (demo module)
+                import random
+
+                A = random.random()
+                B = random.random()
+                """
+            }
+        )
+        report = lint(root, rules="REP001")
+        assert report.findings == []
+        assert len(report.suppressed) == 2
+
+    def test_wrong_rule_id_does_not_suppress(self, make_project, lint):
+        root = make_project(
+            {
+                "src/repro/solvers/foo.py": """
+                import random
+
+                def pick():
+                    return random.random()  # repro-lint: disable=REP002
+                """
+            }
+        )
+        report = lint(root, rules="REP001")
+        assert rule_ids(report) == ["REP001"]
+        assert report.suppressed == []
+
+    def test_star_suppresses_all_rules(self, make_project, lint):
+        root = make_project(
+            {
+                "src/repro/service/foo.py": """
+                import random
+                import time
+
+                def pick():
+                    # repro-lint: disable=* (kitchen sink)
+                    return random.random() + time.time()
+                """
+            }
+        )
+        report = lint(root, rules="REP001,REP002")
+        assert report.findings == []
+        assert len(report.suppressed) == 2
+
+    def test_directive_only_covers_next_line(self, make_project, lint):
+        root = make_project(
+            {
+                "src/repro/solvers/foo.py": """
+                import random
+
+                def pick():
+                    # repro-lint: disable=REP001
+                    first = random.random()
+                    second = random.random()
+                    return first + second
+                """
+            }
+        )
+        report = lint(root, rules="REP001")
+        assert len(report.findings) == 1
+        assert "second" in report.findings[0].line_text
+
+    def test_directive_in_string_literal_ignored(self, make_project, lint):
+        root = make_project(
+            {
+                "src/repro/solvers/foo.py": """
+                import random
+
+                DOC = "# repro-lint: disable-file=REP001"
+                A = random.random()
+                """
+            }
+        )
+        assert rule_ids(lint(root, rules="REP001")) == ["REP001"]
+
+
+class TestBaselineLifecycle:
+    def _report(self, make_project, lint):
+        root = make_project({"src/repro/solvers/foo.py": VIOLATION})
+        return root, lint(root, rules="REP001")
+
+    def test_update_baseline_round_trips_byte_identically(
+        self, make_project, lint, tmp_path
+    ):
+        root, report = self._report(make_project, lint)
+        target = tmp_path / "baseline.json"
+        write_baseline(target, report.findings)
+        first = target.read_bytes()
+        write_baseline(target, report.findings)
+        assert target.read_bytes() == first
+        payload = json.loads(first)
+        assert payload["type"] == "repro_lint_baseline"
+        assert len(payload["findings"]) == 1
+
+    def test_baselined_finding_is_filtered(self, make_project, lint, tmp_path):
+        root, report = self._report(make_project, lint)
+        target = tmp_path / "baseline.json"
+        write_baseline(target, report.findings)
+        baseline = load_baseline(target)
+        new, grandfathered, stale = split_by_baseline(
+            report.findings, baseline
+        )
+        assert new == []
+        assert len(grandfathered) == 1
+        assert stale == []
+
+    def test_fingerprint_survives_line_drift(self, make_project, lint):
+        root, report = self._report(make_project, lint)
+        baseline = {
+            fp: {} for fp, _ in fingerprint_findings(report.findings)
+        }
+        shifted = make_project(
+            {
+                "src/repro/solvers/foo.py": "# a new leading comment\n"
+                + VIOLATION
+            }
+        )
+        drifted = lint(shifted, rules="REP001")
+        assert drifted.findings[0].line != report.findings[0].line
+        new, grandfathered, stale = split_by_baseline(
+            drifted.findings, baseline
+        )
+        assert new == []
+        assert len(grandfathered) == 1
+
+    def test_new_violation_not_covered_by_old_baseline(
+        self, make_project, lint, tmp_path
+    ):
+        root, report = self._report(make_project, lint)
+        target = tmp_path / "baseline.json"
+        write_baseline(target, report.findings)
+        grown = make_project(
+            {
+                "src/repro/solvers/foo.py": VIOLATION
+                + "\ndef pick_again():\n    return random.randint(0, 9)\n"
+            }
+        )
+        new, grandfathered, stale = split_by_baseline(
+            lint(grown, rules="REP001").findings, load_baseline(target)
+        )
+        assert len(new) == 1
+        assert "random.randint" in new[0].message
+        assert len(grandfathered) == 1
+
+    def test_stale_entries_surface(self, make_project, lint, tmp_path):
+        root, report = self._report(make_project, lint)
+        target = tmp_path / "baseline.json"
+        write_baseline(target, report.findings)
+        new, grandfathered, stale = split_by_baseline(
+            [], load_baseline(target)
+        )
+        assert new == [] and grandfathered == []
+        assert len(stale) == 1
+
+    def test_absent_baseline_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "missing.json") == {}
+
+    def test_corrupt_baseline_raises(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text("{not json")
+        with pytest.raises(AnalysisError):
+            load_baseline(target)
+
+    def test_wrong_type_raises(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text(json.dumps({"type": "something_else"}))
+        with pytest.raises(AnalysisError):
+            load_baseline(target)
+
+
+class TestEngineErrors:
+    def test_crashing_rule_becomes_analysis_error(self, make_project):
+        class ExplodingRule(select_rules("REP001")[0].__class__):
+            def check(self, ctx):
+                raise RuntimeError("boom")
+
+        root = make_project({"src/repro/solvers/foo.py": "X = 1\n"})
+        with pytest.raises(AnalysisError, match="REP001.*boom"):
+            Analyzer(root, rules=[ExplodingRule()]).run()
+
+    def test_unknown_rule_spec_raises(self):
+        with pytest.raises(AnalysisError, match="REP999"):
+            select_rules("REP999")
+
+    def test_empty_rule_spec_raises(self):
+        with pytest.raises(AnalysisError):
+            select_rules(" , ")
+
+
+def rule_ids_of(findings):
+    return [finding.rule_id for finding in findings]
