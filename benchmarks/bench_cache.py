@@ -1,0 +1,164 @@
+"""Benchmarks for the bounded cache store's lifecycle machinery.
+
+Two measurements, written to ``BENCH_cache.json`` (directory
+overridable via ``REPRO_BENCH_DIR``):
+
+* **eviction overhead on the hot read path** — shard format v2 added a
+  TTL check and access-stamp recording (the LRU signal) to every
+  ``ShardedDiskTier.get``.  That machinery lives on the read path
+  permanently, so its cost is measured directly (a tight loop over the
+  per-read eviction steps) against the measured full ``get`` time, and
+  asserted ≤ 2% — the read path is dominated by the shard open + parse
+  + flock it always paid, and must stay that way.  The integrity
+  verification (sha over the re-canonicalized payload) is a separate,
+  deliberate cost; it is recorded alongside for visibility but carries
+  no line — refusing corrupt payloads is worth microseconds.
+* **full-GC latency** — populate a store, cap it at half, and time the
+  complete journaled pass (plan, sweep, compaction, index rebuild).
+  Hardware-dependent; recorded only, alongside the per-entry rate so
+  runs on different corpus sizes stay comparable.
+"""
+
+from __future__ import annotations
+
+import json
+import hashlib
+import os
+import statistics
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.server import store_gc
+from repro.server.shards import (
+    ShardedDiskTier,
+    StoreLimits,
+    verify_entry,
+)
+from repro.utils.clock import wall_now
+
+pytestmark = pytest.mark.cache
+
+OVERHEAD_LIMIT = 0.02
+"""The per-read eviction steps (TTL check + LRU touch stamp) may cost
+at most this fraction of a full shard read."""
+
+_ARTIFACT_ENTRIES = {}
+
+
+def _artifact_path() -> Path:
+    return Path(os.environ.get("REPRO_BENCH_DIR", ".")) / "BENCH_cache.json"
+
+
+def _record(name: str, payload: dict) -> None:
+    _ARTIFACT_ENTRIES[name] = payload
+    path = _artifact_path()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as stream:
+        json.dump(
+            {"benchmark": "cache", "entries": _ARTIFACT_ENTRIES},
+            stream,
+            indent=2,
+            sort_keys=True,
+        )
+        stream.write("\n")
+
+
+def _key(tag: str) -> str:
+    return hashlib.sha256(tag.encode()).hexdigest()
+
+
+def _payload(tag: str) -> dict:
+    return {"tag": tag, "depth": 3, "filler": "x" * 120}
+
+
+def test_eviction_overhead_on_hot_reads(tmp_path, root_seed):
+    """Acceptance: TTL check + LRU touch cost ≤ 2% of a shard read."""
+    tier = ShardedDiskTier(
+        tmp_path / "store", limits=StoreLimits(ttl_seconds=3600.0)
+    )
+    keys = [_key(f"hot-{i}") for i in range(64)]
+    tier.store({key: _payload(f"hot-{i}") for i, key in enumerate(keys)})
+
+    # Full reads: everything get() does, lifecycle steps included.
+    reads = []
+    for _ in range(4):
+        began = time.perf_counter()
+        for key in keys:
+            assert tier.get(key) is not None
+        reads.append((time.perf_counter() - began) / len(keys))
+    read_seconds = statistics.median(reads)
+
+    # The added eviction steps, in isolation, on the same data shapes.
+    payload = _payload("hot-0")
+    index = tier.load_index()
+    meta = dict(index["entries"][keys[0]])
+    meta["h"] = json.loads(
+        tier.shard_path(keys[0]).read_text()
+    )["meta"][keys[0]]["h"]
+    limits = tier.limits
+    touches = {}
+    iterations = 50_000
+    began = time.perf_counter()
+    for _ in range(iterations):
+        limits.expired(meta.get("c"), wall_now())
+        touches[keys[0]] = wall_now()
+    eviction_seconds = (time.perf_counter() - began) / iterations
+
+    # The integrity check, recorded for visibility (no line: refusing
+    # corrupt payloads is a deliberate cost, not eviction overhead).
+    iterations = 20_000
+    began = time.perf_counter()
+    for _ in range(iterations):
+        verify_entry(payload, meta)
+    verify_seconds = (time.perf_counter() - began) / iterations
+
+    overhead_fraction = eviction_seconds / read_seconds
+    _record(
+        "eviction_overhead_hot_reads",
+        {
+            "entries": len(keys),
+            "read_seconds_per_get_median": read_seconds,
+            "eviction_seconds_per_get": eviction_seconds,
+            "overhead_fraction": overhead_fraction,
+            "overhead_limit": OVERHEAD_LIMIT,
+            "integrity_verify_seconds_per_get": verify_seconds,
+            "integrity_verify_fraction": verify_seconds / read_seconds,
+        },
+    )
+    assert overhead_fraction <= OVERHEAD_LIMIT, (
+        f"eviction steps cost {overhead_fraction:.2%} of a shard read "
+        f"(limit {OVERHEAD_LIMIT:.0%})"
+    )
+
+
+def test_full_gc_latency(tmp_path, root_seed):
+    """A complete journaled pass over a populated store, timed."""
+    tier = ShardedDiskTier(tmp_path / "store")
+    total = 256
+    tier.store(
+        {_key(f"gc-{i}"): _payload(f"gc-{i}") for i in range(total)}
+    )
+    tier.limits = StoreLimits(max_entries=total // 2)
+
+    began = time.perf_counter()
+    report = store_gc.run_gc(tier)
+    gc_wall = time.perf_counter() - began
+
+    assert report.ran
+    assert len(report.evicted_keys) == total // 2
+    assert tier.entry_count() == total // 2
+
+    _record(
+        "full_gc_latency",
+        {
+            "entries_before": total,
+            "entries_after": tier.entry_count(),
+            "evicted": len(report.evicted_keys),
+            "passes": report.passes,
+            "gc_wall_seconds": gc_wall,
+            "gc_seconds_per_evicted_entry": gc_wall
+            / max(1, len(report.evicted_keys)),
+        },
+    )

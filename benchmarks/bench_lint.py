@@ -5,7 +5,7 @@ wall time is a standing tax on the inner loop.  Two measurements,
 written to ``BENCH_lint.json`` (directory overridable via
 ``REPRO_BENCH_DIR``):
 
-* **full-repo lint wall time** — parse + all eight rules + suppression
+* **full-repo lint wall time** — parse + all ten rules + suppression
   filtering over the default scan roots, three runs.  Asserted under
   ``FULL_LINT_LIMIT_SECONDS`` (the ISSUE 9 acceptance line: the gate
   must stay cheap enough to never tempt anyone to skip it).

@@ -20,6 +20,7 @@ from repro.analysis.rules.spawn_safety import SpawnSafeSubmitRule
 from repro.analysis.rules.serialization import (
     FlockShardIoRule,
     SortedJsonRule,
+    StoreArtifactWriteRule,
 )
 from repro.analysis.rules.robustness import (
     FaultSeamCoverageRule,
@@ -35,6 +36,7 @@ _RULE_CLASSES = (
     FlockShardIoRule,
     NoSilentExceptRule,
     FaultSeamCoverageRule,
+    StoreArtifactWriteRule,
 )
 
 

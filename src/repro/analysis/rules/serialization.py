@@ -1,4 +1,4 @@
-"""REP005/REP006 — artifact-serialization discipline.
+"""REP005/REP006/REP009 — artifact-serialization discipline.
 
 REP005 guards the byte-identical-reproduction contract: every JSON
 artifact with a checked-in baseline (``BENCH_*.json``, scoreboard
@@ -9,6 +9,14 @@ REP006 guards the sharded cache's crash-safety story: shard files are
 only read/written inside :mod:`repro.server.shards`'s lock-holding
 helpers — an ``open()`` of a shard path anywhere else bypasses both the
 flock and the atomic-replace protocol.
+
+REP009 extends the same discipline to every *other* file living inside
+a cache store directory — the GC journal, the maintained index, the
+persisted store limits.  The crash-recovery matrix in
+``docs/cache-lifecycle.md`` only holds if each of those files is
+written by exactly one locked, atomic-replace helper; a stray write
+from anywhere else can tear the journal out from under a resume or
+desynchronize the index silently.
 """
 
 from __future__ import annotations
@@ -130,6 +138,115 @@ class FlockShardIoRule(FileRule):
                 f"shard file opened directly ({target_text!r}) outside "
                 f"the flock helpers in server/shards.py",
             )
+
+
+STORE_FILE_MARKERS = (
+    "shard",
+    "gc-journal",
+    "gc_journal",
+    "journal_path",
+    "cache-index",
+    "cache_index",
+    "index_path",
+    "store-config",
+    "store_config",
+    "config_path",
+)
+"""Path-expression fragments identifying cache-store files.  Textual on
+purpose (same heuristic as REP006): the store's filenames and path
+helpers are all named after what they hold, so the unparsed argument
+text is a reliable signal without data-flow analysis."""
+
+STORE_WRITE_ALLOWLIST = {
+    "src/repro/server/shards.py": {
+        "_write_shard",
+        "_write_index",
+        "_persist_limits",
+        "_quarantine_entry",
+    },
+    "src/repro/server/store_gc.py": {"_write_journal"},
+}
+"""The only (module, function) pairs allowed to write store files.
+Each helper holds the appropriate lock and writes atomically; the
+crash-recovery matrix in docs/cache-lifecycle.md is proved against
+exactly these write sites."""
+
+
+class StoreArtifactWriteRule(FileRule):
+    """REP009: cache-store files written only by the locked helpers."""
+
+    rule_id = "REP009"
+    title = "cache-store file written outside the locked atomic helpers"
+    hint = (
+        "go through ShardedDiskTier / store_gc — journal, index, and "
+        "store-config writes must stay inside the allowlisted helpers "
+        "or crash recovery can no longer trust them"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        allowed = STORE_WRITE_ALLOWLIST.get(ctx.relpath, set())
+        for node, enclosing in _calls_with_enclosing_function(ctx.tree):
+            target_text = _store_write_target(node)
+            if target_text is None:
+                continue
+            lowered = target_text.lower()
+            if not any(m in lowered for m in STORE_FILE_MARKERS):
+                continue
+            if enclosing in allowed:
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"cache-store file written directly ({target_text!r}) "
+                f"outside the locked atomic helpers",
+            )
+
+
+def _store_write_target(node: ast.Call):
+    """The unparsed path argument of a store-file *write*, or None.
+
+    Recognized write shapes: ``atomic_write_json(path, ...)``, an
+    ``open(path, mode)`` with a writable mode, and
+    ``<path>.write_text(...)`` / ``<path>.write_bytes(...)``.
+    """
+    func = node.func
+    if (
+        isinstance(func, ast.Name) and func.id == "atomic_write_json"
+    ) or (
+        isinstance(func, ast.Attribute)
+        and func.attr == "atomic_write_json"
+    ):
+        if node.args:
+            return _unparse(node.args[0])
+        return None
+    if isinstance(func, ast.Attribute) and func.attr in (
+        "write_text",
+        "write_bytes",
+    ):
+        return _unparse(func.value)
+    is_open = (isinstance(func, ast.Name) and func.id == "open") or (
+        isinstance(func, ast.Attribute)
+        and func.attr == "open"
+        and isinstance(func.value, ast.Name)
+        and func.value.id in ("os", "io", "Path")
+    )
+    if is_open and node.args:
+        mode = None
+        if len(node.args) > 1 and isinstance(node.args[1], ast.Constant):
+            mode = node.args[1].value
+        for kw in node.keywords:
+            if kw.arg == "mode" and isinstance(kw.value, ast.Constant):
+                mode = kw.value.value
+        if isinstance(mode, str) and any(c in mode for c in "wax+"):
+            return _unparse(node.args[0])
+    return None
+
+
+def _unparse(node: ast.AST):
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on 3.9+
+        return None
 
 
 def _calls_with_enclosing_function(tree: ast.AST):

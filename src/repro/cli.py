@@ -10,6 +10,7 @@ Usage (also installed as ``python -m repro``):
     python -m repro submit PATTERN_FILE [...] [--socket PATH | --connect tcp://H:P]
     python -m repro health [--socket PATH | --connect tcp://H:P]
     python -m repro scoreboard {run|diff|update-baseline|list} [--smoke]
+    python -m repro cache {stats|gc|prewarm} DIR [--max-bytes N] [...]
     python -m repro lint [PATHS...] [--format json] [--update-baseline]
     python -m repro compile PATTERN_FILE [--theta T] [--vacancy-char C]
     python -m repro bounds PATTERN_FILE
@@ -780,6 +781,10 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.corpus.cli import add_scoreboard_parser
 
     add_scoreboard_parser(sub)
+
+    from repro.server.cache_cli import add_cache_parser
+
+    add_cache_parser(sub)
 
     from repro.analysis.cli import add_lint_parser
 

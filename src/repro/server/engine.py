@@ -439,7 +439,7 @@ class AsyncSolveEngine:
             **self._tally.as_dict(),
         }
         if self.cache is not None:
-            payload["cache"] = self.cache.stats.as_dict()
+            payload["cache"] = self.cache.refresh_stats().as_dict()
             payload["cache_entries"] = len(self.cache)
         return payload
 

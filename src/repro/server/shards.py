@@ -18,24 +18,54 @@ concurrent merges may then lose races; the repo only targets POSIX.
 A :class:`ShardedDiskTier` pointed at an existing single-file JSON
 cache migrates it in place on first open: the file's entries are
 resharded into a directory of the same name.
+
+Since the cache-lifecycle work (see ``docs/cache-lifecycle.md``) the
+store is also *bounded* and *self-verifying*:
+
+* every entry carries metadata (size, created/accessed stamps, a
+  content sha over the payload + the solver schema version it was
+  computed under) stored next to it in the shard;
+* :class:`StoreLimits` caps the store by bytes/entries and ages entries
+  out by TTL — exceeding a cap on the write path triggers the journaled
+  GC pass in :mod:`repro.server.store_gc`;
+* a maintained index (``cache-index.json``) gives O(1) stats and cap
+  accounting, with rebuild-from-shards fallback whenever it is missing,
+  stale, or corrupt — the shards are always the authority;
+* integrity mismatches on read are routed through the quarantine path
+  (the damaged entry is moved aside and counted, never served).
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import logging
 import os
-import time
 from pathlib import Path
-from typing import Any, Dict, Mapping, Optional, Set, Union
+from typing import Any, Dict, Mapping, Optional, Set, Tuple, Union
 
 from repro.core.exceptions import SolverError
 from repro.service import faults
+from repro.service.schema import SOLVER_SCHEMA_VERSION
+from repro.utils.clock import wall_now
 from repro.utils.fileio import atomic_write_json, locked_file
 
-SHARD_FORMAT_VERSION = 1
+SHARD_FORMAT_VERSION = 2
+"""Version 2 added the per-entry ``meta`` map (size, stamps, integrity
+hash, schema version).  Version-1 shards read fine — their entries are
+*legacy*: served without integrity checks, treated as
+least-recently-used, and stamped on the next rewrite."""
+
 SHARD_TYPE = "portfolio_cache_shard"
 SINGLE_FILE_TYPE = "portfolio_cache"
+
+INDEX_NAME = "cache-index.json"
+INDEX_TYPE = "portfolio_cache_index"
+INDEX_FORMAT_VERSION = 1
+
+CONFIG_NAME = "store-config.json"
+CONFIG_TYPE = "portfolio_cache_store_config"
+CONFIG_FORMAT_VERSION = 1
 
 logger = logging.getLogger(__name__)
 
@@ -53,7 +83,7 @@ def quarantine_file(path: Path, reason: str) -> Optional[Path]:
     itself.  Returns the quarantine path, or ``None`` if the rename
     lost a race (another process already moved it).
     """
-    target = path.with_name(f"{path.name}.corrupt-{int(time.time())}")
+    target = path.with_name(f"{path.name}.corrupt-{int(wall_now())}")
     try:
         os.replace(path, target)
     except OSError:
@@ -71,14 +101,166 @@ def quarantine_file(path: Path, reason: str) -> Optional[Path]:
     return target
 
 
+# ----------------------------------------------------------------------
+# Entry metadata and integrity
+# ----------------------------------------------------------------------
+def canonical_payload_bytes(payload: Dict[str, Any]) -> bytes:
+    """The canonical byte form an entry is sized and hashed over."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def entry_hash(blob: bytes, schema_version: int) -> str:
+    """Content sha of an entry: payload bytes + solver schema version.
+
+    Folding :data:`~repro.service.schema.SOLVER_SCHEMA_VERSION` in
+    means a payload byte-identical to one computed under different
+    solver semantics still fails verification — the stored ``v`` field
+    records which generation the hash was taken under, so entries
+    verify against *their own* era, not the reader's.
+    """
+    digest = hashlib.sha256(blob)
+    digest.update(f"|schema={schema_version}".encode("ascii"))
+    return digest.hexdigest()[:16]
+
+
+def make_entry_meta(
+    payload: Dict[str, Any], *, now: Optional[float] = None
+) -> Dict[str, Any]:
+    """Fresh metadata for a payload being written right now."""
+    if now is None:
+        now = wall_now()
+    blob = canonical_payload_bytes(payload)
+    return {
+        "b": len(blob),
+        "c": now,
+        "a": now,
+        "v": SOLVER_SCHEMA_VERSION,
+        "h": entry_hash(blob, SOLVER_SCHEMA_VERSION),
+    }
+
+
+def verify_entry(payload: Dict[str, Any], meta: Mapping[str, Any]) -> bool:
+    """Does the stored hash match the payload it sits next to?
+
+    Legacy entries (no recorded hash) pass trivially — there is nothing
+    to verify them against, and destroying them would be data loss.
+    """
+    recorded = meta.get("h")
+    if not recorded:
+        return True
+    version = meta.get("v", SOLVER_SCHEMA_VERSION)
+    return entry_hash(canonical_payload_bytes(payload), version) == recorded
+
+
+def ttl_now() -> float:
+    """The wall clock as the TTL/eviction math sees it.
+
+    The clock-skew fault seam shifts this — simulating an NTP jump
+    between the writer that stamped an entry and the process judging
+    its age — without touching the stamps already on disk.
+    """
+    return wall_now() + faults.ttl_clock_skew()
+
+
+# ----------------------------------------------------------------------
+# Store limits
+# ----------------------------------------------------------------------
+class StoreLimits:
+    """Byte/entry caps and TTL for a sharded store.
+
+    ``max_bytes`` bounds the sum of canonical entry sizes (the payload
+    bytes the store exists to hold; file framing is excluded so the cap
+    is layout-independent), ``max_entries`` the entry count, and
+    ``ttl_seconds`` the age past which an entry is expired — never
+    served and evicted by the next GC pass.  All three are optional;
+    a fully-``None`` limits object is the unbounded pre-lifecycle
+    behaviour.
+    """
+
+    __slots__ = ("max_bytes", "max_entries", "ttl_seconds")
+
+    def __init__(
+        self,
+        max_bytes: Optional[int] = None,
+        max_entries: Optional[int] = None,
+        ttl_seconds: Optional[float] = None,
+    ) -> None:
+        if max_bytes is not None and max_bytes < 1:
+            raise SolverError(f"max_bytes must be >= 1, got {max_bytes}")
+        if max_entries is not None and max_entries < 1:
+            raise SolverError(
+                f"max_entries must be >= 1, got {max_entries}"
+            )
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise SolverError(
+                f"ttl_seconds must be positive, got {ttl_seconds}"
+            )
+        self.max_bytes = max_bytes
+        self.max_entries = max_entries
+        self.ttl_seconds = ttl_seconds
+
+    def enabled(self) -> bool:
+        return (
+            self.max_bytes is not None
+            or self.max_entries is not None
+            or self.ttl_seconds is not None
+        )
+
+    def expired(self, created: Optional[float], now: float) -> bool:
+        """Is an entry created at ``created`` past its TTL at ``now``?
+
+        Legacy entries (no stamp) never expire by TTL — expiring the
+        whole pre-upgrade store on the first pass would be an eviction
+        storm, not aging.  They do sort oldest for LRU purposes.
+        """
+        if self.ttl_seconds is None or not created:
+            return False
+        return now - created > self.ttl_seconds
+
+    def over_caps(self, total_bytes: int, total_entries: int) -> bool:
+        if self.max_bytes is not None and total_bytes > self.max_bytes:
+            return True
+        return (
+            self.max_entries is not None
+            and total_entries > self.max_entries
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "max_bytes": self.max_bytes,
+            "max_entries": self.max_entries,
+            "ttl_seconds": self.ttl_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "StoreLimits":
+        known = {"max_bytes", "max_entries", "ttl_seconds"}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise SolverError(
+                f"store limits have unknown fields {unknown}"
+            )
+        return cls(**{k: payload.get(k) for k in known})
+
+    def __repr__(self) -> str:
+        return (
+            f"StoreLimits(max_bytes={self.max_bytes}, "
+            f"max_entries={self.max_entries}, "
+            f"ttl_seconds={self.ttl_seconds})"
+        )
+
+
 class ShardedDiskTier:
     """Disk storage for :class:`repro.service.cache.ResultCache`.
 
     Implements the pluggable-storage protocol (``load`` / ``get`` /
     ``store`` / ``location``): ``load`` returns nothing so the memory
     tier starts cold and reads through per key, ``get`` fetches one
-    entry from its shard, and ``store`` merges dirty entries into their
-    shards under per-shard locks.
+    entry from its shard (verifying its integrity hash and TTL), and
+    ``store`` merges dirty entries into their shards under per-shard
+    locks, maintains the index, and enforces the store caps.
     """
 
     def __init__(
@@ -86,6 +268,7 @@ class ShardedDiskTier:
         root: Union[str, Path],
         *,
         prefix_len: int = 2,
+        limits: Optional[StoreLimits] = None,
     ) -> None:
         if not 1 <= prefix_len <= 4:
             raise SolverError(
@@ -94,7 +277,18 @@ class ShardedDiskTier:
         self.root = Path(root)
         self.prefix_len = prefix_len
         self.quarantined = 0
-        self._open()
+        self.integrity_failures = 0
+        self.gc_runs = 0
+        self.store_evictions = 0
+        self._touches: Dict[str, float] = {}
+        self._approx_bytes = 0
+        self._approx_entries = 0
+        self._open(limits)
+        if limits is None:
+            limits = self._load_persisted_limits()
+        else:
+            self._persist_limits(limits)
+        self.limits = limits if limits is not None else StoreLimits()
 
     # -- layout --------------------------------------------------------
     @property
@@ -115,8 +309,22 @@ class ShardedDiskTier:
     def _global_lock(self) -> Path:
         return self.root.parent / f"{self.root.name}.open.lock"
 
+    def index_path(self) -> Path:
+        return self.root / INDEX_NAME
+
+    def _index_lock(self) -> Path:
+        return self.root / "cache-index.lock"
+
+    def config_path(self) -> Path:
+        return self.root / CONFIG_NAME
+
+    def journal_path(self) -> Path:
+        from repro.server.store_gc import JOURNAL_NAME
+
+        return self.root / JOURNAL_NAME
+
     # -- open / migrate ------------------------------------------------
-    def _open(self) -> None:
+    def _open(self, limits: Optional[StoreLimits]) -> None:
         # The global lock serializes first-open races: two processes
         # may otherwise both see the single-file layout and fight over
         # the migration.
@@ -125,6 +333,17 @@ class ShardedDiskTier:
             if self.root.is_file() or sidecar.exists():
                 self._migrate_single_file()
             self.root.mkdir(parents=True, exist_ok=True)
+        # A journal left by a GC pass that died mid-flight: finish its
+        # plan before serving, so the store never runs with a cap
+        # half-enforced.  (Resume is idempotent and cheap when the
+        # journal is absent — the common case is one stat call.)
+        from repro.server import store_gc
+
+        store_gc.resume_pending(self)
+        # Bootstrap the index once at open (a full shard scan only when
+        # it is missing or corrupt) so the write path can stay purely
+        # incremental — store() must never pay an all-shards read.
+        self.load_index(verify=False)
 
     def _migrate_single_file(self) -> None:
         """Reshard a legacy single-file cache found at :attr:`root`.
@@ -132,7 +351,9 @@ class ShardedDiskTier:
         The legacy file is renamed aside first and deleted only after
         every shard write landed, so a crash mid-migration leaves
         either the sidecar or the shards — never neither.  (A leftover
-        sidecar from a crashed migration is resumed on the next open.)
+        sidecar from a crashed migration is resumed on the next open;
+        re-merging entries that already landed is idempotent, so a
+        crash *between* shard writes is also safe.)
         """
         path = self.root
         sidecar = path.with_name(path.name + ".migrating")
@@ -156,9 +377,56 @@ class ShardedDiskTier:
         self._merge(entries)
         sidecar.unlink()
 
+    # -- persisted limits ----------------------------------------------
+    def _persist_limits(self, limits: StoreLimits) -> None:
+        """Record explicit limits so ``repro cache gc/stats`` (and any
+        later opener that passes none) enforce the same policy."""
+        atomic_write_json(
+            self.config_path(),
+            {
+                "type": CONFIG_TYPE,
+                "version": CONFIG_FORMAT_VERSION,
+                "limits": limits.as_dict(),
+            },
+            sort_keys=True,
+        )
+
+    def _load_persisted_limits(self) -> Optional[StoreLimits]:
+        path = self.config_path()
+        try:
+            with open(path) as stream:
+                payload = json.load(stream)
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError) as exc:
+            # A torn config is damage like any other: quarantine it and
+            # run unbounded until the next explicit configuration.
+            if quarantine_file(path, f"bad store config: {exc}") is not None:
+                self.quarantined += 1
+            return None
+        if payload.get("type") != CONFIG_TYPE or not isinstance(
+            payload.get("limits"), dict
+        ):
+            if (
+                quarantine_file(path, "not a store config")
+                is not None
+            ):
+                self.quarantined += 1
+            return None
+        try:
+            return StoreLimits.from_dict(payload["limits"])
+        except SolverError:
+            if (
+                quarantine_file(path, "invalid store limits")
+                is not None
+            ):
+                self.quarantined += 1
+            return None
+
     # -- shard IO ------------------------------------------------------
     def _read_shard(self, shard: Path) -> Dict[str, Dict[str, Any]]:
-        """One shard's entries; a corrupt shard is quarantined, not fatal.
+        """One shard's ``{"entries": ..., "meta": ...}``; damage is
+        quarantined, not fatal.
 
         Truncated/torn JSON, a non-shard payload, or a malformed
         ``entries`` field all mean the file is damaged (atomic writes
@@ -167,15 +435,17 @@ class ShardedDiskTier:
         aside via :func:`quarantine_file` and the shard reads cold.  A
         shard from a *newer* format version is healthy data this build
         can't parse: that still raises rather than destroying it.
+        Version-1 shards simply have no ``meta`` map.
         """
+        empty: Dict[str, Dict[str, Any]] = {"entries": {}, "meta": {}}
         try:
             with open(shard) as stream:
                 payload = json.load(stream)
         except FileNotFoundError:
-            return {}
+            return empty
         except json.JSONDecodeError as exc:
             self._quarantine(shard, f"bad JSON: {exc}")
-            return {}
+            return empty
         except OSError as exc:
             raise SolverError(f"cannot load cache shard {shard}: {exc}") from exc
         if not isinstance(payload, dict) or payload.get("type") != SHARD_TYPE:
@@ -183,7 +453,7 @@ class ShardedDiskTier:
                 payload.get("type") if isinstance(payload, dict) else None
             )
             self._quarantine(shard, f"not a cache shard (type={kind!r})")
-            return {}
+            return empty
         if payload.get("version", 0) > SHARD_FORMAT_VERSION:
             raise SolverError(
                 f"cache shard {shard} has version {payload['version']}, "
@@ -194,15 +464,21 @@ class ShardedDiskTier:
             self._quarantine(
                 shard, f"entries is {type(entries).__name__}, not an object"
             )
-            return {}
-        return entries
+            return empty
+        meta = payload.get("meta")
+        if not isinstance(meta, dict):
+            meta = {}
+        return {"entries": entries, "meta": meta}
 
     def _quarantine(self, shard: Path, reason: str) -> None:
         if quarantine_file(shard, reason) is not None:
             self.quarantined += 1
 
     def _write_shard(
-        self, shard: Path, entries: Dict[str, Dict[str, Any]]
+        self,
+        shard: Path,
+        entries: Dict[str, Dict[str, Any]],
+        meta: Dict[str, Dict[str, Any]],
     ) -> None:
         atomic_write_json(
             shard,
@@ -210,6 +486,7 @@ class ShardedDiskTier:
                 "version": SHARD_FORMAT_VERSION,
                 "type": SHARD_TYPE,
                 "entries": entries,
+                "meta": {k: meta[k] for k in entries if k in meta},
             },
         )
         # Chaos seam: truncate what was just written so the next read
@@ -218,15 +495,34 @@ class ShardedDiskTier:
             with open(shard, "w") as stream:
                 stream.write('{"version": 1, "type": "portfolio_')
 
-    def _merge(self, entries: Mapping[str, Dict[str, Any]]) -> None:
+    def _merge(
+        self, entries: Mapping[str, Dict[str, Any]]
+    ) -> Dict[str, Dict[str, Any]]:
+        """Merge fresh entries into their shards; returns their meta.
+
+        Existing entries missing metadata (written by a version-1
+        build) are stamped while the shard is open anyway — rewrites
+        progressively upgrade the store without a migration pass.
+        """
         by_shard: Dict[Path, Dict[str, Dict[str, Any]]] = {}
         for key, payload in entries.items():
             by_shard.setdefault(self.shard_path(key), {})[key] = payload
+        written: Dict[str, Dict[str, Any]] = {}
+        now = wall_now()
         for shard, fresh in sorted(by_shard.items()):
             with locked_file(self._lock_path(shard)):
-                merged = self._read_shard(shard)
-                merged.update(fresh)
-                self._write_shard(shard, merged)
+                data = self._read_shard(shard)
+                merged = data["entries"]
+                meta = data["meta"]
+                for key in merged:
+                    if key not in meta and key not in fresh:
+                        meta[key] = make_entry_meta(merged[key], now=now)
+                for key, payload in fresh.items():
+                    merged[key] = payload
+                    meta[key] = make_entry_meta(payload, now=now)
+                    written[key] = meta[key]
+                self._write_shard(shard, merged, meta)
+        return written
 
     # -- storage protocol ----------------------------------------------
     def load(self) -> Dict[str, Dict[str, Any]]:
@@ -236,20 +532,249 @@ class ShardedDiskTier:
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         shard = self.shard_path(key)
         with locked_file(self._lock_path(shard)):
-            return self._read_shard(shard).get(key)
+            data = self._read_shard(shard)
+            payload = data["entries"].get(key)
+            if payload is None:
+                return None
+            meta = data["meta"].get(key)
+            if meta is not None:
+                if not verify_entry(payload, meta):
+                    self._quarantine_entry(
+                        shard, data, key, "integrity hash mismatch"
+                    )
+                    return None
+                if self.limits.expired(meta.get("c"), ttl_now()):
+                    return None  # past TTL: evictable, never servable
+        # Record the access outside the shard lock; stamps batch into
+        # the index on the next store()/sync_index() instead of costing
+        # a write per read.
+        self._touches[key] = ttl_now()
+        return payload
+
+    def _quarantine_entry(
+        self,
+        shard: Path,
+        data: Dict[str, Dict[str, Any]],
+        key: str,
+        reason: str,
+    ) -> None:
+        """Move one damaged entry aside; the rest of the shard lives on.
+
+        The caller holds the shard lock.  The bad payload (with its
+        claimed metadata) lands in a ``entry-*.corrupt-<ts>`` file for
+        postmortems — same contract as :func:`quarantine_file`, scoped
+        to one entry instead of torching its shard-mates.
+        """
+        payload = data["entries"].pop(key)
+        meta = data["meta"].pop(key, None)
+        quarantine_path = self.root / (
+            f"entry-{key[:16]}.corrupt-{int(wall_now())}.json"
+        )
+        atomic_write_json(
+            quarantine_path,
+            {"key": key, "entry": payload, "meta": meta, "reason": reason},
+            sort_keys=True,
+        )
+        self._write_shard(shard, data["entries"], data["meta"])
+        self.integrity_failures += 1
+        self.quarantined += 1
+        log_key = f"{shard}#{key}"
+        if log_key not in _QUARANTINE_LOGGED:
+            _QUARANTINE_LOGGED.add(log_key)
+            logger.warning(
+                "quarantined corrupt cache entry %s from %s -> %s (%s)",
+                key[:16],
+                shard.name,
+                quarantine_path.name,
+                reason,
+            )
 
     def store(
         self,
         entries: Mapping[str, Dict[str, Any]],
         dirty: Optional[Set[str]] = None,
     ) -> None:
-        """Merge ``entries`` (restricted to ``dirty`` keys) into shards."""
+        """Merge ``entries`` (restricted to ``dirty`` keys) into shards,
+        fold the new metadata + batched access stamps into the index,
+        and enforce the store caps (which may trigger a GC pass)."""
         if dirty is not None:
             entries = {
                 key: entries[key] for key in dirty if key in entries
             }
+        written: Dict[str, Dict[str, Any]] = {}
         if entries:
-            self._merge(entries)
+            written = self._merge(entries)
+        if written or self._touches:
+            self._update_index(written)
+        if self.limits.enabled() and self.limits.over_caps(
+            self._approx_bytes, self._approx_entries
+        ):
+            from repro.server.store_gc import run_gc
+
+            # Non-blocking: if another process is already collecting,
+            # its pass will bring the store under cap.
+            run_gc(self, block=False)
+
+    def sync_index(self) -> None:
+        """Flush batched access stamps into the index (used at close)."""
+        if self._touches:
+            self._update_index({})
+
+    # -- index ---------------------------------------------------------
+    def _read_index(self) -> Optional[Dict[str, Any]]:
+        """The raw index payload, or ``None`` when missing or damaged
+        (damage is quarantined; the caller rebuilds from shards)."""
+        path = self.index_path()
+        try:
+            with open(path) as stream:
+                payload = json.load(stream)
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError) as exc:
+            if quarantine_file(path, f"bad index: {exc}") is not None:
+                self.quarantined += 1
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("type") != INDEX_TYPE
+            or not isinstance(payload.get("entries"), dict)
+        ):
+            if quarantine_file(path, "not a cache index") is not None:
+                self.quarantined += 1
+            return None
+        if payload.get("version", 0) > INDEX_FORMAT_VERSION:
+            # Unlike shards, the index holds no unique data — a newer
+            # index is simply ignored and rebuilt in this format.
+            return None
+        return payload
+
+    def _write_index(self, payload: Dict[str, Any]) -> None:
+        atomic_write_json(self.index_path(), payload, sort_keys=True)
+        # Chaos seam: truncate the index just written — the next reader
+        # must fall back to rebuilding from the shards (one-shot).
+        if faults.should_corrupt_index_write():
+            with open(self.index_path(), "w") as stream:
+                stream.write('{"version": 1, "type": "portfolio_cache_ind')
+
+    def _shard_stamps(self) -> Dict[str, Tuple[int, int]]:
+        """``{shard filename: (size, mtime_ns)}`` for staleness checks."""
+        stamps: Dict[str, Tuple[int, int]] = {}
+        for shard in sorted(self.root.glob("shard-*.json")):
+            try:
+                stat = shard.stat()
+            except OSError:
+                continue
+            stamps[shard.name] = (stat.st_size, stat.st_mtime_ns)
+        return stamps
+
+    def _index_totals(self, payload: Dict[str, Any]) -> Tuple[int, int]:
+        entries = payload.get("entries", {})
+        total = 0
+        for meta in entries.values():
+            if isinstance(meta, dict):
+                total += int(meta.get("b", 0) or 0)
+        return total, len(entries)
+
+    def _update_index(self, written: Dict[str, Dict[str, Any]]) -> None:
+        """Fold fresh meta + batched touches into the on-disk index."""
+        touches, self._touches = self._touches, {}
+        with locked_file(self._index_lock()):
+            payload = self._read_index()
+            if payload is None:
+                payload = self._scan_for_index()
+            index_entries = payload["entries"]
+            for key, meta in written.items():
+                index_entries[key] = {
+                    "b": meta["b"],
+                    "c": meta["c"],
+                    "a": meta["a"],
+                    "v": meta.get("v"),
+                }
+            for key, stamp in touches.items():
+                slot = index_entries.get(key)
+                if slot is not None:
+                    slot["a"] = max(slot.get("a", 0) or 0, stamp)
+            payload["shards"] = {
+                name: list(stamp)
+                for name, stamp in self._shard_stamps().items()
+            }
+            self._write_index(payload)
+            self._approx_bytes, self._approx_entries = self._index_totals(
+                payload
+            )
+
+    def _scan_for_index(self) -> Dict[str, Any]:
+        """Authoritative index payload built by reading every shard."""
+        entries: Dict[str, Dict[str, Any]] = {}
+        for shard in sorted(self.root.glob("shard-*.json")):
+            with locked_file(self._lock_path(shard)):
+                data = self._read_shard(shard)
+            for key, payload in data["entries"].items():
+                meta = data["meta"].get(key)
+                if meta is None:
+                    meta = {
+                        "b": len(canonical_payload_bytes(payload)),
+                        "c": 0,
+                        "a": 0,
+                        "v": None,
+                    }
+                entries[key] = {
+                    "b": meta.get("b", 0),
+                    "c": meta.get("c", 0),
+                    "a": meta.get("a", 0),
+                    "v": meta.get("v"),
+                }
+        return {
+            "type": INDEX_TYPE,
+            "version": INDEX_FORMAT_VERSION,
+            "entries": entries,
+            "shards": {},
+        }
+
+    def rebuild_index(self) -> Dict[str, Any]:
+        """Rebuild the index from the shards (the recovery fallback)."""
+        with locked_file(self._index_lock()):
+            payload = self._scan_for_index()
+            payload["shards"] = {
+                name: list(stamp)
+                for name, stamp in self._shard_stamps().items()
+            }
+            self._write_index(payload)
+            self._approx_bytes, self._approx_entries = self._index_totals(
+                payload
+            )
+        return payload
+
+    def load_index(self, *, verify: bool = False) -> Dict[str, Any]:
+        """The index payload, rebuilt from shards when missing, corrupt,
+        or (with ``verify=True``) stale against the shard files.
+
+        Staleness means a writer crashed between its shard write and
+        its index update, or a foreign process wrote shards without
+        maintaining the index — either way the shards win.
+        """
+        with locked_file(self._index_lock()):
+            payload = self._read_index()
+        if payload is None:
+            return self.rebuild_index()
+        if verify:
+            recorded = {
+                name: tuple(stamp)
+                for name, stamp in payload.get("shards", {}).items()
+            }
+            if recorded != self._shard_stamps():
+                return self.rebuild_index()
+        self._approx_bytes, self._approx_entries = self._index_totals(
+            payload
+        )
+        return payload
+
+    def bytes_used(self) -> int:
+        """Approximate store payload bytes (index-backed)."""
+        return self._approx_bytes
+
+    def entry_count(self) -> int:
+        return self._approx_entries
 
     # -- introspection -------------------------------------------------
     def keys(self) -> Set[str]:
@@ -257,7 +782,7 @@ class ShardedDiskTier:
         found: Set[str] = set()
         for shard in sorted(self.root.glob("shard-*.json")):
             with locked_file(self._lock_path(shard)):
-                found.update(self._read_shard(shard))
+                found.update(self._read_shard(shard)["entries"])
         return found
 
     def __len__(self) -> int:
@@ -266,5 +791,5 @@ class ShardedDiskTier:
     def __repr__(self) -> str:
         return (
             f"ShardedDiskTier({str(self.root)!r}, "
-            f"prefix_len={self.prefix_len})"
+            f"prefix_len={self.prefix_len}, limits={self.limits})"
         )

@@ -66,6 +66,14 @@ class CacheStats:
     """Hits served by the storage tier (subset of ``hits``)."""
     quarantines: int = 0
     """Corrupt disk files moved aside (see ``server/shards.py``)."""
+    store_evictions: int = 0
+    """Entries the disk tier's GC removed (TTL expiry or cap pressure)."""
+    gc_runs: int = 0
+    """GC/compaction passes this tier has run (see ``server/store_gc.py``)."""
+    integrity_failures: int = 0
+    """Entries whose stored content hash no longer matched on read."""
+    bytes_used: int = 0
+    """Approximate payload bytes on disk (index-backed; sharded tier only)."""
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -74,6 +82,10 @@ class CacheStats:
             "evictions": self.evictions,
             "disk_hits": self.disk_hits,
             "quarantines": self.quarantines,
+            "store_evictions": self.store_evictions,
+            "gc_runs": self.gc_runs,
+            "integrity_failures": self.integrity_failures,
+            "bytes_used": self.bytes_used,
         }
 
 
@@ -207,11 +219,25 @@ class ResultCache:
             self._sync_quarantines()
 
     def _sync_quarantines(self) -> None:
-        """Mirror the storage tier's quarantine count into the stats."""
-        if self.storage is not None:
-            self.stats.quarantines = getattr(
-                self.storage, "quarantined", 0
-            )
+        """Mirror the storage tier's lifecycle counters into the stats."""
+        storage = self.storage
+        if storage is None:
+            return
+        self.stats.quarantines = getattr(storage, "quarantined", 0)
+        self.stats.store_evictions = getattr(storage, "store_evictions", 0)
+        self.stats.gc_runs = getattr(storage, "gc_runs", 0)
+        self.stats.integrity_failures = getattr(
+            storage, "integrity_failures", 0
+        )
+        bytes_used = getattr(storage, "bytes_used", None)
+        if callable(bytes_used):
+            self.stats.bytes_used = bytes_used()
+
+    def refresh_stats(self) -> CacheStats:
+        """Stats with the storage tier's counters folded in (metrics
+        endpoints call this rather than reading ``stats`` raw)."""
+        self._sync_quarantines()
+        return self.stats
 
     @classmethod
     def sharded(
@@ -220,17 +246,37 @@ class ResultCache:
         *,
         capacity: int = 1024,
         prefix_len: int = 2,
+        max_bytes: Optional[int] = None,
+        max_entries: Optional[int] = None,
+        ttl_seconds: Optional[float] = None,
     ) -> "ResultCache":
         """A cache over the concurrent-safe sharded disk tier.
 
         ``root`` may name an existing single-file JSON cache, which is
-        migrated into a shard directory on first open.
+        migrated into a shard directory on first open.  Any of the cap
+        arguments makes the store *bounded*: the limits persist in the
+        store directory, and the write path triggers the journaled GC
+        (``repro.server.store_gc``) whenever they are exceeded.  With
+        none given, limits previously persisted for the store apply.
         """
-        from repro.server.shards import ShardedDiskTier
+        from repro.server.shards import ShardedDiskTier, StoreLimits
 
+        limits = None
+        if (
+            max_bytes is not None
+            or max_entries is not None
+            or ttl_seconds is not None
+        ):
+            limits = StoreLimits(
+                max_bytes=max_bytes,
+                max_entries=max_entries,
+                ttl_seconds=ttl_seconds,
+            )
         return cls(
             capacity,
-            storage=ShardedDiskTier(root, prefix_len=prefix_len),
+            storage=ShardedDiskTier(
+                root, prefix_len=prefix_len, limits=limits
+            ),
         )
 
     @property

@@ -63,6 +63,16 @@ class FaultPlan:
     also exercises repeated client retries).  ``delay_seconds`` sleeps
     at every :func:`delay` seam — or only at ``delay_site`` when set —
     stretching windows that races and timeouts hide in.
+
+    The cache-store lifecycle seams: ``crash_gc_at`` names a GC journal
+    state (``planned`` / ``mid-sweep`` / ``committed``) at which the GC
+    pass dies abruptly via ``os._exit`` — indistinguishable from
+    ``kill -9`` as far as on-disk state goes, so it fires in whatever
+    process runs GC (chaos tests arm it only in subprocesses via
+    ``REPRO_FAULTS``).  ``corrupt_index_on_write`` truncates the next
+    cache-index write (one-shot), and ``ttl_skew_seconds`` shifts the
+    wall clock the TTL math sees, simulating NTP jumps between the
+    writer that stamped an entry and the GC judging its age.
     """
 
     kill_worker_on_case: Optional[Union[int, str]] = None
@@ -70,6 +80,9 @@ class FaultPlan:
     drop_connection_after_events: Optional[int] = None
     delay_seconds: float = 0.0
     delay_site: Optional[str] = None
+    crash_gc_at: Optional[str] = None
+    corrupt_index_on_write: bool = False
+    ttl_skew_seconds: float = 0.0
 
     def enabled(self) -> bool:
         return (
@@ -77,6 +90,9 @@ class FaultPlan:
             or self.corrupt_shard_on_write
             or self.drop_connection_after_events is not None
             or self.delay_seconds > 0.0
+            or self.crash_gc_at is not None
+            or self.corrupt_index_on_write
+            or self.ttl_skew_seconds != 0.0
         )
 
     def as_dict(self) -> Dict[str, Any]:
@@ -217,6 +233,38 @@ def should_corrupt_shard_write() -> bool:
         return False
     disarm("corrupt_shard_on_write")
     return True
+
+
+def maybe_crash_gc(state: str) -> None:
+    """Die abruptly when the GC pass reaches the named journal state.
+
+    ``os._exit`` skips every ``finally`` and ``atexit`` — the on-disk
+    state is exactly what a SIGKILL at that instant would leave.  This
+    fires in the *calling* process (GC usually runs in a dedicated
+    ``python -m repro cache gc`` invocation), so chaos tests arm it via
+    the ``REPRO_FAULTS`` env of a subprocess, never in-process.
+    """
+    plan = active()
+    if plan is None or plan.crash_gc_at != state:
+        return
+    os._exit(WORKER_KILL_EXIT_CODE)
+
+
+def should_corrupt_index_write() -> bool:
+    """One-shot: corrupt the next cache-index write, then disarm."""
+    plan = active()
+    if plan is None or not plan.corrupt_index_on_write:
+        return False
+    disarm("corrupt_index_on_write")
+    return True
+
+
+def ttl_clock_skew() -> float:
+    """Seconds to shift the wall clock the TTL/eviction math reads."""
+    plan = active()
+    if plan is None:
+        return 0.0
+    return plan.ttl_skew_seconds
 
 
 def should_drop_connection(events_sent: int) -> bool:

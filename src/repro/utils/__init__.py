@@ -1,4 +1,4 @@
-"""Shared utilities: bit operations, RNG handling, timing, table rendering."""
+"""Shared utilities: bit operations, RNG handling, clocks, timing, tables."""
 
 from repro.utils.bitops import (
     bit_indices,
@@ -9,22 +9,27 @@ from repro.utils.bitops import (
     mask_to_tuple,
     popcount,
 )
+from repro.utils.clock import Clock, FixedClock, installed, wall_now
 from repro.utils.rng import ensure_rng, spawn_seeds
 from repro.utils.tables import format_percent, format_table
 from repro.utils.timing import Deadline, Stopwatch
 
 __all__ = [
+    "Clock",
     "Deadline",
+    "FixedClock",
     "Stopwatch",
     "bit_indices",
     "bits_from_indices",
     "ensure_rng",
     "format_percent",
     "format_table",
+    "installed",
     "is_subset",
     "iter_submasks",
     "lowest_set_bit",
     "mask_to_tuple",
     "popcount",
     "spawn_seeds",
+    "wall_now",
 ]

@@ -1,0 +1,81 @@
+"""Injectable wall-clock source for timestamp-bearing artifacts.
+
+Most of the repo is forbidden wall-clock reads outright (lint rule
+REP002): budget and benchmark math must use monotonic clocks.  But a
+few artifacts legitimately need a *calendar* stamp — quarantine file
+names, cache-entry creation/access times, TTL expiry — and hard-coding
+``time.time()`` at those sites makes them untestable (a TTL test would
+have to sleep) and unfixable under clock skew.
+
+This module is the one sanctioned wall-clock door.  Production code
+calls :func:`wall_now`; tests (and the clock-skew fault seam) swap the
+source with :func:`installed` / :class:`FixedClock` instead of
+monkeypatching ``time`` or sleeping through TTL windows.
+
+``utils/`` is deliberately outside REP002's scope, so the single
+``time.time()`` read below is the only one the lint baseline has to
+know about — which is to say, none: the baseline is empty.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class Clock:
+    """Wall-clock protocol: ``now()`` returns seconds since the epoch."""
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+
+class SystemClock(Clock):
+    """The real wall clock."""
+
+    def now(self) -> float:
+        return time.time()
+
+
+class FixedClock(Clock):
+    """A settable clock for tests: frozen until ``advance``/``set``."""
+
+    def __init__(self, start: float = 1_700_000_000.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def set(self, value: float) -> None:
+        self._now = float(value)
+
+    def advance(self, seconds: float) -> float:
+        self._now += seconds
+        return self._now
+
+
+_ACTIVE: Clock = SystemClock()
+
+
+def wall_now() -> float:
+    """The current wall-clock time from the installed source."""
+    return _ACTIVE.now()
+
+
+def install_clock(clock: Clock) -> Clock:
+    """Swap the process-wide clock source; returns the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = clock
+    return previous
+
+
+@contextmanager
+def installed(clock: Clock) -> Iterator[Clock]:
+    """Install ``clock`` for the block, restoring the previous source."""
+    previous = install_clock(clock)
+    try:
+        yield clock
+    finally:
+        install_clock(previous)

@@ -41,6 +41,32 @@ def locked_file(lock_path: Path) -> Iterator[None]:
                 fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
 
 
+@contextmanager
+def try_locked_file(lock_path: Path) -> Iterator[bool]:
+    """Non-blocking variant of :func:`locked_file`.
+
+    Yields ``True`` with the lock held, or ``False`` immediately if
+    another process holds it — callers that merely *want* a maintenance
+    pass (cap-triggered GC) skip instead of queueing behind the pass
+    already running.  Without ``fcntl`` this degrades to "always
+    acquired", matching :func:`locked_file`.
+    """
+    lock_path.parent.mkdir(parents=True, exist_ok=True)
+    with open(lock_path, "a+") as handle:
+        if fcntl is None:
+            yield True
+            return
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            yield False
+            return
+        try:
+            yield True
+        finally:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+
 def atomic_write_json(
     path: Path, payload: Any, *, sort_keys: bool = False
 ) -> None:

@@ -49,10 +49,11 @@ def test_baseline_is_not_stale():
         "run `python -m repro lint --update-baseline`: "
         f"{stale}"
     )
-    # The baseline is a debt ledger, not a dumping ground: it should
-    # only ever hold the deliberate exceptions documented in
-    # docs/static-analysis.md.  Growing it needs a written reason.
-    assert len(grandfathered) <= 1
+    # The baseline is a debt ledger, not a dumping ground — and as of
+    # the injectable-clock work (repro.utils.clock) the ledger is paid
+    # off.  New debt needs a written reason in docs/static-analysis.md,
+    # and this assertion loosened on purpose in the same PR.
+    assert len(grandfathered) == 0
 
 
 def test_every_fault_seam_has_chaos_coverage():

@@ -608,6 +608,107 @@ class TestRep008SeamCoverage:
         assert lint(root, rules="REP008").findings == []
 
 
+class TestRep009StoreArtifactWrites:
+    def test_journal_write_outside_helpers_flagged(self, make_project, lint):
+        root = make_project(
+            {
+                "src/repro/server/foo.py": """
+                from repro.utils.fileio import atomic_write_json
+
+                def checkpoint(tier, payload):
+                    atomic_write_json(tier.journal_path(), payload)
+                """
+            }
+        )
+        report = lint(root, rules="REP009")
+        assert rule_ids(report) == ["REP009"]
+        assert "journal_path" in report.findings[0].message
+
+    def test_raw_index_open_for_write_flagged(self, make_project, lint):
+        root = make_project(
+            {
+                "src/repro/service/foo.py": """
+                def stamp(root):
+                    with open(root / "cache-index.json", "w") as stream:
+                        stream.write("{}")
+                """
+            }
+        )
+        report = lint(root, rules="REP009")
+        assert rule_ids(report) == ["REP009"]
+
+    def test_write_text_on_store_config_flagged(self, make_project, lint):
+        root = make_project(
+            {
+                "src/repro/server/foo.py": """
+                def configure(root):
+                    (root / "store-config.json").write_text("{}")
+                """
+            }
+        )
+        report = lint(root, rules="REP009")
+        assert rule_ids(report) == ["REP009"]
+
+    def test_allowlisted_helpers_pass(self, make_project, lint):
+        root = make_project(
+            {
+                "src/repro/server/store_gc.py": """
+                from repro.utils.fileio import atomic_write_json
+
+                def _write_journal(tier, payload):
+                    atomic_write_json(tier.journal_path(), payload)
+                """,
+                "src/repro/server/shards.py": """
+                from repro.utils.fileio import atomic_write_json
+
+                def _write_index(self, payload):
+                    atomic_write_json(self.index_path(), payload)
+
+                def _persist_limits(self, limits):
+                    atomic_write_json(self.config_path(), limits)
+                """,
+            }
+        )
+        assert lint(root, rules="REP009").findings == []
+
+    def test_same_function_name_elsewhere_still_flagged(
+        self, make_project, lint
+    ):
+        # The allowlist is (module, function) pairs, not bare names.
+        root = make_project(
+            {
+                "src/repro/service/foo.py": """
+                from repro.utils.fileio import atomic_write_json
+
+                def _write_journal(tier, payload):
+                    atomic_write_json(tier.journal_path(), payload)
+                """
+            }
+        )
+        report = lint(root, rules="REP009")
+        assert rule_ids(report) == ["REP009"]
+
+    def test_reads_and_unrelated_writes_ok(self, make_project, lint):
+        root = make_project(
+            {
+                "src/repro/server/foo.py": """
+                from repro.utils.fileio import atomic_write_json
+
+                def read_journal(tier):
+                    with open(tier.journal_path()) as stream:
+                        return stream.read()
+
+                def write_report(path, payload):
+                    atomic_write_json(path, payload)
+
+                def write_notes(root):
+                    (root / "notes.txt").write_text("hi")
+                """
+            }
+        )
+        assert lint(root, rules="REP009").findings == []
+
+
 class TestParseErrors:
     def test_syntax_error_reported_as_rep000(self, make_project, lint):
         root = make_project(

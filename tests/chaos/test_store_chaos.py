@@ -1,0 +1,259 @@
+"""Cache-store lifecycle under fire: GC killed at every journal state.
+
+The bounded store's contract (docs/cache-lifecycle.md): a SIGKILL at
+any instant during GC/compaction loses *zero servable entries* — every
+key ever written is afterwards either still servable (byte-identical)
+or recorded in the journal's eviction plan — and the configured caps
+hold once the interrupted pass is resumed.  These tests kill a real
+``python -m repro cache gc`` subprocess at each journal state via the
+``crash_gc_at`` fault seam (``os._exit`` — same on-disk state as
+``kill -9``), then let the auto-resume path finish the pass.
+
+Also covered here: the ``corrupt_index_on_write`` seam (a torn index
+must fall back to rebuild-from-shards, never serve wrong answers) and
+``ttl_skew_seconds`` (a clock-skewed reader treats entries as expired
+without destroying the stamps on disk).
+"""
+
+import hashlib
+import json
+import multiprocessing
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.server import store_gc
+from repro.server.shards import ShardedDiskTier, StoreLimits
+from repro.service import faults
+from repro.utils.clock import FixedClock, installed
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _key(i: int) -> str:
+    return hashlib.sha256(f"entry-{i}".encode()).hexdigest()
+
+
+def _payload(i: int, filler: int = 100) -> dict:
+    return {"depth": i, "case": f"entry-{i}", "filler": "x" * filler}
+
+
+def _write_range(root: str, start: int, count: int) -> None:
+    """Writer-process body: merge ``count`` entries into the store."""
+    tier = ShardedDiskTier(root)
+    tier.store(
+        {_key(i): _payload(i) for i in range(start, start + count)}
+    )
+
+
+def _run_cli(*args: str, env_extra=None) -> subprocess.CompletedProcess:
+    import os
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env.pop(faults.FAULTS_ENV, None)
+    if env_extra:
+        env.update(env_extra)
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "cache", *args],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+
+
+def _fill_concurrently(root: Path, total: int = 100, writers: int = 4):
+    """Populate the store from several concurrent writer processes."""
+    ctx = multiprocessing.get_context("fork")
+    per = total // writers
+    procs = [
+        ctx.Process(target=_write_range, args=(str(root), w * per, per))
+        for w in range(writers)
+    ]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join(timeout=60)
+        assert proc.exitcode == 0
+    return {_key(i) for i in range(total)}
+
+
+class TestGcKilledAtEveryJournalState:
+    # crash seam -> journal state the crash must leave on disk
+    STATES = [
+        ("planned", store_gc.STATE_PLANNED),
+        ("mid-sweep", store_gc.STATE_SWEEPING),
+        ("committed", store_gc.STATE_COMMITTED),
+    ]
+
+    def test_no_servable_entry_lost_and_caps_hold(self, tmp_path):
+        root = tmp_path / "store"
+        written = _fill_concurrently(root, total=100)
+        evicted: set = set()
+        # Tightening entry caps so every round has fresh evictions to
+        # plan — a pass with an empty plan never reaches mid-sweep.
+        for (seam_state, journal_state), cap in zip(self.STATES, (60, 35, 15)):
+            plan = faults.FaultPlan(crash_gc_at=seam_state)
+            proc = _run_cli(
+                "gc", str(root), "--max-entries", str(cap),
+                env_extra={
+                    faults.FAULTS_ENV: json.dumps(plan.as_dict())
+                },
+            )
+            assert proc.returncode == faults.WORKER_KILL_EXIT_CODE, (
+                proc.stdout + proc.stderr
+            )
+            journal = json.loads((root / store_gc.JOURNAL_NAME).read_text())
+            assert journal["state"] == journal_state
+            evicted.update(journal["evict"])
+
+            # The acceptance probe: the store must be openable and
+            # servable with the crash debris still on disk — opening
+            # resumes and finishes the interrupted pass.
+            probe = _run_cli("stats", str(root))
+            assert probe.returncode == 0, probe.stdout + probe.stderr
+            assert not (root / store_gc.JOURNAL_NAME).exists()
+
+            tier = ShardedDiskTier(root)
+            assert tier.entry_count() <= cap
+            survivors = tier.keys()
+            # Zero lost servable entries: everything ever written is
+            # accounted for — still present, or in an eviction plan.
+            assert survivors | evicted == written
+            assert survivors.isdisjoint(evicted)
+
+        # Survivors are byte-identical, integrity checks and all.
+        tier = ShardedDiskTier(root)
+        for key in sorted(tier.keys())[:5]:
+            i = int(
+                next(
+                    n for n in range(100) if _key(n) == key
+                )
+            )
+            assert tier.get(key) == _payload(i)
+
+    def test_resume_is_idempotent(self, tmp_path):
+        # Re-entering a journal that was already fully executed (crash
+        # after commit) must be a no-op, not a second eviction pass.
+        root = tmp_path / "store"
+        tier = ShardedDiskTier(root)
+        tier.store({_key(i): _payload(i) for i in range(20)})
+        plan = faults.FaultPlan(crash_gc_at="committed")
+        proc = _run_cli(
+            "gc", str(root), "--max-entries", "10",
+            env_extra={faults.FAULTS_ENV: json.dumps(plan.as_dict())},
+        )
+        assert proc.returncode == faults.WORKER_KILL_EXIT_CODE
+        before = ShardedDiskTier(root).keys()  # resumes on open
+        after = ShardedDiskTier(root).keys()  # journal gone: no-op
+        assert before == after
+        assert len(after) == 10
+
+
+class TestSustainedWritesNeverExceedCap:
+    def test_single_writer_cap_holds_after_every_flush(self, tmp_path):
+        cap = 4000
+        tier = ShardedDiskTier(
+            tmp_path / "store", limits=StoreLimits(max_bytes=cap)
+        )
+        for i in range(60):
+            tier.store({_key(i): _payload(i)})
+            # The write path GC-collects synchronously when it pushes
+            # the store over cap, so the bound holds *continuously*,
+            # not just at the end of the run.
+            assert tier.bytes_used() <= cap
+        assert tier.gc_runs > 0
+        assert tier.store_evictions > 0
+        survivors = tier.keys()
+        assert 0 < len(survivors) < 60
+        for key in survivors:
+            i = next(n for n in range(60) if _key(n) == key)
+            assert tier.get(key) == _payload(i)
+
+    def test_concurrent_writers_settle_under_cap(self, tmp_path):
+        root = tmp_path / "store"
+        cap = 4000
+        # Persist the cap first so every writer process enforces it.
+        ShardedDiskTier(root, limits=StoreLimits(max_bytes=cap))
+        written = _fill_concurrently(root, total=80, writers=4)
+        tier = ShardedDiskTier(root)
+        report = store_gc.run_gc(tier, block=True)
+        assert report.ran
+        assert tier.bytes_used() <= cap
+        survivors = tier.keys()
+        assert survivors <= written
+        probe = _run_cli("stats", str(root))
+        assert probe.returncode == 0, probe.stdout + probe.stderr
+
+
+class TestCorruptIndexOnWrite:
+    def test_reader_rebuilds_index_from_shards(self, tmp_path):
+        root = tmp_path / "store"
+        tier = ShardedDiskTier(root)
+        tier.store({_key(i): _payload(i) for i in range(6)})
+        with faults.injected(
+            faults.FaultPlan(corrupt_index_on_write=True)
+        ):
+            tier.store({_key(6): _payload(6)})  # seam truncates the index
+
+        reopened = ShardedDiskTier(root)  # quarantines + rebuilds at open
+        assert reopened.quarantined >= 1
+        assert list(root.glob("cache-index.json.corrupt-*"))
+        assert reopened.entry_count() == 7
+        for i in range(7):
+            assert reopened.get(_key(i)) == _payload(i)
+
+    def test_seam_is_one_shot(self, tmp_path):
+        root = tmp_path / "store"
+        with faults.injected(
+            faults.FaultPlan(corrupt_index_on_write=True)
+        ):
+            tier = ShardedDiskTier(root)
+            tier.store({_key(0): _payload(0)})  # consumes the fault
+            tier.store({_key(1): _payload(1)})  # must write cleanly
+        fresh = ShardedDiskTier(root)
+        assert fresh.entry_count() == 2
+
+
+class TestTtlClockSkew:
+    def test_ttl_skew_seconds_expires_reads_and_gc(self, tmp_path):
+        clock = FixedClock(1_000_000.0)
+        with installed(clock):
+            tier = ShardedDiskTier(
+                tmp_path / "store",
+                limits=StoreLimits(ttl_seconds=100.0),
+            )
+            key = _key(0)
+            tier.store({key: _payload(0)})
+            assert tier.get(key) == _payload(0)  # age 0: servable
+
+            # An NTP jump on the reading host: the entry's stamps are
+            # untouched, but the skewed clock judges it past TTL.
+            with faults.injected(
+                faults.FaultPlan(ttl_skew_seconds=200.0)
+            ):
+                assert tier.get(key) is None
+                report = store_gc.run_gc(tier)
+                assert key in report.expired_keys
+                assert key in report.evicted_keys
+
+            # Post-GC the entry is gone for real, skew or not.
+            assert tier.get(key) is None
+            assert tier.entry_count() == 0
+
+    def test_no_skew_no_expiry(self, tmp_path):
+        clock = FixedClock(1_000_000.0)
+        with installed(clock):
+            tier = ShardedDiskTier(
+                tmp_path / "store",
+                limits=StoreLimits(ttl_seconds=100.0),
+            )
+            key = _key(0)
+            tier.store({key: _payload(0)})
+            clock.advance(99.0)  # inside TTL
+            assert tier.get(key) == _payload(0)
+            report = store_gc.run_gc(tier)
+            assert report.evicted_keys == []
+            clock.advance(2.0)  # now past TTL
+            assert tier.get(key) is None

@@ -1,0 +1,146 @@
+"""``python -m repro cache {stats|gc|prewarm}`` — the operational CLI.
+
+Driven in-process through ``repro.cli.main`` (fast, and exit codes are
+asserted directly); the chaos suite exercises the same commands as real
+subprocesses under fault injection.
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.server.shards import ShardedDiskTier, StoreLimits
+
+pytestmark = pytest.mark.cache
+
+
+def _key(tag: str) -> str:
+    return hashlib.sha256(tag.encode()).hexdigest()
+
+
+def _fill(root, count: int, filler: int = 50) -> None:
+    tier = ShardedDiskTier(root)
+    tier.store(
+        {
+            _key(f"cli-{i}"): {"tag": f"cli-{i}", "filler": "x" * filler}
+            for i in range(count)
+        }
+    )
+
+
+class TestCacheStats:
+    def test_empty_store_exits_zero(self, tmp_path, capsys):
+        assert main(["cache", "stats", str(tmp_path / "store")]) == 0
+        out = capsys.readouterr().out
+        assert "cache store" in out
+
+    def test_json_inventory(self, tmp_path, capsys):
+        root = tmp_path / "store"
+        _fill(root, 5)
+        assert main(["cache", "stats", str(root), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entries"] == 5
+        assert payload["bytes_used"] > 0
+        assert payload["gc_journal_pending"] is False
+        assert payload["legacy_entries"] == 0
+
+    def test_pending_journal_noted(self, tmp_path, capsys):
+        root = tmp_path / "store"
+        _fill(root, 2)
+        # stats must not *resume* pending work it can see is live: a
+        # journal dropped after open is reported, not swallowed.
+        from repro.server import store_gc
+
+        tier = ShardedDiskTier(root)
+        store_gc._write_journal(
+            tier,
+            {
+                "type": store_gc.JOURNAL_TYPE,
+                "version": store_gc.JOURNAL_FORMAT_VERSION,
+                "state": store_gc.STATE_COMMITTED,
+                "evict": {},
+                "planned_at": 0.0,
+            },
+        )
+        assert main(["cache", "stats", str(root)]) == 0
+        # (opening inside the command resumed the committed journal)
+        assert not tier.journal_path().exists()
+
+
+class TestCacheGc:
+    def test_gc_enforces_and_persists_limits(self, tmp_path, capsys):
+        root = tmp_path / "store"
+        _fill(root, 20)
+        assert (
+            main(["cache", "gc", str(root), "--max-entries", "5"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "evicted" in out
+        assert ShardedDiskTier(root).entry_count() == 5
+        # The cap stuck: later opens enforce it with no flags.
+        assert ShardedDiskTier(root).limits.max_entries == 5
+
+    def test_gc_json_report(self, tmp_path, capsys):
+        root = tmp_path / "store"
+        _fill(root, 8)
+        assert (
+            main(
+                ["cache", "gc", str(root), "--max-entries", "3", "--json"]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["evicted"] == 5
+        assert payload["entries_after"] == 3
+        assert payload["limits"]["max_entries"] == 3
+
+    def test_oversized_entry_is_evicted_not_tolerated(self, tmp_path, capsys):
+        root = tmp_path / "store"
+        tier = ShardedDiskTier(root)
+        big = {"tag": "big", "filler": "x" * 500}
+        tier.store({_key("big"): big})
+        # A cap smaller than any single entry still holds: the cap is
+        # the contract, so the store empties rather than stay over it.
+        ShardedDiskTier(root, limits=StoreLimits(max_bytes=10))
+        rc = main(["cache", "gc", str(root)])
+        capsys.readouterr()
+        assert rc == 0
+        assert ShardedDiskTier(root).entry_count() == 0
+
+
+class TestCachePrewarm:
+    def test_prewarm_populates_store(self, tmp_path, capsys):
+        root = tmp_path / "store"
+        rc = main(
+            [
+                "cache",
+                "prewarm",
+                str(root),
+                "--profile",
+                "smoke",
+                "--families",
+                "paper",
+                "--members",
+                "trivial",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "prewarmed" in out
+        tier = ShardedDiskTier(root)
+        assert tier.entry_count() > 0
+
+    def test_prewarm_is_idempotent_via_cache_hits(self, tmp_path, capsys):
+        root = tmp_path / "store"
+        args = [
+            "cache", "prewarm", str(root),
+            "--profile", "smoke", "--families", "paper",
+            "--members", "trivial",
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "0 solved fresh" in out

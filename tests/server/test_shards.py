@@ -167,6 +167,65 @@ class TestMigration:
         assert hit is not None
         assert hit.depth == result.depth
 
+    @staticmethod
+    def _legacy_file(path, tags):
+        path.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "type": "portfolio_cache",
+                    "entries": {
+                        _key(tag): _payload(tag) for tag in tags
+                    },
+                }
+            )
+        )
+
+    def test_crash_mid_migration_with_partial_shards(self, tmp_path):
+        """A crash *between shard writes* leaves the sidecar plus some
+        already-resharded entries; resume must finish without losing or
+        duplicating either group."""
+        tags = ["mig-a", "mig-b", "mig-c", "mig-d"]
+        # A completed migration elsewhere donates one genuine shard
+        # file, reproducing the exact on-disk shape of an interrupted
+        # _merge loop.
+        donor = tmp_path / "donor.json"
+        self._legacy_file(donor, tags)
+        ShardedDiskTier(donor)
+        donor_shards = sorted(donor.glob("shard-*.json"))
+        assert donor_shards
+
+        path = tmp_path / "cache.json"
+        self._legacy_file(path, tags)
+        path.rename(tmp_path / "cache.json.migrating")
+        path.mkdir()
+        partial = donor_shards[0]
+        (path / partial.name).write_bytes(partial.read_bytes())
+
+        tier = ShardedDiskTier(path)
+        assert not (tmp_path / "cache.json.migrating").exists()
+        assert tier.keys() == {_key(tag) for tag in tags}
+        for tag in tags:
+            assert tier.get(_key(tag)) == _payload(tag)
+
+    def test_migration_reentry_is_idempotent(self, tmp_path):
+        """Re-running a migration over fully-migrated shards (a crash
+        after the last shard write but before the sidecar unlink) is a
+        no-op merge, not a second copy."""
+        tags = ["rep-a", "rep-b", "rep-c"]
+        path = tmp_path / "cache.json"
+        self._legacy_file(path, tags)
+        sidecar_bytes = path.read_bytes()
+        ShardedDiskTier(path)  # full migration
+
+        # Crash point: every entry resharded, sidecar still present.
+        (tmp_path / "cache.json.migrating").write_bytes(sidecar_bytes)
+        tier = ShardedDiskTier(path)
+        assert not (tmp_path / "cache.json.migrating").exists()
+        assert tier.keys() == {_key(tag) for tag in tags}
+        for tag in tags:
+            assert tier.get(_key(tag)) == _payload(tag)
+
 
 class TestResultCacheIntegration:
     def test_sharded_cache_read_through(self, tmp_path, service_matrices):

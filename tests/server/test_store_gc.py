@@ -1,0 +1,219 @@
+"""GC planning, journal protocol, and compaction — in-process units.
+
+The chaos suite kills real GC subprocesses; these tests pin the
+deterministic pieces: eviction *order* (TTL-expired first, then LRU,
+legacy entries before anything stamped), stamp-matched sweeps that
+spare refreshed entries, journal resume from each state, and the
+compaction inventory (orphan tempfiles, aged quarantine files, empty
+shards).
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.server import store_gc
+from repro.server.shards import ShardedDiskTier, StoreLimits
+from repro.utils.clock import FixedClock, installed
+
+pytestmark = pytest.mark.cache
+
+
+def _key(tag: str) -> str:
+    return hashlib.sha256(tag.encode()).hexdigest()
+
+
+def _payload(tag: str, filler: int = 50) -> dict:
+    return {"tag": tag, "filler": "x" * filler}
+
+
+def _bounded(root, **limits) -> ShardedDiskTier:
+    return ShardedDiskTier(root, limits=StoreLimits(**limits))
+
+
+class TestEvictionOrder:
+    def test_lru_goes_first(self, tmp_path):
+        clock = FixedClock(1_000.0)
+        with installed(clock):
+            tier = ShardedDiskTier(tmp_path / "store")
+            for tag in ("old", "mid", "new"):
+                tier.store({_key(tag): _payload(tag)})
+                clock.advance(10.0)
+            tier.get(_key("old"))  # now the most recently used
+            tier.sync_index()
+            tier.limits = StoreLimits(max_entries=1)
+            report = store_gc.run_gc(tier)
+        assert set(report.evicted_keys) == {_key("mid"), _key("new")}
+        assert tier.keys() == {_key("old")}
+
+    def test_expired_evicted_even_under_cap(self, tmp_path):
+        clock = FixedClock(1_000.0)
+        with installed(clock):
+            tier = _bounded(
+                tmp_path / "store", max_entries=100, ttl_seconds=30.0
+            )
+            tier.store({_key("stale"): _payload("stale")})
+            clock.advance(60.0)
+            tier.store({_key("fresh"): _payload("fresh")})
+            report = store_gc.run_gc(tier)
+        assert report.expired_keys == [_key("stale")]
+        assert _key("stale") in report.evicted_keys
+        assert tier.keys() == {_key("fresh")}
+
+    def test_byte_cap_math_uses_canonical_sizes(self, tmp_path):
+        tier = _bounded(tmp_path / "store", max_bytes=10_000)
+        entries = {
+            _key(f"b-{i}"): _payload(f"b-{i}", filler=400)
+            for i in range(40)
+        }
+        # Unbounded merge first, then one explicit pass: the plan must
+        # land the store at or under the cap in a single sweep.
+        tier.limits = StoreLimits()
+        tier.store(entries)
+        tier.limits = StoreLimits(max_bytes=10_000)
+        report = store_gc.run_gc(tier)
+        assert report.passes == 1
+        assert 0 < tier.bytes_used() <= 10_000
+
+
+class TestStampMatchedSweep:
+    def test_refreshed_entry_survives_a_stale_plan(self, tmp_path):
+        clock = FixedClock(1_000.0)
+        with installed(clock):
+            tier = ShardedDiskTier(tmp_path / "store")
+            key = _key("racer")
+            tier.store({key: _payload("racer")})
+            journal = {
+                "type": store_gc.JOURNAL_TYPE,
+                "version": store_gc.JOURNAL_FORMAT_VERSION,
+                "state": store_gc.STATE_PLANNED,
+                # A plan taken before the entry was refreshed: the
+                # stamp it recorded no longer matches.
+                "evict": {key: 123.0},
+                "planned_at": 999.0,
+            }
+            store_gc._write_journal(tier, journal)
+            report = store_gc.resume_pending(tier)
+        assert report is not None and report.resumed
+        assert report.evicted_keys == []
+        assert key in tier.keys()
+
+    def test_matching_stamp_is_swept(self, tmp_path):
+        clock = FixedClock(1_000.0)
+        with installed(clock):
+            tier = ShardedDiskTier(tmp_path / "store")
+            key = _key("doomed")
+            tier.store({key: _payload("doomed")})
+            journal = {
+                "type": store_gc.JOURNAL_TYPE,
+                "version": store_gc.JOURNAL_FORMAT_VERSION,
+                "state": store_gc.STATE_PLANNED,
+                "evict": {key: 1_000.0},
+                "planned_at": 1_000.0,
+            }
+            store_gc._write_journal(tier, journal)
+            report = store_gc.resume_pending(tier)
+        assert report.evicted_keys == [key]
+        assert key not in tier.keys()
+
+
+class TestJournalProtocol:
+    def test_committed_journal_resume_is_cleanup_only(self, tmp_path):
+        tier = ShardedDiskTier(tmp_path / "store")
+        key = _key("kept")
+        tier.store({key: _payload("kept")})
+        journal = {
+            "type": store_gc.JOURNAL_TYPE,
+            "version": store_gc.JOURNAL_FORMAT_VERSION,
+            "state": store_gc.STATE_COMMITTED,
+            "evict": {key: 0.0},  # already executed; must NOT re-sweep
+            "planned_at": 0.0,
+        }
+        store_gc._write_journal(tier, journal)
+        report = store_gc.resume_pending(tier)
+        assert report.resumed
+        assert report.evicted_keys == []
+        assert key in tier.keys()
+        assert not tier.journal_path().exists()
+
+    def test_corrupt_journal_quarantined_not_executed(self, tmp_path):
+        root = tmp_path / "store"
+        tier = ShardedDiskTier(root)
+        key = _key("survivor")
+        tier.store({key: _payload("survivor")})
+        tier.journal_path().write_text('{"state": "planned", "evi')
+        report = store_gc.resume_pending(tier)
+        assert report is None
+        assert tier.quarantined == 1
+        assert list(root.glob("gc-journal.json.corrupt-*"))
+        assert key in tier.keys()
+
+    def test_open_resumes_pending_journal(self, tmp_path):
+        root = tmp_path / "store"
+        tier = ShardedDiskTier(root)
+        key = _key("victim")
+        tier.store({key: _payload("victim")})
+        index_meta = tier.load_index()["entries"][key]
+        journal = {
+            "type": store_gc.JOURNAL_TYPE,
+            "version": store_gc.JOURNAL_FORMAT_VERSION,
+            "state": store_gc.STATE_SWEEPING,
+            "evict": {key: index_meta["c"]},
+            "planned_at": index_meta["c"],
+        }
+        store_gc._write_journal(tier, journal)
+        reopened = ShardedDiskTier(root)  # resume happens inside _open
+        assert not reopened.journal_path().exists()
+        assert key not in reopened.keys()
+
+
+class TestCompaction:
+    def test_orphan_tmp_and_aged_corrupt_removed(self, tmp_path):
+        root = tmp_path / "store"
+        tier = ShardedDiskTier(root)
+        tier.store({_key("live"): _payload("live")})
+        (root / ".shard-aa.json.zz.tmp").write_text("{}")
+        (root / "shard-bb.json.corrupt-100").write_text("junk")
+        fresh_tmp = root / ".shard-cc.json.yy.tmp"
+        fresh_tmp.write_text("{}")
+        now = 1_000_000_000.0
+        import os
+
+        os.utime(root / ".shard-aa.json.zz.tmp", (now - 600, now - 600))
+        os.utime(root / "shard-bb.json.corrupt-100", (now - 8 * 86400,) * 2)
+        os.utime(fresh_tmp, (now, now))
+        with installed(FixedClock(now)):
+            report = store_gc.run_gc(tier)
+        assert report.removed_tmp == 1
+        assert report.removed_corrupt == 1
+        assert fresh_tmp.exists()  # young tempfile: a live write
+
+    def test_empty_shards_removed(self, tmp_path):
+        tier = _bounded(tmp_path / "store", max_entries=1)
+        tier.limits = StoreLimits()
+        entries = {_key(f"e-{i}"): _payload(f"e-{i}") for i in range(6)}
+        tier.store(entries)
+        tier.limits = StoreLimits(max_entries=1)
+        report = store_gc.run_gc(tier)
+        assert report.removed_empty_shards >= 4
+        assert tier.entry_count() == 1
+
+
+class TestRunGc:
+    def test_noop_pass_reports_cleanly(self, tmp_path):
+        tier = ShardedDiskTier(tmp_path / "store")
+        tier.store({_key("a"): _payload("a")})
+        report = store_gc.run_gc(tier)
+        assert report.ran and report.passes == 1
+        assert report.evicted_keys == []
+        assert json.dumps(report.as_dict(), sort_keys=True)
+        assert tier.gc_runs == 1
+
+    def test_cap_trigger_on_write_path(self, tmp_path):
+        tier = _bounded(tmp_path / "store", max_entries=4)
+        for i in range(12):
+            tier.store({_key(f"w-{i}"): _payload(f"w-{i}")})
+        assert tier.entry_count() <= 4
+        assert tier.gc_runs > 0
+        assert tier.store_evictions >= 8

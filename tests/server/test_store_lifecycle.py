@@ -1,0 +1,291 @@
+"""Bounded-store lifecycle: limits, metadata, integrity, TTL, index.
+
+Unit-level coverage for the shard-format-v2 machinery in
+:mod:`repro.server.shards` — the chaos suite
+(``tests/chaos/test_store_chaos.py``) proves the crash story end to
+end; these tests pin the individual contracts it is built from.
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.core.exceptions import SolverError
+from repro.server.shards import (
+    INDEX_NAME,
+    ShardedDiskTier,
+    StoreLimits,
+    canonical_payload_bytes,
+    entry_hash,
+    make_entry_meta,
+    verify_entry,
+)
+from repro.service.cache import ResultCache
+from repro.service.schema import SOLVER_SCHEMA_VERSION
+from repro.utils.clock import FixedClock, installed
+
+pytestmark = pytest.mark.cache
+
+
+def _key(tag: str) -> str:
+    return hashlib.sha256(tag.encode()).hexdigest()
+
+
+def _payload(tag: str) -> dict:
+    return {"type": "portfolio_result", "tag": tag}
+
+
+class TestStoreLimits:
+    def test_validation(self):
+        with pytest.raises(SolverError):
+            StoreLimits(max_bytes=0)
+        with pytest.raises(SolverError):
+            StoreLimits(max_entries=-1)
+        with pytest.raises(SolverError):
+            StoreLimits(ttl_seconds=0)
+
+    def test_round_trip_and_unknown_fields(self):
+        limits = StoreLimits(max_bytes=10, ttl_seconds=5.0)
+        assert StoreLimits.from_dict(limits.as_dict()).as_dict() == {
+            "max_bytes": 10,
+            "max_entries": None,
+            "ttl_seconds": 5.0,
+        }
+        with pytest.raises(SolverError):
+            StoreLimits.from_dict({"max_bytez": 10})
+
+    def test_legacy_entries_never_ttl_expire(self):
+        limits = StoreLimits(ttl_seconds=1.0)
+        assert not limits.expired(None, 1e9)
+        assert not limits.expired(0, 1e9)
+        assert limits.expired(1.0, 1e9)
+
+    def test_persisted_limits_apply_to_later_openers(self, tmp_path):
+        root = tmp_path / "store"
+        ShardedDiskTier(root, limits=StoreLimits(max_entries=3))
+        reopened = ShardedDiskTier(root)  # no explicit limits
+        assert reopened.limits.max_entries == 3
+
+    def test_explicit_limits_overwrite_persisted(self, tmp_path):
+        root = tmp_path / "store"
+        ShardedDiskTier(root, limits=StoreLimits(max_entries=3))
+        ShardedDiskTier(root, limits=StoreLimits(max_entries=9))
+        assert ShardedDiskTier(root).limits.max_entries == 9
+
+    def test_corrupt_store_config_degrades_to_unbounded(self, tmp_path):
+        root = tmp_path / "store"
+        ShardedDiskTier(root, limits=StoreLimits(max_entries=3))
+        (root / "store-config.json").write_text("{torn")
+        reopened = ShardedDiskTier(root)
+        assert reopened.limits.max_entries is None
+        assert reopened.quarantined == 1
+        assert list(root.glob("store-config.json.corrupt-*"))
+
+
+class TestEntryIntegrity:
+    def test_hash_is_schema_version_keyed(self):
+        blob = canonical_payload_bytes({"depth": 3})
+        assert entry_hash(blob, 1) != entry_hash(blob, 2)
+
+    def test_verify_uses_stored_schema_version(self):
+        # An entry hashed under an older schema era must verify against
+        # that era, not the reader's — otherwise every schema bump
+        # would quarantine the whole store.
+        payload = {"depth": 3}
+        old = SOLVER_SCHEMA_VERSION - 1
+        meta = {
+            "h": entry_hash(canonical_payload_bytes(payload), old),
+            "v": old,
+        }
+        assert verify_entry(payload, meta)
+
+    def test_legacy_meta_passes_trivially(self):
+        assert verify_entry({"depth": 3}, {})
+
+    def test_tampered_payload_is_quarantined_on_read(self, tmp_path):
+        tier = ShardedDiskTier(tmp_path / "store")
+        key = _key("victim")
+        bystander = _key("bystander")
+        tier.store({key: _payload("victim"), bystander: _payload("bystander")})
+        shard = tier.shard_path(key)
+        raw = json.loads(shard.read_text())
+        raw["entries"][key]["tag"] = "tampered"
+        shard.write_text(json.dumps(raw))
+
+        assert tier.get(key) is None
+        assert tier.integrity_failures == 1
+        assert tier.quarantined == 1
+        assert list(
+            (tmp_path / "store").glob(f"entry-{key[:16]}.corrupt-*")
+        )
+        # Only the damaged entry died; shard-mates are untouched.
+        if bystander in json.loads(shard.read_text()).get("entries", {}):
+            assert tier.get(bystander) == _payload("bystander")
+        # The entry is gone from the shard, so the next read is a
+        # plain miss, not a second quarantine.
+        assert tier.get(key) is None
+        assert tier.integrity_failures == 1
+
+    def test_quarantine_record_preserves_evidence(self, tmp_path):
+        tier = ShardedDiskTier(tmp_path / "store")
+        key = _key("evidence")
+        tier.store({key: _payload("evidence")})
+        shard = tier.shard_path(key)
+        raw = json.loads(shard.read_text())
+        raw["entries"][key]["tag"] = "tampered"
+        shard.write_text(json.dumps(raw))
+        tier.get(key)
+        record_path = next(
+            (tmp_path / "store").glob(f"entry-{key[:16]}.corrupt-*")
+        )
+        record = json.loads(record_path.read_text())
+        assert record["key"] == key
+        assert record["entry"]["tag"] == "tampered"
+        assert "integrity" in record["reason"]
+
+
+class TestTtlOnRead:
+    def test_expired_entry_reads_as_miss(self, tmp_path):
+        clock = FixedClock(1_000.0)
+        with installed(clock):
+            tier = ShardedDiskTier(
+                tmp_path / "store", limits=StoreLimits(ttl_seconds=60.0)
+            )
+            key = _key("aging")
+            tier.store({key: _payload("aging")})
+            clock.advance(59.0)
+            assert tier.get(key) == _payload("aging")
+            clock.advance(2.0)
+            assert tier.get(key) is None
+            # Refused, not destroyed: only GC removes it.
+            assert key in tier.keys()
+
+
+class TestLegacyShards:
+    @staticmethod
+    def _write_v1_shard(tier, key, payload):
+        shard = tier.shard_path(key)
+        shard.parent.mkdir(parents=True, exist_ok=True)
+        shard.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "type": "portfolio_cache_shard",
+                    "entries": {key: payload},
+                }
+            )
+        )
+
+    def test_v1_entries_serve_without_meta(self, tmp_path):
+        tier = ShardedDiskTier(tmp_path / "store")
+        key = _key("legacy")
+        self._write_v1_shard(tier, key, _payload("legacy"))
+        assert tier.get(key) == _payload("legacy")
+
+    def test_rewrite_backfills_meta(self, tmp_path):
+        tier = ShardedDiskTier(tmp_path / "store")
+        legacy_key = _key("legacy")
+        self._write_v1_shard(tier, legacy_key, _payload("legacy"))
+        # Any merge into the same shard stamps the stragglers.
+        sibling = next(
+            _key(f"sib-{i}")
+            for i in range(1000)
+            if tier.shard_path(_key(f"sib-{i}"))
+            == tier.shard_path(legacy_key)
+        )
+        tier.store({sibling: _payload("sibling")})
+        raw = json.loads(tier.shard_path(legacy_key).read_text())
+        assert raw["version"] == 2
+        assert legacy_key in raw["meta"]
+        assert raw["meta"][legacy_key]["h"]
+
+
+class TestIndex:
+    def test_index_matches_scan(self, tmp_path):
+        tier = ShardedDiskTier(tmp_path / "store")
+        entries = {_key(f"i-{n}"): _payload(f"i-{n}") for n in range(8)}
+        tier.store(entries)
+        assert tier.entry_count() == 8
+        assert tier.bytes_used() == sum(
+            len(canonical_payload_bytes(p)) for p in entries.values()
+        )
+
+    def test_missing_index_rebuilds_from_shards(self, tmp_path):
+        root = tmp_path / "store"
+        tier = ShardedDiskTier(root)
+        tier.store({_key("a"): _payload("a"), _key("b"): _payload("b")})
+        (root / INDEX_NAME).unlink()
+        reopened = ShardedDiskTier(root)
+        assert reopened.entry_count() == 2
+
+    def test_stale_index_rebuilds_under_verify(self, tmp_path):
+        root = tmp_path / "store"
+        tier = ShardedDiskTier(root)
+        tier.store({_key("a"): _payload("a")})
+        # A foreign writer replaces the index with a fabricated one.
+        (root / INDEX_NAME).write_text(
+            json.dumps(
+                {
+                    "type": "portfolio_cache_index",
+                    "version": 1,
+                    "entries": {},
+                    "shards": {},
+                }
+            )
+        )
+        fresh = ShardedDiskTier(root)
+        assert fresh.load_index(verify=True)["entries"]
+        assert fresh.entry_count() == 1
+
+    def test_touch_stamps_batch_into_index(self, tmp_path):
+        clock = FixedClock(1_000.0)
+        with installed(clock):
+            tier = ShardedDiskTier(tmp_path / "store")
+            key = _key("touched")
+            tier.store({key: _payload("touched")})
+            clock.advance(50.0)
+            tier.get(key)
+            tier.sync_index()
+            index = tier.load_index()
+            assert index["entries"][key]["a"] == 1_050.0
+
+
+class TestResultCacheLifecycleStats:
+    def test_counters_surface_through_refresh(self, tmp_path):
+        cache = ResultCache.sharded(
+            tmp_path / "store", max_bytes=1_000_000
+        )
+        from repro.core.binary_matrix import BinaryMatrix
+        from repro.service.portfolio import solve_portfolio
+
+        matrix = BinaryMatrix([0b11, 0b01], 2)
+        cache.put(matrix, solve_portfolio(matrix, members=("trivial",)))
+        cache.flush()
+        stats = cache.refresh_stats()
+        assert stats.bytes_used > 0
+        assert stats.gc_runs == 0
+        assert stats.integrity_failures == 0
+        assert set(stats.as_dict()) >= {
+            "store_evictions",
+            "gc_runs",
+            "integrity_failures",
+            "bytes_used",
+        }
+
+    def test_sharded_limits_kwargs_persist(self, tmp_path):
+        root = tmp_path / "store"
+        ResultCache.sharded(root, max_entries=5, ttl_seconds=60.0)
+        tier = ShardedDiskTier(root)
+        assert tier.limits.max_entries == 5
+        assert tier.limits.ttl_seconds == 60.0
+
+
+class TestMetaHelpers:
+    def test_make_entry_meta_is_clock_driven(self):
+        with installed(FixedClock(123.0)):
+            meta = make_entry_meta({"depth": 1})
+        assert meta["c"] == 123.0
+        assert meta["a"] == 123.0
+        assert meta["v"] == SOLVER_SCHEMA_VERSION
+        assert verify_entry({"depth": 1}, meta)
